@@ -1,0 +1,1 @@
+"""Figure-regeneration benchmarks (one module per paper figure)."""

@@ -1,0 +1,21 @@
+"""Figure 1: skewed chunk-frequency distributions (FSL and VM).
+
+Paper claim: both datasets are heavily skewed — in FSL 99.8 % of chunks
+occur fewer than 100 times while a tiny tail exceeds 10 000 occurrences; VM
+is similar (97 % below 100). At our reduced scale the shape criterion is a
+strong head (≥ 95 % of unique chunks below 100 occurrences) together with a
+heavy tail (maximum frequency ≥ 100× the median).
+"""
+
+from benchmarks.conftest import run_figure
+from repro.analysis.figures import fig1_frequency_skew
+
+
+def bench_fig01_frequency_skew(benchmark, results_dir):
+    result = run_figure(benchmark, fig1_frequency_skew, results_dir)
+    for row in result.rows:
+        dataset, unique, below10, below100, median, p99, peak = row
+        assert unique > 10_000, f"{dataset}: workload too small"
+        assert below100 > 0.95, f"{dataset}: head not skewed enough"
+        assert peak >= 100 * max(median, 1), f"{dataset}: tail too light"
+        assert p99 < peak, f"{dataset}: no extreme tail beyond p99"

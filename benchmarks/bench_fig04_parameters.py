@@ -1,0 +1,33 @@
+"""Figure 4: impact of the locality-attack parameters u, v, w.
+
+Paper claims (§5.3.1):
+(a) the inference rate *decreases* as u grows — extra seeds are less
+    reliable and poison the inferred set;
+(b) the rate first rises with v (more pairs inferred per neighbor
+    analysis), peaks around v ≈ 15–20, then declines slightly;
+(c) the rate is non-decreasing in w and saturates once the FIFO queue stops
+    overflowing.
+"""
+
+from benchmarks.conftest import run_figure, series_of
+from repro.analysis.figures import fig4_parameter_impact
+
+
+def bench_fig04_parameters(benchmark, results_dir):
+    result = run_figure(benchmark, fig4_parameter_impact, results_dir)
+    for dataset in ("fsl", "vm"):
+        u_series = series_of(result, dataset=dataset, parameter="u")
+        v_series = series_of(result, dataset=dataset, parameter="v")
+        w_series = series_of(result, dataset=dataset, parameter="w")
+
+        # (a) u=1 beats large u.
+        assert u_series[0] >= u_series[-1], (dataset, "u", u_series)
+
+        # (b) the v-curve is unimodal-ish: its peak is not at the smallest
+        # v, and the tail does not exceed the peak.
+        peak = max(v_series)
+        assert peak > v_series[0] * 0.99, (dataset, "v", v_series)
+        assert v_series[-1] <= peak, (dataset, "v", v_series)
+
+        # (c) w is monotone non-decreasing up to noise and saturates.
+        assert w_series[-1] >= w_series[0] * 0.99, (dataset, "w", w_series)

@@ -1,0 +1,32 @@
+"""Figure 6: ciphertext-only inference rate vs target backup distance.
+
+Paper claims (§5.3.2): with the earliest backup as auxiliary information,
+nearby targets are inferred at high rates (FSL Feb: 26.4 % / 30.0 %) and
+the rate decays as the target drifts away (FSL May: 7.7 % / 22.1 %); the
+basic attack stays ineffective throughout; on VM the rate collapses for
+targets past the churn window.
+"""
+
+from benchmarks.conftest import run_figure, series_of
+from repro.analysis.figures import fig6_vary_target
+
+
+def bench_fig06_vary_target(benchmark, results_dir):
+    result = run_figure(benchmark, fig6_vary_target, results_dir)
+
+    for dataset in ("fsl", "synthetic", "vm"):
+        basic = series_of(result, dataset=dataset, attack="basic")
+        assert max(basic) < 0.01, (dataset, basic)
+
+    # Decay with target distance for the strongest attacks on FSL.
+    for attack, floor in (("locality", 0.04), ("advanced", 0.15)):
+        series = series_of(result, dataset="fsl", attack=attack)
+        assert series[0] > series[-1], (attack, series)
+        assert series[0] > floor, (attack, series)
+
+    # VM: targets beyond the churn window are nearly out of reach of the
+    # week-1 auxiliary (paper: ~0.1% after week 8), while early targets
+    # are inferable.
+    vm = series_of(result, dataset="vm", attack="locality")
+    assert vm[0] > 0.05
+    assert vm[-1] < 0.25 * vm[0]

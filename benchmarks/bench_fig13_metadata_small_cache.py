@@ -1,0 +1,35 @@
+"""Figure 13: metadata access with the *insufficient* fingerprint cache.
+
+Paper claims (§7.4.2):
+* loading access (whole-container fingerprint prefetches) dominates the
+  total metadata access (> 74 % for both schemes);
+* the combined scheme is *cheaper* than MLE on the first backup (it stores
+  more unique chunks, which skip the loading path);
+* on subsequent backups the combined scheme's overhead over MLE stays
+  small (paper: ≤ 1.2 %; bench-scale bound is looser because the workload
+  is ~10³× smaller — see EXPERIMENTS.md).
+"""
+
+from benchmarks.conftest import run_figure, series_of
+from repro.analysis.figures import fig13_metadata_small_cache
+
+
+def bench_fig13_metadata_small_cache(benchmark, results_dir):
+    result = run_figure(benchmark, fig13_metadata_small_cache, results_dir)
+
+    mle_total = series_of(result, scheme="mle")
+    combined_total = series_of(result, scheme="combined")
+
+    # First backup: combined cheaper (more uniques -> fewer loads).
+    assert combined_total[0] < mle_total[0]
+
+    # Steady state: bounded overhead.
+    for mle, combined in zip(mle_total[1:], combined_total[1:]):
+        assert combined < mle * 1.5, (mle, combined)
+
+    # Loading dominates for both schemes on the last backup.
+    for scheme in ("mle", "combined"):
+        rows = [row for row in result.rows if row[0] == scheme]
+        _, _, update, index, loading, total = rows[-1]
+        assert loading / total > 0.5, (scheme, rows[-1])
+        assert index < update + loading

@@ -1,0 +1,41 @@
+"""Figure 14: metadata access with the *sufficient* fingerprint cache.
+
+Paper claims (§7.4.2): enlarging the cache sharply reduces loading access
+for both schemes (22 % / 29 % at paper scale; much more at bench scale
+where the large cache retains every fingerprint). The paper additionally
+observes the combined scheme becoming 6.4–20 % *cheaper* than MLE; our
+reproduction does not recover that inversion beyond the first backup —
+the combined scheme's extra unique chunks cost update accesses that are
+not offset at steady state — which EXPERIMENTS.md discusses as a known
+divergence.
+"""
+
+from benchmarks.conftest import run_figure, series_of
+from repro.analysis.figures import (
+    fig13_metadata_small_cache,
+    fig14_metadata_large_cache,
+)
+
+
+def bench_fig14_metadata_large_cache(benchmark, results_dir):
+    result = run_figure(benchmark, fig14_metadata_large_cache, results_dir)
+    small = fig13_metadata_small_cache()
+
+    # The large cache cuts total metadata access for both schemes.
+    for scheme in ("mle", "combined"):
+        large_total = sum(series_of(result, scheme=scheme)[1:])
+        small_total = sum(series_of(small, scheme=scheme)[1:])
+        assert large_total < small_total, scheme
+
+    # First backup: combined cheaper than MLE, as with the small cache.
+    mle_total = series_of(result, scheme="mle")
+    combined_total = series_of(result, scheme="combined")
+    assert combined_total[0] < mle_total[0]
+
+    # Loading access specifically collapses once the cache retains the
+    # whole fingerprint population.
+    for scheme in ("mle", "combined"):
+        rows = [row for row in result.rows if row[0] == scheme]
+        loading_last = rows[-1][4]
+        small_rows = [row for row in small.rows if row[0] == scheme]
+        assert loading_last < small_rows[-1][4], scheme

@@ -1,0 +1,81 @@
+"""Microbenchmarks of the hot substrates (true pytest-benchmark timing).
+
+These are conventional repeated-timing benchmarks (unlike the figure
+benches, which run an experiment once): chunking throughput, the attacks'
+COUNT pass, FREQ-ANALYSIS, the DDFS per-chunk path, and MinHash pipeline
+encryption. They guard against performance regressions in the code paths
+every experiment leans on.
+"""
+
+import random
+
+from repro.analysis.workloads import fsl_series
+from repro.attacks.frequency import count_with_neighbors, freq_analysis
+from repro.chunking import ChunkerSpec, GearChunker, RabinChunker
+from repro.crypto.mle import ConvergentEncryption
+from repro.defenses.pipeline import DefensePipeline, DefenseScheme
+from repro.storage.ddfs import DDFSEngine
+
+_SPEC = ChunkerSpec(min_size=2048, avg_size=8192, max_size=65536)
+_DATA = random.Random(0).randbytes(1 << 20)
+
+
+def bench_micro_gear_chunking_1mib(benchmark):
+    chunker = GearChunker(_SPEC)
+    cuts = benchmark(chunker.cut_points, _DATA)
+    assert cuts[-1] == len(_DATA)
+
+
+def bench_micro_rabin_chunking_256kib(benchmark):
+    chunker = RabinChunker(_SPEC)
+    data = _DATA[: 256 * 1024]
+    cuts = benchmark(chunker.cut_points, data)
+    assert cuts[-1] == len(data)
+
+
+def bench_micro_count_with_neighbors(benchmark):
+    backup = fsl_series().backups[-1]
+    stats = benchmark(count_with_neighbors, backup)
+    assert stats.unique_chunks > 1000
+
+
+def bench_micro_freq_analysis(benchmark):
+    backup = fsl_series().backups[-1]
+    stats = count_with_neighbors(backup)
+    pairs = benchmark(
+        freq_analysis, stats.frequencies, stats.frequencies, 1000
+    )
+    assert len(pairs) == 1000
+
+
+def bench_micro_mle_chunk_encrypt(benchmark):
+    scheme = ConvergentEncryption()
+    chunk = _DATA[:8192]
+    ciphertext, _ = benchmark(scheme.encrypt_chunk, chunk)
+    assert ciphertext.size >= len(chunk)
+
+
+def bench_micro_defense_pipeline_combined(benchmark):
+    series = fsl_series()
+    pipeline = DefensePipeline(DefenseScheme.COMBINED, seed=7)
+    encrypted = benchmark.pedantic(
+        lambda: pipeline.encrypt_backup(series.backups[0], 0),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(encrypted.ciphertext) == len(series.backups[0])
+
+
+def bench_micro_ddfs_backup(benchmark):
+    series = fsl_series()
+    backup = series.backups[0]
+
+    def run():
+        engine = DDFSEngine(
+            cache_budget_bytes=1 << 20,
+            bloom_capacity=200_000,
+        )
+        return engine.process_backup(backup)
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.total_chunks == len(backup)

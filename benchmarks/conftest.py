@@ -1,0 +1,48 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each ``bench_figNN_*`` module regenerates one evaluation figure of the
+paper: it times the full experiment via pytest-benchmark (one round — these
+are experiments, not microbenchmarks), writes the reproduced series under
+``results/``, and asserts the figure's qualitative shape (see DESIGN.md §4).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.reporting import FigureResult, save_result
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def run_figure(benchmark, driver, results_dir: Path, **kwargs) -> FigureResult:
+    """Run a figure driver once under the benchmark timer and persist it."""
+    result = benchmark.pedantic(
+        lambda: driver(**kwargs), rounds=1, iterations=1
+    )
+    save_result(result, results_dir)
+    return result
+
+
+def series_of(result: FigureResult, **filters) -> list:
+    """Extract one plotted series: filter rows by column values, return the
+    last column's values in row order."""
+    indices = {name: result.columns.index(name) for name in filters}
+    value_index = len(result.columns) - 1
+    return [
+        row[value_index]
+        for row in result.rows
+        if all(row[indices[name]] == value for name, value in filters.items())
+    ]

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Scenario: choosing a defense — security vs storage vs metadata cost.
+
+Sweeps the four pipeline configurations (deterministic MLE, MinHash only,
+scrambling only, combined) over one workload and reports, per scheme:
+
+* inference rate of the strongest attack (advanced, 0.2 % leakage);
+* cumulative storage saving after all backups (Fig. 11's metric);
+* DDFS metadata access for the final backup (Fig. 13's metric).
+
+This reproduces the paper's bottom line: the combined scheme buys near-
+total suppression for a few points of storage saving and a small metadata
+overhead.
+
+Run:  python examples/defense_tradeoffs.py
+"""
+
+from repro.analysis.workloads import scaled_segmentation, storage_fsl_series
+from repro.attacks import AdvancedLocalityAttack, AttackEvaluator, BasicAttack
+from repro.common.units import MiB, format_size
+from repro.datasets.stats import storage_savings
+from repro.defenses import DefensePipeline, DefenseScheme
+from repro.storage import DDFSEngine
+
+
+def main() -> None:
+    series = storage_fsl_series()
+    segmentation = scaled_segmentation(series)
+    print(
+        f"workload: {len(series)} backups, "
+        f"{format_size(series.logical_bytes)} logical, "
+        f"dedup ratio {series.dedup_ratio():.1f}x\n"
+    )
+    header = (
+        f"{'scheme':<10s} {'advanced KPM':>13s} {'basic attack':>13s} "
+        f"{'storage saving':>15s} {'meta access (last)':>19s}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for scheme in DefenseScheme:
+        pipeline = DefensePipeline(scheme, segmentation=segmentation, seed=7)
+        encrypted = pipeline.encrypt_series(series)
+        evaluator = AttackEvaluator(encrypted)
+
+        advanced = evaluator.run(
+            AdvancedLocalityAttack(u=1, v=15, w=500_000),
+            auxiliary=2,
+            target=-1,
+            leakage_rate=0.002,
+        )
+        basic = evaluator.run(BasicAttack(), auxiliary=2, target=-1)
+        saving = storage_savings([b.ciphertext for b in encrypted.backups])[-1]
+
+        engine = DDFSEngine(
+            cache_budget_bytes=512 * 1024,
+            bloom_capacity=200_000,
+            container_size=4 * MiB,
+        )
+        reports = engine.process_series(
+            [b.ciphertext for b in encrypted.backups]
+        )
+        meta = reports[-1].metadata.total_bytes
+
+        print(
+            f"{scheme.value:<10s} {advanced.inference_rate:>13.2%} "
+            f"{basic.inference_rate:>13.3%} {saving:>15.1%} "
+            f"{format_size(meta):>19s}"
+        )
+
+    print(
+        "\nreading the table: scrambling alone kills the locality signal "
+        "but keeps deterministic encryption (frequency ranks still leak to "
+        "a frequency-only adversary); MinHash alone perturbs frequencies "
+        "but keeps order. The combined scheme closes both channels for a "
+        "few points of storage saving and a small metadata premium."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: generate a backup workload, encrypt it, attack it, defend it.
+
+This walks the paper's whole story in ~60 lines of API calls:
+
+1. generate an FSL-like backup series (six users, five monthly fulls);
+2. encrypt it with deterministic MLE (the vulnerable baseline);
+3. run the three inference attacks of §4 with the paper's parameters;
+4. re-encrypt under the combined MinHash + scrambling defense (§6) and
+   show the attack collapsing.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis.workloads import scaled_segmentation
+from repro.attacks import (
+    AdvancedLocalityAttack,
+    AttackEvaluator,
+    BasicAttack,
+    LocalityAttack,
+)
+from repro.datasets import FSLDatasetGenerator
+from repro.defenses import DefensePipeline, DefenseScheme
+
+
+def main() -> None:
+    # 1. Workload: six users' home directories, five monthly full backups.
+    print("generating FSL-like backup series...")
+    series = FSLDatasetGenerator(seed=20130122).generate()
+    print(
+        f"  {len(series)} backups, "
+        f"{sum(len(b) for b in series.backups):,} chunk records, "
+        f"dedup ratio {series.dedup_ratio():.1f}x"
+    )
+
+    # 2. Deterministic MLE: identical plaintext chunks -> identical
+    #    ciphertext chunks. Deduplication works; frequencies leak.
+    pipeline = DefensePipeline(
+        DefenseScheme.MLE, segmentation=scaled_segmentation(series)
+    )
+    encrypted = pipeline.encrypt_series(series)
+    evaluator = AttackEvaluator(encrypted)
+
+    # 3. The adversary knows the plaintext of the April backup (auxiliary
+    #    information) and sees the ciphertext of the May backup.
+    print("\nattacking deterministic MLE (aux = Apr 21, target = May 21):")
+    for attack in (
+        BasicAttack(),
+        LocalityAttack(u=1, v=15, w=200_000),
+        AdvancedLocalityAttack(u=1, v=15, w=200_000),
+    ):
+        report = evaluator.run(attack, auxiliary=-2, target=-1)
+        print(
+            f"  {attack.name:9s} inference rate = "
+            f"{report.inference_rate:7.2%}   "
+            f"({report.correct_pairs:,}/{report.unique_ciphertext_chunks:,} "
+            f"unique chunks)"
+        )
+
+    # 4. Same attack against the combined MinHash + scrambling defense.
+    defended = DefensePipeline(
+        DefenseScheme.COMBINED, segmentation=scaled_segmentation(series)
+    ).encrypt_series(series)
+    report = AttackEvaluator(defended).run(
+        AdvancedLocalityAttack(u=1, v=15, w=200_000), auxiliary=-2, target=-1
+    )
+    print(
+        f"\nunder the combined defense the advanced attack infers "
+        f"{report.inference_rate:.2%} — the leakage is gone."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Scenario: known-plaintext attack from a stolen device (§3.3, §5.3.3).
+
+The paper's motivating threat: an adversary obtains a *prior* backup's
+plaintext (auxiliary information) plus a small number of leaked
+ciphertext-plaintext pairs about the *latest* backup — say, from a stolen
+laptop that still held a few chunks with their storage tags. This example
+shows how a 0.05-0.2 % leak amplifies into inference of a quarter of the
+latest backup, and how the adversary could target "critical chunks":
+inferring which ciphertext chunks correspond to known plaintext lets them
+corrupt exactly those chunks and make the plaintext unrecoverable.
+
+Run:  python examples/stolen_backup_attack.py
+"""
+
+from repro.analysis.workloads import scaled_segmentation
+from repro.attacks import AdvancedLocalityAttack, AttackEvaluator, LocalityAttack
+from repro.attacks.evaluation import sample_leakage
+from repro.datasets import FSLDatasetGenerator
+from repro.defenses import DefensePipeline, DefenseScheme
+
+
+def main() -> None:
+    series = FSLDatasetGenerator(seed=20130122).generate()
+    pipeline = DefensePipeline(
+        DefenseScheme.MLE, segmentation=scaled_segmentation(series)
+    )
+    encrypted = pipeline.encrypt_series(series)
+    evaluator = AttackEvaluator(encrypted)
+    target = encrypted[-1]
+
+    print("known-plaintext mode: aux = Mar 22, target = May 21")
+    print(f"target backup: {target.unique_ciphertext_chunks:,} unique chunks\n")
+    print(
+        f"{'leakage':>10s} {'leaked pairs':>13s} {'inferred':>10s} "
+        f"{'amplification':>14s}"
+    )
+    for leakage_rate in (0.0, 0.0005, 0.001, 0.002):
+        report = evaluator.run(
+            LocalityAttack(u=1, v=15, w=500_000),
+            auxiliary=2,
+            target=-1,
+            leakage_rate=leakage_rate,
+        )
+        amplification = (
+            report.inference_rate / leakage_rate if leakage_rate else float("nan")
+        )
+        print(
+            f"{leakage_rate:10.2%} {report.leaked_pairs:13,} "
+            f"{report.inference_rate:10.2%} {amplification:13.0f}x"
+        )
+
+    # Critical-chunk identification: the adversary holds the plaintext of
+    # one "password file" from the prior backup and wants to find its
+    # ciphertext chunks in the latest backup (to corrupt them).
+    print("\ncritical-chunk identification:")
+    leaked = sample_leakage(target, 0.0005, seed=1)
+    report_attack = AdvancedLocalityAttack(u=1, v=15, w=500_000)
+    result = report_attack.run(
+        target.ciphertext, series.backups[2], leaked_pairs=leaked
+    )
+    # Pretend the 40 chunks of some critical file are known plaintext fps.
+    critical_plaintext = set(series.backups[-1].fingerprints[1000:1040])
+    identified = {
+        cipher_fp
+        for cipher_fp, plain_fp in result.pairs.items()
+        if plain_fp in critical_plaintext and target.truth.get(cipher_fp) == plain_fp
+    }
+    print(
+        f"  of a 40-chunk critical file, the adversary correctly located "
+        f"{len(identified)} ciphertext chunks in the latest backup."
+    )
+    print(
+        "  corrupting those ciphertext chunks would make the critical file "
+        "unrecoverable despite encryption."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""freqdedup — reproduction of *Information Leakage in Encrypted Deduplication
+via Frequency Analysis: Attacks and Defenses* (DSN 2017, extended TR).
+
+The package is organised around the paper's pipeline:
+
+* :mod:`repro.chunking` — fixed-size and content-defined chunking plus
+  fingerprinting (the deduplication unit of §2.1).
+* :mod:`repro.crypto` — message-locked encryption substrates (§2.2):
+  convergent encryption, server-aided MLE with a rate-limited key manager,
+  and the deterministic block-cipher stand-in.
+* :mod:`repro.index` — embedded key-value store, Bloom filter and LRU
+  fingerprint cache used by both the attacks (§5.2) and the DDFS prototype
+  (§7.4).
+* :mod:`repro.datasets` — FSL-like, VM-like and Lillibridge-style synthetic
+  backup workload generators (§5.1) plus trace statistics.
+* :mod:`repro.attacks` — the basic, locality-based and advanced
+  locality-based inference attacks (§4, Algorithms 1–3).
+* :mod:`repro.defenses` — MinHash encryption and scrambling (§6,
+  Algorithms 4–5) and the defense pipelines of §7.1.
+* :mod:`repro.storage` — the DDFS-like deduplicated storage prototype with
+  metadata-access accounting (§7.4).
+* :mod:`repro.analysis` — experiment drivers that regenerate every
+  evaluation figure in the paper.
+
+Quickstart::
+
+    from repro.datasets import FSLDatasetGenerator
+    from repro.defenses import DefensePipeline, DefenseScheme
+    from repro.attacks import LocalityAttack, AttackEvaluator
+
+    series = FSLDatasetGenerator(seed=7).generate()
+    pipeline = DefensePipeline(DefenseScheme.MLE)
+    encrypted = pipeline.encrypt_series(series)
+    evaluator = AttackEvaluator(encrypted)
+    report = evaluator.run(LocalityAttack(), auxiliary=-2, target=-1)
+    print(report.inference_rate)
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,54 @@
+"""Experiment drivers and reporting for every evaluation figure (§5, §7).
+
+:mod:`repro.analysis.workloads` pins the canonical bench-scale datasets;
+:mod:`repro.analysis.figures` contains one driver per paper figure;
+:mod:`repro.analysis.reporting` renders and persists the results.
+"""
+
+from repro.analysis.figures import (
+    fig1_frequency_skew,
+    fig4_parameter_impact,
+    fig5_vary_auxiliary,
+    fig6_vary_target,
+    fig7_sliding_window,
+    fig8_known_plaintext,
+    fig9_kpm_vary_auxiliary,
+    fig10_defense_effectiveness,
+    fig11_storage_saving,
+    fig13_metadata_small_cache,
+    fig14_metadata_large_cache,
+)
+from repro.analysis.reporting import FigureResult, render_table, save_result
+from repro.analysis.workloads import (
+    encrypted_series,
+    fsl_series,
+    scaled_segmentation,
+    series_by_name,
+    storage_fsl_series,
+    synthetic_series,
+    vm_series,
+)
+
+__all__ = [
+    "fig1_frequency_skew",
+    "fig4_parameter_impact",
+    "fig5_vary_auxiliary",
+    "fig6_vary_target",
+    "fig7_sliding_window",
+    "fig8_known_plaintext",
+    "fig9_kpm_vary_auxiliary",
+    "fig10_defense_effectiveness",
+    "fig11_storage_saving",
+    "fig13_metadata_small_cache",
+    "fig14_metadata_large_cache",
+    "FigureResult",
+    "render_table",
+    "save_result",
+    "encrypted_series",
+    "fsl_series",
+    "scaled_segmentation",
+    "series_by_name",
+    "storage_fsl_series",
+    "synthetic_series",
+    "vm_series",
+]

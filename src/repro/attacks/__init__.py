@@ -1,0 +1,58 @@
+"""Inference attacks against encrypted deduplication (§4).
+
+* :class:`BasicAttack` — classical frequency analysis (Algorithm 1).
+* :class:`LocalityAttack` — chunk-locality-driven frequency analysis
+  (Algorithm 2) with parameters ``u``, ``v``, ``w``.
+* :class:`AdvancedLocalityAttack` — adds the chunk-size side channel
+  (Algorithm 3) for variable-size chunking.
+* :class:`AttackEvaluator` / :class:`InferenceReport` — run attacks against
+  encrypted series in ciphertext-only or known-plaintext mode and compute
+  inference rates.
+"""
+
+from repro.attacks.advanced import AdvancedLocalityAttack
+from repro.attacks.base import Attack, AttackResult
+from repro.attacks.basic import BasicAttack
+from repro.attacks.evaluation import (
+    AttackEvaluator,
+    InferenceReport,
+    sample_leakage,
+)
+from repro.attacks.frequency import (
+    ChunkStats,
+    classify_by_blocks,
+    count_frequencies,
+    count_with_neighbors,
+    freq_analysis,
+    rank_by_frequency,
+    sized_freq_analysis,
+)
+from repro.attacks.locality import LocalityAttack
+from repro.attacks.persistent import (
+    PersistentAdvancedAttack,
+    PersistentLocalityAttack,
+    load_chunk_stats,
+    persist_chunk_stats,
+)
+
+__all__ = [
+    "PersistentAdvancedAttack",
+    "PersistentLocalityAttack",
+    "load_chunk_stats",
+    "persist_chunk_stats",
+    "AdvancedLocalityAttack",
+    "Attack",
+    "AttackResult",
+    "BasicAttack",
+    "AttackEvaluator",
+    "InferenceReport",
+    "sample_leakage",
+    "ChunkStats",
+    "classify_by_blocks",
+    "count_frequencies",
+    "count_with_neighbors",
+    "freq_analysis",
+    "rank_by_frequency",
+    "sized_freq_analysis",
+    "LocalityAttack",
+]

@@ -1,0 +1,188 @@
+"""Frequency-analysis building blocks (the COUNT and FREQ-ANALYSIS
+functions shared by Algorithms 1–3).
+
+``COUNT`` scans a logical chunk sequence once and produces:
+
+* ``frequencies`` — occurrences of each unique chunk (by fingerprint);
+* ``left`` / ``right`` — co-occurrence tables: for each chunk, how often
+  each other chunk appeared immediately before / after it;
+* ``sizes`` — the size of each unique chunk (used by the advanced attack's
+  size classifier).
+
+``FREQ-ANALYSIS`` ranks two frequency tables and pairs equal ranks. How ties
+are broken matters (the paper discusses this in §4.1):
+
+* ``insertion`` (default) — ties keep first-occurrence order. This mirrors
+  the paper's implementation, which stores each chunk's neighbor lists
+  *sequentially* in LevelDB (§5.2): a stable frequency sort leaves tied
+  entries in stream order, and stream positions are temporally correlated
+  between the auxiliary and target backups wherever content is unmodified.
+* ``fingerprint`` — ties ordered by fingerprint bytes. Ciphertext and
+  plaintext fingerprints of the same chunk are unrelated, so tied ranks pair
+  essentially at random; the ablation bench quantifies how much of the
+  locality-based attack's power this destroys.
+
+Both orders are deterministic, so every experiment is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.model import Backup
+
+
+@dataclass
+class ChunkStats:
+    """Output of COUNT over one backup stream."""
+
+    frequencies: dict[bytes, int] = field(default_factory=dict)
+    left: dict[bytes, dict[bytes, int]] = field(default_factory=dict)
+    right: dict[bytes, dict[bytes, int]] = field(default_factory=dict)
+    sizes: dict[bytes, int] = field(default_factory=dict)
+
+    @property
+    def unique_chunks(self) -> int:
+        return len(self.frequencies)
+
+
+def count_frequencies(backup: Backup) -> dict[bytes, int]:
+    """The basic attack's COUNT: frequency of each unique chunk."""
+    frequencies: dict[bytes, int] = {}
+    for fingerprint in backup.fingerprints:
+        frequencies[fingerprint] = frequencies.get(fingerprint, 0) + 1
+    return frequencies
+
+
+def count_with_neighbors(backup: Backup) -> ChunkStats:
+    """The locality-based attack's COUNT: frequencies plus left/right
+    neighbor co-occurrence tables and per-chunk sizes (Algorithm 2)."""
+    stats = ChunkStats()
+    frequencies = stats.frequencies
+    left = stats.left
+    right = stats.right
+    sizes = stats.sizes
+    fingerprints = backup.fingerprints
+    backup_sizes = backup.sizes
+    previous: bytes | None = None
+    for index, fingerprint in enumerate(fingerprints):
+        frequencies[fingerprint] = frequencies.get(fingerprint, 0) + 1
+        if fingerprint not in sizes:
+            sizes[fingerprint] = backup_sizes[index]
+        if previous is not None:
+            left_table = left.get(fingerprint)
+            if left_table is None:
+                left_table = left[fingerprint] = {}
+            left_table[previous] = left_table.get(previous, 0) + 1
+            right_table = right.get(previous)
+            if right_table is None:
+                right_table = right[previous] = {}
+            right_table[fingerprint] = right_table.get(fingerprint, 0) + 1
+        previous = fingerprint
+    return stats
+
+
+INSERTION = "insertion"
+FINGERPRINT = "fingerprint"
+_TIE_BREAKS = (INSERTION, FINGERPRINT)
+
+
+def rank_by_frequency(
+    table: dict[bytes, int], tie_break: str = INSERTION
+) -> list[bytes]:
+    """Fingerprints sorted by descending frequency.
+
+    ``tie_break`` selects the order of equal-frequency entries: first
+    occurrence in the stream (``insertion``, the paper's sequential-list
+    behaviour) or fingerprint bytes (``fingerprint``). Both are
+    deterministic.
+    """
+    if tie_break == INSERTION:
+        # dicts preserve insertion order and sorted() is stable.
+        return sorted(table, key=lambda fp: -table[fp])
+    if tie_break == FINGERPRINT:
+        return sorted(table, key=lambda fp: (-table[fp], fp))
+    raise ValueError(f"unknown tie_break {tie_break!r}; use one of {_TIE_BREAKS}")
+
+
+def freq_analysis(
+    ciphertext_table: dict[bytes, int],
+    plaintext_table: dict[bytes, int],
+    limit: int | None = None,
+    tie_break: str = INSERTION,
+) -> list[tuple[bytes, bytes]]:
+    """Pair the i-th most frequent ciphertext chunk with the i-th most
+    frequent plaintext chunk (FREQ-ANALYSIS in Algorithms 1 and 2).
+
+    Args:
+        ciphertext_table: chunk → frequency for the ciphertext side.
+        plaintext_table: chunk → frequency for the plaintext side.
+        limit: return at most this many top pairs (``u``/``v`` in the
+            paper); ``None`` pairs every rank up to the shorter table.
+        tie_break: tie ordering, see :func:`rank_by_frequency`.
+    """
+    pair_count = min(len(ciphertext_table), len(plaintext_table))
+    if limit is not None:
+        pair_count = min(pair_count, limit)
+    if pair_count == 0:
+        return []
+    ciphertext_ranked = rank_by_frequency(ciphertext_table, tie_break)[:pair_count]
+    plaintext_ranked = rank_by_frequency(plaintext_table, tie_break)[:pair_count]
+    return list(zip(ciphertext_ranked, plaintext_ranked))
+
+
+def classify_by_blocks(
+    table: dict[bytes, int],
+    sizes: dict[bytes, int],
+    block_size: int = 16,
+    is_plaintext: bool = True,
+) -> dict[int, dict[bytes, int]]:
+    """Group a frequency table by cipher-block count (CLASSIFY, Algorithm 3).
+
+    Plaintext chunks of ``n`` bytes occupy ``n // block + 1`` cipher blocks
+    under PKCS#7 padding; ciphertext sizes are already padded multiples, so
+    their block count is ``n // block``. Grouping both sides this way puts a
+    ciphertext chunk and its original plaintext chunk in the same class.
+    """
+    classes: dict[int, dict[bytes, int]] = {}
+    for fingerprint, frequency in table.items():
+        size = sizes[fingerprint]
+        if is_plaintext:
+            blocks = size // block_size + 1
+        else:
+            blocks = size // block_size
+        bucket = classes.get(blocks)
+        if bucket is None:
+            bucket = classes[blocks] = {}
+        bucket[fingerprint] = frequency
+    return classes
+
+
+def sized_freq_analysis(
+    ciphertext_table: dict[bytes, int],
+    plaintext_table: dict[bytes, int],
+    ciphertext_sizes: dict[bytes, int],
+    plaintext_sizes: dict[bytes, int],
+    limit: int | None = None,
+    block_size: int = 16,
+    tie_break: str = INSERTION,
+) -> list[tuple[bytes, bytes]]:
+    """Size-aware FREQ-ANALYSIS (Algorithm 3): run plain frequency pairing
+    independently inside every cipher-block-count class."""
+    ciphertext_classes = classify_by_blocks(
+        ciphertext_table, ciphertext_sizes, block_size, is_plaintext=False
+    )
+    plaintext_classes = classify_by_blocks(
+        plaintext_table, plaintext_sizes, block_size, is_plaintext=True
+    )
+    pairs: list[tuple[bytes, bytes]] = []
+    for blocks in sorted(ciphertext_classes):
+        plaintext_bucket = plaintext_classes.get(blocks)
+        if not plaintext_bucket:
+            continue
+        pairs.extend(
+            freq_analysis(
+                ciphertext_classes[blocks], plaintext_bucket, limit, tie_break
+            )
+        )
+    return pairs

@@ -1,0 +1,236 @@
+"""KVStore-backed attack state (the paper's LevelDB implementation, §5.2).
+
+The paper's attack code keeps its three associative-array families — chunk
+frequencies F, left/right co-occurrence tables L/R — in LevelDB, keyed by
+fingerprint, with each neighbor table stored as a *sequential list* of
+(neighbor fingerprint, count) pairs. That layout is what lets the attack
+process multi-TB traces whose tables exceed RAM, and its insertion-ordered
+lists are the reason ties break in first-occurrence order (see
+:mod:`repro.attacks.frequency`).
+
+This module reproduces that design on :class:`repro.index.kvstore.KVStore`:
+
+* :class:`NeighborStore` — serialized, insertion-ordered neighbor tables
+  loaded lazily per chunk;
+* :func:`persist_chunk_stats` — builds and persists the COUNT output for a
+  backup;
+* :class:`PersistentLocalityAttack` / :class:`PersistentAdvancedAttack` —
+  the locality-based attacks running against on-disk state. Results are
+  bit-identical to the in-memory attacks (property-tested).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from pathlib import Path
+
+from repro.attacks.advanced import AdvancedLocalityAttack
+from repro.attacks.base import AttackResult
+from repro.attacks.frequency import ChunkStats
+from repro.attacks.locality import LocalityAttack
+from repro.common.errors import ConfigurationError
+from repro.datasets.model import Backup
+from repro.index.kvstore import KVStore
+
+_COUNT = struct.Struct(">I")
+_META = struct.Struct(">IQ")  # size, frequency
+
+
+class NeighborStore:
+    """Insertion-ordered neighbor tables serialized into a KVStore.
+
+    Each record is ``fingerprint -> [(neighbor, count), ...]`` with the
+    neighbors in first-occurrence order, exactly like the sequential lists
+    of the paper's implementation.
+    """
+
+    def __init__(self, store: KVStore, fingerprint_bytes: int):
+        if fingerprint_bytes <= 0:
+            raise ConfigurationError("fingerprint_bytes must be positive")
+        self._store = store
+        self._fp_len = fingerprint_bytes
+        self._record = struct.Struct(f">{fingerprint_bytes}sI")
+
+    def write_table(self, fingerprint: bytes, table: dict[bytes, int]) -> None:
+        packed = b"".join(
+            self._record.pack(neighbor, count)
+            for neighbor, count in table.items()
+        )
+        self._store.put(fingerprint, packed)
+
+    def get(
+        self, fingerprint: bytes, default: dict[bytes, int] | None = None
+    ) -> dict[bytes, int]:
+        raw = self._store.get(fingerprint)
+        if raw is None:
+            return default if default is not None else {}
+        table: dict[bytes, int] = {}
+        for offset in range(0, len(raw), self._record.size):
+            neighbor, count = self._record.unpack_from(raw, offset)
+            table[neighbor] = count
+        return table
+
+    def __contains__(self, fingerprint: bytes) -> bool:
+        return fingerprint in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+class PersistentChunkStats:
+    """COUNT output with on-disk neighbor tables.
+
+    ``frequencies`` and ``sizes`` stay in memory (they are needed in full
+    for the global ranking anyway); the much larger ``left``/``right``
+    co-occurrence tables are loaded lazily per chunk. The interface matches
+    :class:`~repro.attacks.frequency.ChunkStats` where the attacks use it.
+    """
+
+    def __init__(
+        self,
+        frequencies: dict[bytes, int],
+        sizes: dict[bytes, int],
+        left: NeighborStore,
+        right: NeighborStore,
+    ):
+        self.frequencies = frequencies
+        self.sizes = sizes
+        self.left = left
+        self.right = right
+
+    @property
+    def unique_chunks(self) -> int:
+        return len(self.frequencies)
+
+
+def persist_chunk_stats(
+    backup: Backup,
+    directory: str | os.PathLike,
+) -> PersistentChunkStats:
+    """Run COUNT over ``backup`` and persist the tables under ``directory``.
+
+    Reopening the same directory later (``load_chunk_stats``) skips the
+    counting pass — useful when the same auxiliary backup is attacked
+    against many targets, as in the Figure 6 sweep.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    if not backup.fingerprints:
+        raise ConfigurationError("cannot persist stats of an empty backup")
+    fp_len = len(backup.fingerprints[0])
+
+    # In-memory COUNT pass (transient), then flush to the stores.
+    from repro.attacks.frequency import count_with_neighbors
+
+    stats = count_with_neighbors(backup)
+    meta_store = KVStore.open(directory / "meta.kv")
+    left_store = KVStore.open(directory / "left.kv")
+    right_store = KVStore.open(directory / "right.kv")
+    left = NeighborStore(left_store, fp_len)
+    right = NeighborStore(right_store, fp_len)
+    for fingerprint, frequency in stats.frequencies.items():
+        meta_store.put(
+            fingerprint, _META.pack(stats.sizes[fingerprint], frequency)
+        )
+    for fingerprint, table in stats.left.items():
+        left.write_table(fingerprint, table)
+    for fingerprint, table in stats.right.items():
+        right.write_table(fingerprint, table)
+    for store in (meta_store, left_store, right_store):
+        store.flush()
+    return PersistentChunkStats(stats.frequencies, stats.sizes, left, right)
+
+
+def load_chunk_stats(directory: str | os.PathLike) -> PersistentChunkStats:
+    """Reopen stats persisted by :func:`persist_chunk_stats`.
+
+    Frequencies and sizes are rebuilt into memory from the meta store
+    (insertion order of the original stream is preserved by the log
+    replay, keeping tie-break behaviour identical).
+    """
+    directory = Path(directory)
+    meta_path = directory / "meta.kv"
+    if not meta_path.exists():
+        raise ConfigurationError(f"no persisted stats under {directory}")
+    meta_store = KVStore.open(meta_path)
+    if len(meta_store) == 0:
+        raise ConfigurationError(f"no persisted stats under {directory}")
+    frequencies: dict[bytes, int] = {}
+    sizes: dict[bytes, int] = {}
+    # Replay in insertion order so tie-break behaviour stays identical.
+    for fingerprint, raw in meta_store.insertion_items():
+        size, frequency = _META.unpack(raw)
+        frequencies[fingerprint] = frequency
+        sizes[fingerprint] = size
+    fp_len = len(next(iter(frequencies)))
+    left = NeighborStore(KVStore.open(directory / "left.kv"), fp_len)
+    right = NeighborStore(KVStore.open(directory / "right.kv"), fp_len)
+    return PersistentChunkStats(frequencies, sizes, left, right)
+
+
+class _PersistentCountMixin:
+    """Shares the KVStore-backed COUNT pass between the attack variants.
+
+    ``workdir`` holds one store per (side, backup label); pre-existing
+    stores are reused, mirroring the paper's reuse of LevelDB state across
+    experiments (e.g. one auxiliary backup attacked against many targets).
+    """
+
+    def _init_persistence(self, workdir: str | os.PathLike) -> None:
+        self.workdir = Path(workdir)
+        self._side = "ciphertext"
+
+    def _count(self, backup: Backup) -> ChunkStats:
+        directory = self.workdir / self._side / backup.label.replace(" ", "_")
+        self._side = "auxiliary"  # second _count call is the auxiliary
+        try:
+            stats = load_chunk_stats(directory)
+        except ConfigurationError:
+            stats = persist_chunk_stats(backup, directory)
+        return stats  # type: ignore[return-value]
+
+    def run(
+        self,
+        ciphertext: Backup,
+        auxiliary: Backup,
+        leaked_pairs: dict[bytes, bytes] | None = None,
+    ) -> AttackResult:
+        self._side = "ciphertext"
+        result = super().run(ciphertext, auxiliary, leaked_pairs)  # type: ignore[misc]
+        result.attack_name = self.name
+        return result
+
+
+class PersistentLocalityAttack(_PersistentCountMixin, LocalityAttack):
+    """Locality-based attack with KVStore-backed COUNT state."""
+
+    name = "locality-persistent"
+
+    def __init__(
+        self,
+        workdir: str | os.PathLike,
+        u: int = 1,
+        v: int = 15,
+        w: int = 200_000,
+        **kwargs,
+    ):
+        super().__init__(u=u, v=v, w=w, **kwargs)
+        self._init_persistence(workdir)
+
+
+class PersistentAdvancedAttack(_PersistentCountMixin, AdvancedLocalityAttack):
+    """Advanced locality-based attack with KVStore-backed COUNT state."""
+
+    name = "advanced-persistent"
+
+    def __init__(
+        self,
+        workdir: str | os.PathLike,
+        u: int = 1,
+        v: int = 15,
+        w: int = 200_000,
+        **kwargs,
+    ):
+        super().__init__(u=u, v=v, w=w, **kwargs)
+        self._init_persistence(workdir)

@@ -1,0 +1,38 @@
+"""Chunking substrate (§2.1 of the paper).
+
+Deduplication operates on *chunks*: either fixed-size blocks (the VM dataset
+uses 4 KB blocks) or variable-size chunks produced by content-defined
+chunking, which places boundaries where a rolling hash of the content matches
+a pattern so that boundaries survive insertions and deletions ("content
+shifts").
+
+Exports:
+
+* :class:`Chunk` / :class:`Chunker` — the common interface.
+* :class:`FixedSizeChunker` — fixed-size blocks.
+* :class:`RabinChunker` — true Rabin-fingerprint content-defined chunking
+  (the algorithm the paper cites, [54]).
+* :class:`GearChunker` — gear-hash CDC, a faster modern alternative used by
+  the content-level dataset pipeline.
+* :class:`Fingerprinter` — cryptographic chunk fingerprints with optional
+  truncation (the FSL traces use 48-bit fingerprints).
+"""
+
+from repro.chunking.base import Chunk, Chunker, ChunkerSpec
+from repro.chunking.fixed import FixedSizeChunker
+from repro.chunking.fingerprint import Fingerprinter
+from repro.chunking.gear import GearChunker
+from repro.chunking.rabin import RabinChunker, RabinRolling
+from repro.chunking.stream import StreamChunker
+
+__all__ = [
+    "Chunk",
+    "Chunker",
+    "ChunkerSpec",
+    "FixedSizeChunker",
+    "Fingerprinter",
+    "GearChunker",
+    "RabinChunker",
+    "RabinRolling",
+    "StreamChunker",
+]

@@ -1,0 +1,94 @@
+"""Common chunking interface.
+
+A :class:`Chunker` maps a byte string to a sequence of :class:`Chunk` objects
+whose concatenation reproduces the input exactly — this reassembly invariant
+is property-tested for every implementation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A contiguous piece of an input buffer.
+
+    Attributes:
+        offset: byte offset of the chunk within the original input.
+        data: the chunk content.
+    """
+
+    offset: int
+    data: bytes
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+@dataclass(frozen=True)
+class ChunkerSpec:
+    """Size bounds for content-defined chunking.
+
+    ``avg_size`` must be a power of two (it becomes the boundary-test mask);
+    ``min_size`` and ``max_size`` bound the produced chunk sizes. The paper's
+    FSL dataset uses an 8 KB average; the segmentation scheme of §7.1 reuses
+    the same mechanism at 512 KB / 1 MB / 2 MB granularity.
+    """
+
+    min_size: int
+    avg_size: int
+    max_size: int
+
+    def __post_init__(self) -> None:
+        if self.min_size <= 0:
+            raise ConfigurationError("min_size must be positive")
+        if self.avg_size & (self.avg_size - 1):
+            raise ConfigurationError("avg_size must be a power of two")
+        if not self.min_size <= self.avg_size <= self.max_size:
+            raise ConfigurationError(
+                "require min_size <= avg_size <= max_size, got "
+                f"{self.min_size}/{self.avg_size}/{self.max_size}"
+            )
+
+    @property
+    def mask(self) -> int:
+        return self.avg_size - 1
+
+
+class Chunker(ABC):
+    """Splits byte strings into chunks."""
+
+    @abstractmethod
+    def cut_points(self, data: bytes) -> list[int]:
+        """Return the sorted chunk end offsets for ``data``.
+
+        The final element is always ``len(data)`` for non-empty input; empty
+        input yields an empty list.
+        """
+
+    def split(self, data: bytes) -> list[Chunk]:
+        """Split ``data`` into chunks at :meth:`cut_points`."""
+        chunks: list[Chunk] = []
+        start = 0
+        for end in self.cut_points(data):
+            chunks.append(Chunk(offset=start, data=data[start:end]))
+            start = end
+        return chunks
+
+    def iter_split(self, data: bytes) -> Iterator[Chunk]:
+        """Iterator variant of :meth:`split`."""
+        return iter(self.split(data))
+
+
+def reassemble(chunks: Iterable[Chunk]) -> bytes:
+    """Concatenate chunks back into the original buffer (test helper)."""
+    return b"".join(chunk.data for chunk in chunks)

@@ -1,0 +1,64 @@
+"""Chunk fingerprinting (§2.1).
+
+A fingerprint is the cryptographic hash of a chunk's content; two chunks are
+treated as identical iff their fingerprints match (collision probability is
+negligible for cryptographic hashes [16]). The FSL traces identify chunks by
+48-bit truncated fingerprints; :class:`Fingerprinter` supports the same
+truncation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.common.errors import ConfigurationError
+
+_SUPPORTED = {"sha1", "sha256", "blake2b", "md5"}
+
+
+class Fingerprinter:
+    """Computes (optionally truncated) cryptographic chunk fingerprints.
+
+    Args:
+        algorithm: one of ``sha1``, ``sha256``, ``blake2b``, ``md5``.
+        truncate_bytes: keep only the first N bytes of the digest
+            (e.g. 6 for FSL-style 48-bit fingerprints). ``None`` keeps the
+            full digest.
+    """
+
+    def __init__(self, algorithm: str = "sha256", truncate_bytes: int | None = None):
+        if algorithm not in _SUPPORTED:
+            raise ConfigurationError(
+                f"unsupported fingerprint algorithm {algorithm!r}; "
+                f"choose from {sorted(_SUPPORTED)}"
+            )
+        digest_len = hashlib.new(algorithm).digest_size
+        if truncate_bytes is not None and not 1 <= truncate_bytes <= digest_len:
+            raise ConfigurationError(
+                f"truncate_bytes must be in [1, {digest_len}] for {algorithm}"
+            )
+        self.algorithm = algorithm
+        self.truncate_bytes = truncate_bytes
+
+    def __call__(self, data: bytes) -> bytes:
+        digest = hashlib.new(self.algorithm, data).digest()
+        if self.truncate_bytes is not None:
+            return digest[: self.truncate_bytes]
+        return digest
+
+    def hex(self, data: bytes) -> str:
+        """Hex rendering of :meth:`__call__`."""
+        return self(data).hex()
+
+    @property
+    def digest_size(self) -> int:
+        """Size in bytes of the fingerprints this instance produces."""
+        if self.truncate_bytes is not None:
+            return self.truncate_bytes
+        return hashlib.new(self.algorithm).digest_size
+
+    def __repr__(self) -> str:
+        return (
+            f"Fingerprinter(algorithm={self.algorithm!r}, "
+            f"truncate_bytes={self.truncate_bytes})"
+        )

@@ -1,0 +1,85 @@
+"""Gear-hash content-defined chunking.
+
+Gear hashing (the core of FastCDC-style chunkers) replaces Rabin's polynomial
+arithmetic with ``h = (h << 1) + gear[byte]`` over a table of random 64-bit
+values. The low ``log2(avg_size)`` bits of ``h`` depend only on the most
+recent ``log2(avg_size)`` bytes, so boundaries remain content-defined and
+shift-robust while the per-byte work is a single shift/add.
+
+We use it as the default chunker for the content-level dataset pipeline
+because it is several times faster than :class:`~repro.chunking.rabin.
+RabinChunker` in pure Python while producing statistically equivalent chunk
+size distributions.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.chunking.base import Chunker, ChunkerSpec
+
+_GEAR_TABLE_SEED = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+def _build_gear_table(seed: int) -> list[int]:
+    rng = random.Random(seed)
+    return [rng.getrandbits(64) for _ in range(256)]
+
+
+class GearChunker(Chunker):
+    """Content-defined chunking with a gear rolling hash.
+
+    A boundary is placed once ``spec.min_size`` bytes have accumulated and
+    ``hash & spec.mask == 0``; a cut is forced at ``spec.max_size``. The hash
+    state resets at every boundary, so each chunk's cuts depend only on its
+    own content.
+    """
+
+    def __init__(self, spec: ChunkerSpec | None = None, table_seed: int = _GEAR_TABLE_SEED):
+        self.spec = spec or ChunkerSpec(
+            min_size=2048, avg_size=8192, max_size=65536
+        )
+        self._gear = _build_gear_table(table_seed)
+
+    def cut_points(self, data: bytes) -> list[int]:
+        spec = self.spec
+        gear = self._gear
+        mask = spec.mask
+        min_size = spec.min_size
+        max_size = spec.max_size
+
+        cuts: list[int] = []
+        length = len(data)
+        start = 0
+        while start < length:
+            end = min(start + max_size, length)
+            # Skip the first min_size bytes: no boundary may fall there, and
+            # the hash over fewer than 64 bytes is fully determined by the
+            # bytes we do feed below.
+            pos = start + min_size
+            if pos >= end:
+                cuts.append(end)
+                start = end
+                continue
+            hash_value = 0
+            # Warm the hash with the min-size prefix tail so the first
+            # eligible boundary decision sees a full-entropy state.
+            warm_from = max(start, pos - 64)
+            for i in range(warm_from, pos):
+                hash_value = ((hash_value << 1) + gear[data[i]]) & _MASK64
+            cut = end
+            for i in range(pos, end):
+                hash_value = ((hash_value << 1) + gear[data[i]]) & _MASK64
+                if (hash_value & mask) == 0:
+                    cut = i + 1
+                    break
+            cuts.append(cut)
+            start = cut
+        return cuts
+
+    def __repr__(self) -> str:
+        return (
+            f"GearChunker(min={self.spec.min_size}, avg={self.spec.avg_size}, "
+            f"max={self.spec.max_size})"
+        )

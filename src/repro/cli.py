@@ -1,0 +1,228 @@
+"""Command-line front-end: ``freqdedup`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``generate`` — build a canonical dataset and save its trace.
+* ``stats`` — workload statistics (dedup ratio, frequency skew, locality).
+* ``attack`` — run one inference attack against one dataset/scheme.
+* ``figure`` — regenerate a paper figure's series and print the table.
+* ``storage`` — run the DDFS metadata-access experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import figures as figure_drivers
+from repro.analysis.reporting import render_table, save_result
+from repro.analysis.workloads import (
+    LARGE_CACHE_BYTES,
+    SMALL_CACHE_BYTES,
+    encrypted_series,
+    series_by_name,
+)
+from repro.attacks import (
+    AdvancedLocalityAttack,
+    AttackEvaluator,
+    BasicAttack,
+    LocalityAttack,
+    PersistentAdvancedAttack,
+    PersistentLocalityAttack,
+)
+from repro.common.units import format_size
+from repro.datasets.stats import (
+    adjacency_preservation,
+    content_overlap,
+    frequency_cdf,
+    series_frequencies,
+)
+from repro.datasets.trace import save_series
+from repro.defenses.pipeline import DefenseScheme
+from repro.version import __version__
+
+_DATASETS = ("fsl", "vm", "synthetic", "storage-fsl")
+_FIGURES = {
+    "1": figure_drivers.fig1_frequency_skew,
+    "4": figure_drivers.fig4_parameter_impact,
+    "5": figure_drivers.fig5_vary_auxiliary,
+    "6": figure_drivers.fig6_vary_target,
+    "7": figure_drivers.fig7_sliding_window,
+    "8": figure_drivers.fig8_known_plaintext,
+    "9": figure_drivers.fig9_kpm_vary_auxiliary,
+    "10": figure_drivers.fig10_defense_effectiveness,
+    "11": figure_drivers.fig11_storage_saving,
+    "13": figure_drivers.fig13_metadata_small_cache,
+    "14": figure_drivers.fig14_metadata_large_cache,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="freqdedup",
+        description=(
+            "Reproduction of 'Information Leakage in Encrypted Deduplication "
+            "via Frequency Analysis' (DSN 2017)."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a dataset trace file")
+    gen.add_argument("dataset", choices=_DATASETS)
+    gen.add_argument("output", help="trace file path")
+
+    stats = sub.add_parser("stats", help="print workload statistics")
+    stats.add_argument("dataset", choices=_DATASETS)
+
+    attack = sub.add_parser("attack", help="run an inference attack")
+    attack.add_argument("dataset", choices=_DATASETS)
+    attack.add_argument(
+        "--attack",
+        choices=("basic", "locality", "advanced"),
+        default="locality",
+    )
+    attack.add_argument(
+        "--scheme",
+        choices=[scheme.value for scheme in DefenseScheme],
+        default="mle",
+    )
+    attack.add_argument("--auxiliary", type=int, default=-2)
+    attack.add_argument("--target", type=int, default=-1)
+    attack.add_argument("--leakage-rate", type=float, default=0.0)
+    attack.add_argument("-u", type=int, default=1)
+    attack.add_argument("-v", type=int, default=15)
+    attack.add_argument("-w", type=int, default=200_000)
+    attack.add_argument(
+        "--workdir",
+        metavar="DIR",
+        help=(
+            "keep COUNT state in KVStores under DIR (the paper's LevelDB "
+            "mode); reruns against the same backups skip recounting"
+        ),
+    )
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", choices=sorted(_FIGURES, key=int))
+    figure.add_argument("--save", metavar="DIR", help="also save under DIR")
+
+    storage = sub.add_parser(
+        "storage", help="run the DDFS metadata-access experiment"
+    )
+    storage.add_argument(
+        "--cache", choices=("small", "large"), default="small"
+    )
+
+    report = sub.add_parser(
+        "report", help="summarize reproduced figures (after running benches)"
+    )
+    report.add_argument(
+        "--results", default="results", help="results directory"
+    )
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    series = series_by_name(args.dataset)
+    save_series(series, args.output)
+    print(
+        f"wrote {args.dataset}: {len(series)} backups, "
+        f"{sum(len(b) for b in series.backups)} chunk records -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    series = series_by_name(args.dataset)
+    cdf = frequency_cdf(series_frequencies(series))
+    print(f"dataset: {series.name} ({series.chunking} chunking)")
+    print(f"backups: {len(series)}  labels: {', '.join(series.labels())}")
+    print(
+        f"logical: {format_size(series.logical_bytes)}  "
+        f"dedup ratio: {series.dedup_ratio():.2f}x"
+    )
+    print(
+        f"frequency skew: {cdf.fraction_below(100):.2%} of unique chunks "
+        f"occur <100 times; max frequency {cdf.max_frequency}"
+    )
+    if len(series) >= 2:
+        aux, target = series.backups[-2], series.backups[-1]
+        print(
+            f"last-pair overlap: {content_overlap(aux, target):.2%}  "
+            f"adjacency preservation: {adjacency_preservation(aux, target):.2%}"
+        )
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    scheme = DefenseScheme(args.scheme)
+    evaluator = AttackEvaluator(encrypted_series(args.dataset, scheme))
+    if args.attack == "basic":
+        attack = BasicAttack()
+    elif args.workdir and args.attack == "locality":
+        attack = PersistentLocalityAttack(
+            args.workdir, u=args.u, v=args.v, w=args.w
+        )
+    elif args.workdir:
+        attack = PersistentAdvancedAttack(
+            args.workdir, u=args.u, v=args.v, w=args.w
+        )
+    elif args.attack == "locality":
+        attack = LocalityAttack(u=args.u, v=args.v, w=args.w)
+    else:
+        attack = AdvancedLocalityAttack(u=args.u, v=args.v, w=args.w)
+    report = evaluator.run(
+        attack,
+        auxiliary=args.auxiliary,
+        target=args.target,
+        leakage_rate=args.leakage_rate,
+    )
+    print(report)
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    result = _FIGURES[args.number]()
+    print(render_table(result))
+    if args.save:
+        path = save_result(result, args.save)
+        print(f"saved -> {path}")
+    return 0
+
+
+def _cmd_storage(args: argparse.Namespace) -> int:
+    if args.cache == "small":
+        result = figure_drivers.fig13_metadata_small_cache()
+        budget = SMALL_CACHE_BYTES
+    else:
+        result = figure_drivers.fig14_metadata_large_cache()
+        budget = LARGE_CACHE_BYTES
+    print(f"fingerprint cache budget: {format_size(budget)}")
+    print(render_table(result))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.summary import render_summary, summarize_results
+
+    print(render_summary(summarize_results(args.results)))
+    return 0
+
+
+_HANDLERS = {
+    "generate": _cmd_generate,
+    "stats": _cmd_stats,
+    "attack": _cmd_attack,
+    "figure": _cmd_figure,
+    "storage": _cmd_storage,
+    "report": _cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

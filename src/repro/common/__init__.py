@@ -1,0 +1,32 @@
+"""Shared utilities: sizes, deterministic randomness, and error types."""
+
+from repro.common.errors import (
+    ReproError,
+    ConfigurationError,
+    IntegrityError,
+    RateLimitExceeded,
+    StorageError,
+)
+from repro.common.rng import derive_seed, rng_from
+from repro.common.units import (
+    KiB,
+    MiB,
+    GiB,
+    format_size,
+    parse_size,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "IntegrityError",
+    "RateLimitExceeded",
+    "StorageError",
+    "derive_seed",
+    "rng_from",
+    "KiB",
+    "MiB",
+    "GiB",
+    "format_size",
+    "parse_size",
+]

@@ -1,0 +1,26 @@
+"""Exception hierarchy for the freqdedup reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers embedding the library can catch a single base class.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A component was constructed with invalid or inconsistent parameters."""
+
+
+class IntegrityError(ReproError):
+    """Stored data failed a consistency check (e.g. fingerprint mismatch)."""
+
+
+class RateLimitExceeded(ReproError):
+    """The server-aided MLE key manager refused a key request (DupLESS-style
+    rate limiting that slows down online brute-force attacks, §2.2)."""
+
+
+class StorageError(ReproError):
+    """The deduplicated storage prototype hit an unrecoverable condition."""

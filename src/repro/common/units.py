@@ -1,0 +1,64 @@
+"""Byte-size constants, parsing, and formatting.
+
+The paper quotes sizes in binary units (4 KB chunks, 1 MB segments, 4 MB
+containers, 512 MB / 4 GB caches); we follow the same convention and treat
+``KB``/``MB``/``GB`` in user input as binary multiples.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.common.errors import ConfigurationError
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+_SUFFIXES = {
+    "": 1,
+    "b": 1,
+    "k": KiB,
+    "kb": KiB,
+    "kib": KiB,
+    "m": MiB,
+    "mb": MiB,
+    "mib": MiB,
+    "g": GiB,
+    "gb": GiB,
+    "gib": GiB,
+}
+
+_SIZE_RE = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*([a-zA-Z]*)\s*$")
+
+
+def parse_size(text: str | int) -> int:
+    """Parse a human size string such as ``"4MB"`` or ``"512 KiB"`` to bytes.
+
+    Integers pass through unchanged. Raises :class:`ConfigurationError` on
+    malformed input or unknown suffixes.
+    """
+    if isinstance(text, int):
+        return text
+    match = _SIZE_RE.match(text)
+    if match is None:
+        raise ConfigurationError(f"unparseable size: {text!r}")
+    value, suffix = match.groups()
+    factor = _SUFFIXES.get(suffix.lower())
+    if factor is None:
+        raise ConfigurationError(f"unknown size suffix in {text!r}")
+    return int(float(value) * factor)
+
+
+def format_size(num_bytes: int | float) -> str:
+    """Render a byte count with a binary suffix, e.g. ``format_size(4 * MiB)
+    == "4.0 MiB"``. Negative values keep their sign."""
+    sign = "-" if num_bytes < 0 else ""
+    value = abs(float(num_bytes))
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024 or suffix == "TiB":
+            if suffix == "B":
+                return f"{sign}{int(value)} B"
+            return f"{sign}{value:.1f} {suffix}"
+        value /= 1024
+    raise AssertionError("unreachable")

@@ -1,0 +1,112 @@
+"""DupLESS-style key manager for server-aided MLE (§2.2).
+
+The key manager holds a system-wide secret and answers key-derivation
+queries: given a chunk fingerprint it returns
+``HMAC(system_secret, fingerprint)``. Because the secret never leaves the
+manager, ciphertexts look like they were produced under random keys to any
+adversary without manager access, defeating *offline* brute-force attacks on
+predictable chunks. To slow *online* brute-force (an adversary querying the
+manager itself), the manager rate-limits key generation.
+
+The rate limiter runs on an injectable logical clock so tests and
+simulations are deterministic and do not sleep.
+"""
+
+from __future__ import annotations
+
+import hmac
+from typing import Callable
+
+from repro.common.errors import ConfigurationError, RateLimitExceeded
+from repro.crypto.primitives import hmac_digest
+
+
+class RateLimiter:
+    """Token-bucket rate limiter over an injectable clock.
+
+    Args:
+        rate: tokens added per unit of clock time.
+        burst: bucket capacity (maximum tokens; also the initial fill).
+        clock: zero-argument callable returning the current time. Defaults
+            to a logical clock that only advances via :meth:`advance`.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] | None = None,
+    ):
+        if rate <= 0 or burst <= 0:
+            raise ConfigurationError("rate and burst must be positive")
+        self.rate = rate
+        self.burst = burst
+        self._logical_time = 0.0
+        self._clock = clock if clock is not None else self._read_logical_clock
+        self._tokens = burst
+        self._last = self._clock()
+
+    def _read_logical_clock(self) -> float:
+        return self._logical_time
+
+    def advance(self, delta: float) -> None:
+        """Advance the built-in logical clock (no-op with an external clock)."""
+        if delta < 0:
+            raise ConfigurationError("cannot advance the clock backwards")
+        self._logical_time += delta
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Consume ``tokens`` if available; return whether it succeeded."""
+        now = self._clock()
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    @property
+    def available_tokens(self) -> float:
+        return self._tokens
+
+
+class KeyManager:
+    """Dedicated key server for server-aided MLE.
+
+    Args:
+        system_secret: the manager's global secret; all derived keys are
+            HMACs under it.
+        rate_limiter: optional limiter applied to :meth:`derive_key`;
+            ``None`` disables rate limiting (useful in trace simulations).
+    """
+
+    def __init__(
+        self,
+        system_secret: bytes,
+        rate_limiter: RateLimiter | None = None,
+    ):
+        if len(system_secret) < 16:
+            raise ConfigurationError("system secret must be at least 16 bytes")
+        self._secret = system_secret
+        self._limiter = rate_limiter
+        self.queries_served = 0
+        self.queries_rejected = 0
+
+    def derive_key(self, fingerprint: bytes) -> bytes:
+        """Return the MLE key for ``fingerprint``.
+
+        Raises :class:`RateLimitExceeded` when the rate limiter rejects the
+        request — callers are expected to back off and retry, mirroring
+        DupLESS's online brute-force mitigation.
+        """
+        if self._limiter is not None and not self._limiter.try_acquire():
+            self.queries_rejected += 1
+            raise RateLimitExceeded("key manager rate limit exceeded")
+        self.queries_served += 1
+        return hmac_digest(self._secret, b"mle-key:" + fingerprint)
+
+    def verify_key(self, fingerprint: bytes, key: bytes) -> bool:
+        """Constant-time check that ``key`` is the key for ``fingerprint``."""
+        expected = hmac_digest(self._secret, b"mle-key:" + fingerprint)
+        return hmac.compare_digest(expected, key)

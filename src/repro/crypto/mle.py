@@ -1,0 +1,151 @@
+"""Message-locked encryption schemes (§2.2).
+
+An MLE scheme derives each chunk's encryption key from the chunk itself so
+that identical plaintext chunks encrypt to identical ciphertext chunks and
+remain deduplicable:
+
+* :class:`ConvergentEncryption` — key = H(chunk), the classic instantiation
+  ([22]); vulnerable to offline brute force on predictable chunks.
+* :class:`ServerAidedMLE` — key = KeyManager(fingerprint), the DupLESS
+  construction ([12]); brute force requires online queries, which the
+  manager rate-limits.
+
+Both are *deterministic*, which is precisely the property the paper's
+frequency-analysis attacks exploit. The MinHash defense (§6.1) swaps the
+per-chunk key for a per-segment key; see :mod:`repro.defenses.minhash`.
+
+Each encrypted chunk carries a *tag* (fingerprint of the ciphertext) used as
+the deduplication identity, and every client keeps a :class:`KeyRecipe`
+mapping chunk indices to keys for later decryption. Key recipes are
+themselves encrypted under the user's own secret key via the conventional
+:class:`~repro.crypto.cipher.BlockCipher` (the adversary never sees them,
+per the threat model in §3.3).
+"""
+
+from __future__ import annotations
+
+import json
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.chunking.fingerprint import Fingerprinter
+from repro.common.errors import IntegrityError
+from repro.crypto.cipher import BlockCipher
+from repro.crypto.keymanager import KeyManager
+from repro.crypto.primitives import hkdf_expand, sha256
+
+
+@dataclass(frozen=True)
+class CiphertextChunk:
+    """An encrypted chunk as uploaded to deduplicated storage.
+
+    Attributes:
+        data: the ciphertext bytes.
+        tag: fingerprint of ``data``; the storage system deduplicates by tag.
+    """
+
+    data: bytes
+    tag: bytes
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+class MLEScheme(ABC):
+    """Common interface for message-locked encryption schemes."""
+
+    def __init__(self, fingerprinter: Fingerprinter | None = None):
+        self.fingerprinter = fingerprinter or Fingerprinter("sha256")
+        self._cipher = BlockCipher()
+
+    @abstractmethod
+    def derive_key(self, plaintext: bytes) -> bytes:
+        """Derive the (deterministic) encryption key for a plaintext chunk."""
+
+    def encrypt_chunk(self, plaintext: bytes) -> tuple[CiphertextChunk, bytes]:
+        """Encrypt one chunk; returns the ciphertext chunk and its key."""
+        key = self.derive_key(plaintext)
+        return self.encrypt_with_key(plaintext, key), key
+
+    def encrypt_with_key(self, plaintext: bytes, key: bytes) -> CiphertextChunk:
+        """Encrypt ``plaintext`` under an externally supplied key.
+
+        Used by MinHash encryption, where the key comes from the segment
+        rather than the chunk itself.
+        """
+        cipher_key = hkdf_expand(key, b"chunk-cipher")
+        data = self._cipher.encrypt(cipher_key, plaintext)
+        return CiphertextChunk(data=data, tag=self.fingerprinter(data))
+
+    def decrypt_chunk(self, chunk: CiphertextChunk, key: bytes) -> bytes:
+        """Decrypt a ciphertext chunk, verifying its tag first."""
+        if self.fingerprinter(chunk.data) != chunk.tag:
+            raise IntegrityError("ciphertext tag mismatch")
+        cipher_key = hkdf_expand(key, b"chunk-cipher")
+        return self._cipher.decrypt(cipher_key, chunk.data)
+
+
+class ConvergentEncryption(MLEScheme):
+    """Convergent encryption: the key is the hash of the chunk content."""
+
+    def derive_key(self, plaintext: bytes) -> bytes:
+        return sha256(b"convergent-key:" + plaintext)
+
+
+class ServerAidedMLE(MLEScheme):
+    """DupLESS-style server-aided MLE.
+
+    The key is derived by the :class:`~repro.crypto.keymanager.KeyManager`
+    from the chunk *fingerprint* (not the raw content), so the chunk itself
+    never leaves the client.
+    """
+
+    def __init__(
+        self,
+        key_manager: KeyManager,
+        fingerprinter: Fingerprinter | None = None,
+    ):
+        super().__init__(fingerprinter)
+        self.key_manager = key_manager
+
+    def derive_key(self, plaintext: bytes) -> bytes:
+        return self.key_manager.derive_key(self.fingerprinter(plaintext))
+
+
+@dataclass
+class KeyRecipe:
+    """Per-user list of chunk keys, in the chunks' original logical order.
+
+    Persisted only in encrypted form (:meth:`seal`) under the user's own
+    secret key, matching the threat model's assumption that the adversary
+    cannot read recipes.
+    """
+
+    keys: list[bytes] = field(default_factory=list)
+
+    def add(self, key: bytes) -> None:
+        self.keys.append(key)
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def seal(self, user_secret: bytes) -> bytes:
+        """Encrypt the recipe under ``user_secret`` (conventional encryption)."""
+        payload = json.dumps([key.hex() for key in self.keys]).encode()
+        return BlockCipher().encrypt(
+            hkdf_expand(user_secret, b"key-recipe"), payload
+        )
+
+    @classmethod
+    def unseal(cls, sealed: bytes, user_secret: bytes) -> "KeyRecipe":
+        """Decrypt a sealed recipe; raises :class:`IntegrityError` on a wrong
+        key or corrupted ciphertext."""
+        payload = BlockCipher().decrypt(
+            hkdf_expand(user_secret, b"key-recipe"), sealed
+        )
+        try:
+            hex_keys = json.loads(payload.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise IntegrityError("key recipe payload corrupt") from exc
+        return cls(keys=[bytes.fromhex(item) for item in hex_keys])

@@ -1,0 +1,65 @@
+"""Low-level crypto primitives built on the standard library.
+
+No third-party crypto package is available offline, so everything here is
+constructed from :mod:`hashlib`/:mod:`hmac`. The constructions are standard
+(HMAC, HKDF-expand, counter-mode PRF keystream); their purpose in this
+reproduction is behavioural fidelity — determinism, key separation, and
+length preservation — not resistance review.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+
+def sha256(data: bytes) -> bytes:
+    """SHA-256 digest."""
+    return hashlib.sha256(data).digest()
+
+
+def hmac_digest(key: bytes, data: bytes) -> bytes:
+    """HMAC-SHA-256 digest."""
+    return hmac.new(key, data, hashlib.sha256).digest()
+
+
+def hkdf_expand(key: bytes, info: bytes, length: int = 32) -> bytes:
+    """HKDF-expand (RFC 5869) with SHA-256, without the extract step.
+
+    Used for deriving purpose-separated subkeys, e.g. a cipher key and a tag
+    key from one MLE key.
+    """
+    output = b""
+    block = b""
+    counter = 1
+    while len(output) < length:
+        block = hmac_digest(key, block + info + bytes([counter]))
+        output += block
+        counter += 1
+        if counter > 255:
+            raise ValueError("hkdf_expand length too large")
+    return output[:length]
+
+
+def prf_stream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """Deterministic keystream of ``length`` bytes from (key, nonce).
+
+    Counter mode over keyed BLAKE2b: block *i* is
+    ``BLAKE2b(key=key, data=nonce || i)``. Distinct (key, nonce) pairs give
+    independent streams; identical inputs always give identical streams,
+    which is exactly the determinism MLE requires (§2.2).
+    """
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    blocks: list[bytes] = []
+    produced = 0
+    counter = 0
+    key = hashlib.blake2b(key, digest_size=32).digest()  # clamp to valid key size
+    while produced < length:
+        block = hashlib.blake2b(
+            nonce + counter.to_bytes(8, "big"), key=key, digest_size=64
+        ).digest()
+        blocks.append(block)
+        produced += len(block)
+        counter += 1
+    return b"".join(blocks)[:length]

@@ -1,0 +1,168 @@
+"""Quorum key management for server-aided MLE (§8, Duan [24]).
+
+DupLESS's single key manager is a single point of failure (and a single
+point of compromise). Duan proposes a quorum: key derivation is distributed
+over *n* key-manager replicas with a *k*-of-*n* threshold, so a client can
+tolerate ``n - k`` replica failures while no coalition smaller than *k*
+can answer key queries on its own.
+
+Construction used here: each replica derives the per-fingerprint key
+``K = HMAC(master, fingerprint)`` and a *deterministic* Shamir split of K
+(the split's polynomial coefficients are seeded from
+``HMAC(master, "coeff" || fingerprint)``, so all replicas produce the same
+share set without coordinating), then returns only its own share. Any *k*
+responses combine to K by Lagrange interpolation; fewer reveal nothing
+beyond Shamir's guarantee. (HMAC is not linear, so responses cannot simply
+be HMACs under shares of the master secret — they must be shares of the
+derived key itself.) Each replica keeps DupLESS-style rate limiting, so
+online brute force still has to beat *k* limiters at once.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError, RateLimitExceeded
+from repro.common.rng import derive_seed
+from repro.crypto.keymanager import RateLimiter
+from repro.crypto.primitives import hmac_digest
+from repro.crypto.secretsharing import Share, combine_shares, split_secret
+
+
+@dataclass(frozen=True)
+class KeyShareResponse:
+    """One replica's response to a key-derivation query."""
+
+    replica_index: int
+    share: Share
+
+
+class KeyManagerReplica:
+    """One member of the key-manager quorum.
+
+    Every replica holds the same ``master_secret`` sealed inside it (in a
+    deployment this would live in an HSM; what matters for the protocol is
+    that *responses*, not the secret, leave the replica) and a fixed
+    replica index. For a queried fingerprint the replica derives:
+
+    * the key ``K = HMAC(master, fingerprint)``;
+    * a *deterministic* Shamir split of K (polynomial coefficients seeded
+      from ``HMAC(master, "coeff" || fingerprint)``), identical across
+      replicas without coordination;
+    * and returns only share ``index`` of that split.
+
+    Thus any k responses combine to K, while fewer than k reveal nothing
+    beyond Shamir's guarantee, and a compromised replica exposes only its
+    own share stream.
+    """
+
+    def __init__(
+        self,
+        master_secret: bytes,
+        index: int,
+        threshold: int,
+        num_replicas: int,
+        rate_limiter: RateLimiter | None = None,
+    ):
+        if len(master_secret) < 16:
+            raise ConfigurationError("master secret must be at least 16 bytes")
+        if not 1 <= index <= num_replicas:
+            raise ConfigurationError("replica index out of range")
+        if not 1 <= threshold <= num_replicas:
+            raise ConfigurationError("require 1 <= threshold <= num_replicas")
+        self._master = master_secret
+        self.index = index
+        self.threshold = threshold
+        self.num_replicas = num_replicas
+        self._limiter = rate_limiter
+        self.queries_served = 0
+        self.available = True
+
+    def derive_share(self, fingerprint: bytes) -> KeyShareResponse:
+        """Answer a key query with this replica's share of the key."""
+        if not self.available:
+            raise ConnectionError(f"replica {self.index} is down")
+        if self._limiter is not None and not self._limiter.try_acquire():
+            raise RateLimitExceeded(
+                f"replica {self.index} rate limit exceeded"
+            )
+        self.queries_served += 1
+        key = hmac_digest(self._master, b"mle-key:" + fingerprint)
+        seed = derive_seed(
+            int.from_bytes(
+                hmac_digest(self._master, b"coeff:" + fingerprint)[:8], "big"
+            ),
+            "quorum-coefficients",
+        )
+        shares = split_secret(
+            key,
+            threshold=self.threshold,
+            num_shares=self.num_replicas,
+            rng=random.Random(seed),
+        )
+        return KeyShareResponse(
+            replica_index=self.index, share=shares[self.index - 1]
+        )
+
+
+class QuorumKeyManager:
+    """Client-side combiner over a quorum of key-manager replicas.
+
+    Drop-in for :class:`~repro.crypto.keymanager.KeyManager` in
+    server-aided MLE: :meth:`derive_key` queries live replicas until it
+    holds ``threshold`` shares, tolerating up to ``n - k`` failures.
+    """
+
+    def __init__(self, replicas: list[KeyManagerReplica]):
+        if not replicas:
+            raise ConfigurationError("need at least one replica")
+        thresholds = {replica.threshold for replica in replicas}
+        if len(thresholds) != 1:
+            raise ConfigurationError("replicas disagree on the threshold")
+        self.replicas = list(replicas)
+        self.threshold = replicas[0].threshold
+
+    @classmethod
+    def create(
+        cls,
+        master_secret: bytes,
+        threshold: int,
+        num_replicas: int,
+        rate_limiter_factory=None,
+    ) -> "QuorumKeyManager":
+        """Provision a fresh quorum."""
+        replicas = [
+            KeyManagerReplica(
+                master_secret,
+                index=index,
+                threshold=threshold,
+                num_replicas=num_replicas,
+                rate_limiter=(
+                    rate_limiter_factory() if rate_limiter_factory else None
+                ),
+            )
+            for index in range(1, num_replicas + 1)
+        ]
+        return cls(replicas)
+
+    def derive_key(self, fingerprint: bytes) -> bytes:
+        """Collect ``threshold`` shares from live replicas and combine."""
+        responses: list[KeyShareResponse] = []
+        errors: list[Exception] = []
+        for replica in self.replicas:
+            if len(responses) == self.threshold:
+                break
+            try:
+                responses.append(replica.derive_share(fingerprint))
+            except (ConnectionError, RateLimitExceeded) as exc:
+                errors.append(exc)
+        if len(responses) < self.threshold:
+            raise ConfigurationError(
+                f"quorum unavailable: got {len(responses)} of "
+                f"{self.threshold} required shares ({len(errors)} failures)"
+            )
+        return combine_shares([response.share for response in responses])
+
+    def live_replicas(self) -> int:
+        return sum(1 for replica in self.replicas if replica.available)

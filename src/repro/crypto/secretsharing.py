@@ -1,0 +1,141 @@
+"""Shamir secret sharing over GF(256).
+
+Substrate for the fault-tolerant key-management extension (§8, Duan [24]):
+splitting the key manager's secret (or derived MLE keys) across *n* share
+holders such that any *k* of them reconstruct it and fewer than *k* learn
+nothing.
+
+The field is GF(2⁸) with the AES polynomial (x⁸+x⁴+x³+x+1); secrets of any
+byte length are shared byte-wise with an independent random polynomial per
+byte, which is the standard construction (e.g. SSSS, HashiCorp Vault).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError, IntegrityError
+
+_POLY = 0x11B  # x^8 + x^4 + x^3 + x + 1
+
+
+def _gf_mul(a: int, b: int) -> int:
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        if a & 0x100:
+            a ^= _POLY
+        b >>= 1
+    return result
+
+
+# Log/antilog tables over the generator 3 for fast division.
+_EXP = [0] * 510
+_LOG = [0] * 256
+_value = 1
+for _power in range(255):
+    _EXP[_power] = _value
+    _LOG[_value] = _power
+    _value = _gf_mul(_value, 3)
+for _power in range(255, 510):
+    _EXP[_power] = _EXP[_power - 255]
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiplication in GF(256)."""
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def gf_div(a: int, b: int) -> int:
+    """Division in GF(256); raises on division by zero."""
+    if b == 0:
+        raise ZeroDivisionError("GF(256) division by zero")
+    if a == 0:
+        return 0
+    return _EXP[(_LOG[a] - _LOG[b]) % 255]
+
+
+def _eval_poly(coefficients: list[int], x: int) -> int:
+    """Horner evaluation of a polynomial with GF(256) coefficients."""
+    result = 0
+    for coefficient in reversed(coefficients):
+        result = gf_mul(result, x) ^ coefficient
+    return result
+
+
+@dataclass(frozen=True)
+class Share:
+    """One share: the holder's x-coordinate and per-byte y values."""
+
+    index: int
+    data: bytes
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.index <= 255:
+            raise ConfigurationError("share index must be in [1, 255]")
+
+
+def split_secret(
+    secret: bytes,
+    threshold: int,
+    num_shares: int,
+    rng: random.Random | None = None,
+) -> list[Share]:
+    """Split ``secret`` into ``num_shares`` shares, any ``threshold`` of
+    which reconstruct it."""
+    if not 1 <= threshold <= num_shares <= 255:
+        raise ConfigurationError(
+            "require 1 <= threshold <= num_shares <= 255"
+        )
+    if not secret:
+        raise ConfigurationError("cannot share an empty secret")
+    rng = rng or random.SystemRandom()
+    # One random polynomial of degree threshold-1 per secret byte, with the
+    # secret byte as the constant term.
+    polynomials = [
+        [byte] + [rng.randrange(256) for _ in range(threshold - 1)]
+        for byte in secret
+    ]
+    shares = []
+    for index in range(1, num_shares + 1):
+        data = bytes(_eval_poly(poly, index) for poly in polynomials)
+        shares.append(Share(index=index, data=data))
+    return shares
+
+
+def combine_shares(shares: list[Share]) -> bytes:
+    """Reconstruct the secret from ``threshold`` (or more) shares via
+    Lagrange interpolation at x=0."""
+    if not shares:
+        raise ConfigurationError("no shares given")
+    indices = [share.index for share in shares]
+    if len(set(indices)) != len(indices):
+        raise IntegrityError("duplicate share indices")
+    lengths = {len(share.data) for share in shares}
+    if len(lengths) != 1:
+        raise IntegrityError("shares have inconsistent lengths")
+    (length,) = lengths
+
+    secret = bytearray(length)
+    for position in range(length):
+        value = 0
+        for i, share_i in enumerate(shares):
+            # Lagrange basis at x=0: prod_{j!=i} x_j / (x_i ^ x_j)
+            numerator = 1
+            denominator = 1
+            for j, share_j in enumerate(shares):
+                if i == j:
+                    continue
+                numerator = gf_mul(numerator, share_j.index)
+                denominator = gf_mul(
+                    denominator, share_i.index ^ share_j.index
+                )
+            basis = gf_div(numerator, denominator)
+            value ^= gf_mul(share_i.data[position], basis)
+        secret[position] = value
+    return bytes(secret)

@@ -1,0 +1,65 @@
+"""Backup workload generators and trace statistics (§5.1).
+
+Three dataset families mirror the paper's evaluation:
+
+* :class:`FSLDatasetGenerator` — FSL-like multi-user home-directory monthly
+  backups (variable-size chunks, 48-bit fingerprints).
+* :class:`VMDatasetGenerator` — VM-image weekly backups (fixed 4 KB chunks,
+  shared base image, mid-series churn window).
+* :class:`SyntheticDatasetGenerator` — Lillibridge-style snapshot chain from
+  an initial public image (2 % files / 2.5 % content / +new data per
+  snapshot).
+
+See DESIGN.md §2 for the substitution rationale (the original traces are
+proprietary).
+"""
+
+from repro.datasets.chunkspace import ChunkSpace, PopularPool, SizeModel
+from repro.datasets.filesim import (
+    FileMutator,
+    SimFile,
+    SimFileSystem,
+    snapshot,
+)
+from repro.datasets.fsl import FSLConfig, FSLDatasetGenerator
+from repro.datasets.model import Backup, BackupSeries, ChunkRecord
+from repro.datasets.stats import (
+    FrequencyCDF,
+    adjacency_preservation,
+    chunk_frequencies,
+    content_overlap,
+    frequency_cdf,
+    series_frequencies,
+    storage_savings,
+)
+from repro.datasets.synthetic import SyntheticConfig, SyntheticDatasetGenerator
+from repro.datasets.trace import load_series, save_series
+from repro.datasets.vm import VMConfig, VMDatasetGenerator
+
+__all__ = [
+    "ChunkSpace",
+    "PopularPool",
+    "SizeModel",
+    "FileMutator",
+    "SimFile",
+    "SimFileSystem",
+    "snapshot",
+    "FSLConfig",
+    "FSLDatasetGenerator",
+    "Backup",
+    "BackupSeries",
+    "ChunkRecord",
+    "FrequencyCDF",
+    "adjacency_preservation",
+    "chunk_frequencies",
+    "content_overlap",
+    "frequency_cdf",
+    "series_frequencies",
+    "storage_savings",
+    "SyntheticConfig",
+    "SyntheticDatasetGenerator",
+    "load_series",
+    "save_series",
+    "VMConfig",
+    "VMDatasetGenerator",
+]

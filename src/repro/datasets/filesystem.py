@@ -1,0 +1,116 @@
+"""Content-level synthetic file trees (real bytes).
+
+The trace-driven evaluation works on fingerprints, but the examples and
+integration tests exercise the full pipeline — chunking → MLE → dedup
+storage → restore — on actual data. This module builds deterministic
+pseudo-random file trees whose bytes are compressible-looking but unique
+per (seed, path), plus duplicated "asset" files shared across directories.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import derive_seed, rng_from
+
+
+def deterministic_bytes(seed: int, label: str, length: int) -> bytes:
+    """``length`` pseudo-random bytes, reproducible from (seed, label)."""
+    if length < 0:
+        raise ConfigurationError("length must be non-negative")
+    key = hashlib.blake2b(
+        f"{seed}:{label}".encode(), digest_size=32
+    ).digest()
+    blocks: list[bytes] = []
+    produced = 0
+    counter = 0
+    while produced < length:
+        block = hashlib.blake2b(
+            counter.to_bytes(8, "big"), key=key, digest_size=64
+        ).digest()
+        blocks.append(block)
+        produced += len(block)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+@dataclass
+class ContentFile:
+    """A file with real bytes."""
+
+    path: str
+    data: bytes
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+@dataclass
+class ContentTree:
+    """An ordered set of content files (a snapshot of a directory tree)."""
+
+    files: dict[str, ContentFile] = field(default_factory=dict)
+
+    def add(self, file: ContentFile) -> None:
+        self.files[file.path] = file
+
+    def remove(self, path: str) -> None:
+        del self.files[path]
+
+    def get(self, path: str) -> ContentFile:
+        return self.files[path]
+
+    def paths(self) -> list[str]:
+        return sorted(self.files)
+
+    def total_bytes(self) -> int:
+        return sum(file.size for file in self.files.values())
+
+    def __len__(self) -> int:
+        return len(self.files)
+
+    def iter_files(self) -> list[ContentFile]:
+        return [self.files[path] for path in self.paths()]
+
+    def concatenated(self) -> bytes:
+        """The tree as one logical backup stream (path order)."""
+        return b"".join(file.data for file in self.iter_files())
+
+
+def build_tree(
+    seed: int = 0,
+    num_files: int = 24,
+    mean_file_size: int = 64 * 1024,
+    duplicate_assets: int = 4,
+    asset_copies: int = 3,
+) -> ContentTree:
+    """Build a deterministic content tree.
+
+    ``duplicate_assets`` files are copied verbatim into ``asset_copies``
+    locations each, giving the tree real whole-file duplication for the
+    deduplication examples.
+    """
+    if num_files <= 0:
+        raise ConfigurationError("num_files must be positive")
+    rng = rng_from(seed, "content-tree")
+    tree = ContentTree()
+    for index in range(num_files):
+        size = max(1024, int(rng.lognormvariate(0.0, 0.6) * mean_file_size))
+        path = f"tree/f{index:04d}.bin"
+        tree.add(
+            ContentFile(path=path, data=deterministic_bytes(seed, path, size))
+        )
+    for asset in range(duplicate_assets):
+        size = max(4096, int(rng.lognormvariate(0.0, 0.4) * mean_file_size))
+        data = deterministic_bytes(
+            derive_seed(seed, "asset", asset), "asset", size
+        )
+        for copy in range(asset_copies):
+            tree.add(
+                ContentFile(path=f"tree/asset{asset:02d}-copy{copy}.bin", data=data)
+            )
+    return tree

@@ -1,0 +1,196 @@
+"""FSL-like backup workload (§5.1, substitution 1 in DESIGN.md).
+
+Models the paper's post-processed Fslhomes dataset: six users' home
+directories captured as five monthly full backups, variable-size chunks with
+an 8 KB average and 48-bit fingerprints, aggregated into one backup stream
+per month. The generator reproduces the workload properties the attacks and
+defenses are sensitive to:
+
+* **chunk locality** — monthly edits rewrite clustered file regions only;
+* **skewed frequency** (Fig. 1) — Zipf-popular chunk runs plus a Zipf
+  library of whole-file templates shared within and across users (most
+  duplicate bytes in real home directories are whole-file duplicates);
+* **graded co-occurrence signal** — popular content recurs *with its
+  context* (duplicated files), giving the locality-based attack the
+  neighbor-frequency structure it exploits in real traces;
+* **temporal redundancy decaying with distance** — more recent auxiliary
+  backups share more content with the latest backup (Fig. 5);
+* **stable scan order** — home-directory backup tools traverse paths
+  stably, so cross-file adjacency survives between backups.
+
+Scale is reduced (tens of thousands of chunks per backup instead of tens of
+millions); see EXPERIMENTS.md for the shape-level comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import rng_from
+from repro.datasets.chunkspace import ChunkSpace, PopularPool, SizeModel
+from repro.datasets.filesim import (
+    FileMutator,
+    SimFileSystem,
+    TemplateLibrary,
+    snapshot,
+)
+from repro.datasets.model import Backup, BackupSeries
+
+FSL_LABELS = ("Jan 22", "Feb 22", "Mar 22", "Apr 21", "May 21")
+
+
+@dataclass
+class FSLConfig:
+    """Knobs for the FSL-like generator (defaults target bench scale)."""
+
+    num_users: int = 6
+    num_backups: int = 5
+    files_per_user: int = 110
+    mean_file_chunks: int = 42
+    num_templates: int = 140
+    template_zipf_exponent: float = 1.35
+    common_file_probability: float = 0.5
+    popular_pool_size: int = 350
+    popular_zipf_exponent: float = 1.4
+    popular_rate: float = 0.04
+    modify_file_fraction: float = 0.34
+    file_churn: float = 0.28
+    modify_max_regions: int = 3
+    add_file_fraction: float = 0.05
+    delete_file_fraction: float = 0.02
+    min_chunk_size: int = 2048
+    avg_chunk_size: int = 8192
+    max_chunk_size: int = 65536
+    size_quantum: int = 1024
+    fingerprint_bytes: int = 6
+
+    def __post_init__(self) -> None:
+        if self.num_users <= 0 or self.num_backups <= 0:
+            raise ConfigurationError("num_users and num_backups must be positive")
+        if not 0.0 <= self.common_file_probability <= 1.0:
+            raise ConfigurationError("common_file_probability must be in [0, 1]")
+
+
+class FSLDatasetGenerator:
+    """Generates the FSL-like :class:`~repro.datasets.model.BackupSeries`."""
+
+    def __init__(self, seed: int = 20130122, config: FSLConfig | None = None):
+        self.seed = seed
+        self.config = config or FSLConfig()
+
+    def generate(self) -> BackupSeries:
+        cfg = self.config
+        chunk_space = ChunkSpace(
+            namespace=f"fsl-{self.seed}",
+            fingerprint_bytes=cfg.fingerprint_bytes,
+            size_model=SizeModel(
+                kind="variable",
+                min_size=cfg.min_chunk_size,
+                avg_size=cfg.avg_chunk_size,
+                max_size=cfg.max_chunk_size,
+                size_quantum=cfg.size_quantum,
+            ),
+        )
+        pool = PopularPool.build(
+            chunk_space,
+            rng_from(self.seed, "fsl-pool"),
+            num_runs=cfg.popular_pool_size,
+            exponent=cfg.popular_zipf_exponent,
+        )
+        mutator = FileMutator(chunk_space, pool, cfg.popular_rate)
+        library = TemplateLibrary(
+            mutator,
+            rng_from(self.seed, "fsl-templates"),
+            num_templates=cfg.num_templates,
+            mean_chunks=cfg.mean_file_chunks,
+            exponent=cfg.template_zipf_exponent,
+        )
+
+        users = [
+            self._initial_user_state(user, mutator, library)
+            for user in range(cfg.num_users)
+        ]
+
+        series = BackupSeries(name="fsl", chunking="variable")
+        for month in range(cfg.num_backups):
+            if month > 0:
+                for user, filesystem in enumerate(users):
+                    self._evolve_user(filesystem, user, month, mutator, library)
+            series.backups.append(
+                self._monthly_backup(users, chunk_space, month)
+            )
+        return series
+
+    # -- internals ----------------------------------------------------------
+
+    def _label(self, month: int) -> str:
+        if month < len(FSL_LABELS):
+            return FSL_LABELS[month]
+        return f"month-{month:02d}"
+
+    def _file_length(self, rng) -> int:
+        mean = self.config.mean_file_chunks
+        # Lognormal-ish spread: many small files, a few large ones.
+        length = int(rng.lognormvariate(0.0, 0.8) * mean * 0.75)
+        return max(2, min(length, mean * 8))
+
+    def _new_file(self, path: str, rng, mutator: FileMutator, library: TemplateLibrary):
+        if rng.random() < self.config.common_file_probability:
+            return library.instantiate(path, rng)
+        return mutator.create_file(path, rng, self._file_length(rng))
+
+    def _initial_user_state(
+        self, user: int, mutator: FileMutator, library: TemplateLibrary
+    ) -> SimFileSystem:
+        cfg = self.config
+        rng = rng_from(self.seed, "fsl-init", user)
+        filesystem = SimFileSystem()
+        for index in range(cfg.files_per_user):
+            path = f"user{user:02d}/f{index:05d}"
+            filesystem.add(self._new_file(path, rng, mutator, library))
+        return filesystem
+
+    def _evolve_user(
+        self,
+        filesystem: SimFileSystem,
+        user: int,
+        month: int,
+        mutator: FileMutator,
+        library: TemplateLibrary,
+    ) -> None:
+        cfg = self.config
+        rng = rng_from(self.seed, "fsl-evolve", user, month)
+        paths = filesystem.paths()
+
+        num_deletions = int(len(paths) * cfg.delete_file_fraction)
+        for path in rng.sample(paths, num_deletions):
+            filesystem.remove(path)
+
+        paths = filesystem.paths()
+        num_modified = int(len(paths) * cfg.modify_file_fraction)
+        for path in rng.sample(paths, num_modified):
+            mutator.modify_file(
+                filesystem.get(path),
+                rng,
+                churn=cfg.file_churn,
+                max_regions=cfg.modify_max_regions,
+            )
+
+        num_added = int(cfg.files_per_user * cfg.add_file_fraction)
+        for index in range(num_added):
+            path = f"user{user:02d}/m{month}-f{index:05d}"
+            filesystem.add(self._new_file(path, rng, mutator, library))
+
+    def _monthly_backup(
+        self,
+        users: list[SimFileSystem],
+        chunk_space: ChunkSpace,
+        month: int,
+    ) -> Backup:
+        backup = Backup(label=self._label(month))
+        for filesystem in users:
+            user_backup = snapshot(filesystem, chunk_space, label="")
+            backup.fingerprints.extend(user_backup.fingerprints)
+            backup.sizes.extend(user_backup.sizes)
+        return backup

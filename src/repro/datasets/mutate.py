@@ -1,0 +1,89 @@
+"""Content-level mutation: evolve a :class:`ContentTree` between backups.
+
+Mirrors the fingerprint-level mutation model at byte granularity: edits are
+clustered overwrites/insertions within a few regions of a file, so
+content-defined chunking keeps the untouched remainder's chunks identical —
+the chunk-locality property the attacks exploit.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import rng_from
+from repro.datasets.filesystem import ContentFile, ContentTree, deterministic_bytes
+
+
+def mutate_file(
+    file: ContentFile,
+    rng: random.Random,
+    churn: float = 0.05,
+    max_regions: int = 2,
+    insert_probability: float = 0.3,
+) -> ContentFile:
+    """Return an edited copy of ``file`` with clustered byte-level changes.
+
+    Roughly ``churn`` of the bytes are overwritten in ``max_regions`` or
+    fewer contiguous regions; with ``insert_probability`` a region also
+    grows by a few bytes (shifting content, which content-defined chunking
+    must absorb locally).
+    """
+    if not 0.0 <= churn <= 1.0:
+        raise ConfigurationError("churn must be in [0, 1]")
+    data = bytearray(file.data)
+    if not data or churn == 0.0:
+        return ContentFile(path=file.path, data=bytes(data))
+    total = max(1, int(len(data) * churn))
+    regions = rng.randint(1, max(1, max_regions))
+    per_region = max(1, total // regions)
+    for region in range(regions):
+        start = rng.randrange(len(data))
+        length = min(per_region, len(data) - start)
+        replacement = deterministic_bytes(
+            rng.getrandbits(48), f"edit-{file.path}-{region}", length
+        )
+        if rng.random() < insert_probability:
+            grow = rng.randint(1, 64)
+            extra = deterministic_bytes(
+                rng.getrandbits(48), f"ins-{file.path}-{region}", grow
+            )
+            data[start : start + length] = replacement + extra
+        else:
+            data[start : start + length] = replacement
+    return ContentFile(path=file.path, data=bytes(data))
+
+
+def evolve_tree(
+    tree: ContentTree,
+    seed: int,
+    generation: int,
+    modify_fraction: float = 0.2,
+    churn: float = 0.05,
+    add_files: int = 1,
+    mean_new_file_size: int = 64 * 1024,
+) -> ContentTree:
+    """Produce the next backup generation of ``tree`` (the input tree is
+    not modified)."""
+    rng = rng_from(seed, "evolve-tree", generation)
+    next_tree = ContentTree()
+    paths = tree.paths()
+    modified = set(
+        rng.sample(paths, max(1, int(len(paths) * modify_fraction)))
+    )
+    for path in paths:
+        file = tree.get(path)
+        if path in modified:
+            next_tree.add(mutate_file(file, rng, churn=churn))
+        else:
+            next_tree.add(ContentFile(path=file.path, data=file.data))
+    for index in range(add_files):
+        path = f"tree/g{generation:03d}-new{index:03d}.bin"
+        size = max(1024, int(rng.lognormvariate(0.0, 0.5) * mean_new_file_size))
+        next_tree.add(
+            ContentFile(
+                path=path,
+                data=deterministic_bytes(seed, f"{path}@{generation}", size),
+            )
+        )
+    return next_tree

@@ -1,0 +1,82 @@
+"""Trace (de)serialisation.
+
+Backups are persisted in a compact line-oriented text format modelled on the
+published FSL snapshot format (one fingerprint+size record per chunk, in
+logical order), so generated workloads can be cached on disk and reloaded by
+benchmarks without regeneration, and so external fingerprint traces can be
+imported.
+
+Format::
+
+    # freqdedup-trace v1
+    # series: <name>
+    # chunking: variable|fixed
+    [backup <label>]
+    <hex fingerprint> <size>
+    ...
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.common.errors import IntegrityError
+from repro.datasets.model import Backup, BackupSeries
+
+_MAGIC = "# freqdedup-trace v1"
+
+
+def save_series(series: BackupSeries, path: str | os.PathLike) -> None:
+    """Write ``series`` to ``path`` in the trace format."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="ascii") as out:
+        out.write(f"{_MAGIC}\n")
+        out.write(f"# series: {series.name}\n")
+        out.write(f"# chunking: {series.chunking}\n")
+        for backup in series.backups:
+            out.write(f"[backup {backup.label}]\n")
+            for fingerprint, size in zip(backup.fingerprints, backup.sizes):
+                out.write(f"{fingerprint.hex()} {size}\n")
+
+
+def load_series(path: str | os.PathLike) -> BackupSeries:
+    """Read a series written by :func:`save_series`."""
+    with open(path, "r", encoding="ascii") as source:
+        first = source.readline().rstrip("\n")
+        if first != _MAGIC:
+            raise IntegrityError(f"not a freqdedup trace: {path}")
+        name = "unknown"
+        chunking = "variable"
+        series: BackupSeries | None = None
+        current: Backup | None = None
+        pending: list[Backup] = []
+        for line_number, raw in enumerate(source, start=2):
+            line = raw.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# series: "):
+                name = line[len("# series: "):]
+            elif line.startswith("# chunking: "):
+                chunking = line[len("# chunking: "):]
+            elif line.startswith("#"):
+                continue
+            elif line.startswith("[backup ") and line.endswith("]"):
+                current = Backup(label=line[len("[backup "):-1])
+                pending.append(current)
+            else:
+                if current is None:
+                    raise IntegrityError(
+                        f"chunk record before any backup header "
+                        f"(line {line_number})"
+                    )
+                try:
+                    fingerprint_hex, size_text = line.split()
+                    current.append(bytes.fromhex(fingerprint_hex), int(size_text))
+                except ValueError as exc:
+                    raise IntegrityError(
+                        f"malformed trace record at line {line_number}: {line!r}"
+                    ) from exc
+        series = BackupSeries(name=name, backups=pending, chunking=chunking)
+        return series

@@ -1,0 +1,175 @@
+"""VM-like backup workload (§5.1, substitution 2 in DESIGN.md).
+
+Models the paper's private course dataset: student VM image snapshots taken
+weekly for 13 weeks, 4 KB *fixed-size* chunks (so the advanced attack
+reduces to the plain locality-based attack), zero-filled chunks already
+removed. The defining properties reproduced here:
+
+* **very high cross-user redundancy** — every image derives from the same
+  base OS image, giving the dataset its large dedup ratio;
+* **a heavy-churn window** — the paper observes that backups in the middle
+  of the term (weeks ~5–8) have low content redundancy with the final
+  backup ("users have heavy activities during these weeks"), which makes
+  the inference rate collapse when those weeks serve as auxiliary
+  information (Fig. 5c) or target (Fig. 6c) and fluctuate across the
+  sliding window (Fig. 7c);
+* **fixed chunk size** — all chunks are ``chunk_size`` bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import rng_from
+from repro.datasets.chunkspace import ChunkSpace, PopularPool, SizeModel
+from repro.datasets.filesim import FileMutator, SimFile
+from repro.datasets.model import Backup, BackupSeries
+
+
+@dataclass
+class VMConfig:
+    """Knobs for the VM-like generator (defaults target bench scale)."""
+
+    num_vms: int = 16
+    num_backups: int = 13
+    base_image_chunks: int = 2600
+    user_region_chunks: int = 1100
+    base_patch_fraction: float = 0.02
+    quiet_churn: float = 0.12
+    weekly_churn: float = 0.34
+    heavy_churn: float = 0.62
+    quiet_weeks: tuple[int, ...] = (0, 1, 2)
+    heavy_weeks: tuple[int, ...] = (4, 5, 6, 7)
+    popular_pool_size: int = 150
+    popular_zipf_exponent: float = 1.3
+    popular_rate: float = 0.03
+    chunk_size: int = 4096
+    fingerprint_bytes: int = 20
+
+    def __post_init__(self) -> None:
+        if self.num_vms <= 0 or self.num_backups <= 0:
+            raise ConfigurationError("num_vms and num_backups must be positive")
+        if any(week < 0 or week >= self.num_backups for week in self.heavy_weeks):
+            raise ConfigurationError("heavy_weeks must index valid backups")
+
+    def churn_for_transition(self, from_week: int) -> float:
+        """User-region churn applied when evolving week ``from_week`` into
+        week ``from_week + 1``. The term's shape (§5.1 substitution 2):
+        quiet start, heavy mid-term project weeks, moderate tail."""
+        if from_week in self.heavy_weeks:
+            return self.heavy_churn
+        if from_week in self.quiet_weeks:
+            return self.quiet_churn
+        return self.weekly_churn
+
+
+class VMDatasetGenerator:
+    """Generates the VM-like :class:`~repro.datasets.model.BackupSeries`.
+
+    ``heavy_weeks`` are the backup indices whose *transition into the next
+    week* applies ``heavy_churn`` to each VM's user region; other transitions
+    apply ``weekly_churn``.
+    """
+
+    def __init__(self, seed: int = 20140901, config: VMConfig | None = None):
+        self.seed = seed
+        self.config = config or VMConfig()
+
+    def generate(self) -> BackupSeries:
+        cfg = self.config
+        chunk_space = ChunkSpace(
+            namespace=f"vm-{self.seed}",
+            fingerprint_bytes=cfg.fingerprint_bytes,
+            size_model=SizeModel(kind="fixed", fixed_size=cfg.chunk_size),
+        )
+        pool = PopularPool.build(
+            chunk_space,
+            rng_from(self.seed, "vm-pool"),
+            num_runs=cfg.popular_pool_size,
+            exponent=cfg.popular_zipf_exponent,
+        )
+        mutator = FileMutator(chunk_space, pool, cfg.popular_rate)
+
+        base_rng = rng_from(self.seed, "vm-base")
+        base_image = mutator.make_chunks(base_rng, cfg.base_image_chunks)
+        images = [
+            self._initial_image(vm, base_image, mutator)
+            for vm in range(cfg.num_vms)
+        ]
+
+        series = BackupSeries(name="vm", chunking="fixed")
+        for week in range(cfg.num_backups):
+            if week > 0:
+                churn = cfg.churn_for_transition(week - 1)
+                for vm, image in enumerate(images):
+                    self._evolve_image(image, vm, week, churn, mutator)
+            series.backups.append(
+                self._weekly_backup(images, chunk_space, week)
+            )
+        return series
+
+    # -- internals ----------------------------------------------------------
+
+    def _initial_image(
+        self, vm: int, base_image: list[int], mutator: FileMutator
+    ) -> SimFile:
+        """A VM image: the shared base plus a per-VM sparse patch and a
+        user-data region appended at the end."""
+        cfg = self.config
+        rng = rng_from(self.seed, "vm-init", vm)
+        chunks = list(base_image)
+        num_patches = int(len(chunks) * cfg.base_patch_fraction)
+        for _ in range(num_patches):
+            position = rng.randrange(len(chunks))
+            chunks[position] = mutator.new_chunk(rng)
+        user_len = int(cfg.user_region_chunks * rng.uniform(0.7, 1.3))
+        chunks.extend(mutator.make_chunks(rng, user_len))
+        return SimFile(path=f"vm{vm:03d}.img", chunks=chunks)
+
+    def _evolve_image(
+        self,
+        image: SimFile,
+        vm: int,
+        week: int,
+        churn: float,
+        mutator: FileMutator,
+    ) -> None:
+        """Apply a week of student activity to the user region (and, in
+        heavy weeks, a little base-region damage too)."""
+        cfg = self.config
+        rng = rng_from(self.seed, "vm-evolve", vm, week)
+        user_start = cfg.base_image_chunks
+        user_region = SimFile(
+            path=image.path, chunks=image.chunks[user_start:]
+        )
+        mutator.modify_file(
+            user_region, rng, churn=churn, max_regions=5
+        )
+        # Students occasionally grow their data.
+        if rng.random() < 0.5:
+            mutator.append_to_file(
+                user_region, rng, rng.randint(5, 40)
+            )
+        image.chunks[user_start:] = user_region.chunks
+        if churn >= 0.5:
+            base_region = SimFile(
+                path=image.path, chunks=image.chunks[:user_start]
+            )
+            mutator.modify_file(base_region, rng, churn=0.05, max_regions=4)
+            image.chunks[:user_start] = base_region.chunks
+
+    def _weekly_backup(
+        self,
+        images: list[SimFile],
+        chunk_space: ChunkSpace,
+        week: int,
+    ) -> Backup:
+        backup = Backup(label=f"week-{week + 1:02d}")
+        fingerprint_of = chunk_space.fingerprint
+        size = self.config.chunk_size
+        for image in images:
+            for chunk_id in image.chunks:
+                backup.fingerprints.append(fingerprint_of(chunk_id))
+                backup.sizes.append(size)
+        return backup

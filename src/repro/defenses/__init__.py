@@ -1,0 +1,51 @@
+"""Defenses against frequency analysis (§6) and the evaluation pipelines.
+
+* :mod:`repro.defenses.segmentation` — variable-size segmentation shared by
+  both defenses.
+* :mod:`repro.defenses.minhash` — MinHash encryption (Algorithm 4), content
+  level.
+* :mod:`repro.defenses.scramble` — scrambling (Algorithm 5).
+* :mod:`repro.defenses.pipeline` — fingerprint-level defense pipelines used
+  in the trace-driven evaluation (§7.1): MLE, MinHash, Scramble, Combined.
+"""
+
+from repro.defenses.minhash import MinHashEncryptor, MinHashSegmentResult
+from repro.defenses.pipeline import (
+    DefensePipeline,
+    DefenseScheme,
+    EncryptedBackup,
+    EncryptedSeries,
+    padded_size,
+)
+from repro.defenses.scramble import (
+    DEQUE,
+    FISHER_YATES,
+    scramble_backup,
+    scramble_indices,
+    scramble_segmented,
+)
+from repro.defenses.segmentation import (
+    Segment,
+    SegmentationSpec,
+    segment_backup,
+    segment_stream,
+)
+
+__all__ = [
+    "MinHashEncryptor",
+    "MinHashSegmentResult",
+    "DefensePipeline",
+    "DefenseScheme",
+    "EncryptedBackup",
+    "EncryptedSeries",
+    "padded_size",
+    "DEQUE",
+    "FISHER_YATES",
+    "scramble_backup",
+    "scramble_indices",
+    "scramble_segmented",
+    "Segment",
+    "SegmentationSpec",
+    "segment_backup",
+    "segment_stream",
+]

@@ -1,0 +1,115 @@
+"""MinHash encryption (§6.1, Algorithm 4).
+
+Instead of deriving one key per chunk (deterministic MLE), MinHash
+encryption derives one key per *segment* from the minimum chunk fingerprint
+in the segment. By Broder's theorem, highly similar segments — the common
+case across backups of the same source — share their minimum fingerprint
+with high probability and therefore encrypt identical chunks identically,
+preserving deduplication. Occasionally, similar segments have different
+minimum fingerprints and the same plaintext chunk yields *different*
+ciphertext chunks: that slight non-determinism is the defense, because it
+perturbs the ciphertext frequency ranking that frequency analysis relies on.
+
+This module implements the content-level scheme used by the storage
+prototype and integration tests: real segment keys (locally derived or from
+the DupLESS key manager) and real chunk encryption. The fingerprint-level
+simulation used in the trace-driven evaluation lives in
+:mod:`repro.defenses.pipeline` (§7.1's methodology).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chunking.fingerprint import Fingerprinter
+from repro.crypto.keymanager import KeyManager
+from repro.crypto.mle import CiphertextChunk, KeyRecipe, MLEScheme
+from repro.crypto.primitives import sha256
+from repro.defenses.segmentation import Segment, SegmentationSpec, segment_stream
+
+
+@dataclass
+class MinHashSegmentResult:
+    """Output for one segment: ciphertexts in input order plus the key."""
+
+    segment: Segment
+    minimum_fingerprint: bytes
+    key: bytes
+    ciphertexts: list[CiphertextChunk]
+
+
+class MinHashEncryptor:
+    """Encrypts chunk streams with per-segment MinHash-derived keys.
+
+    Args:
+        scheme: the underlying MLE scheme, used for its cipher/tag plumbing
+            (``encrypt_with_key``); its per-chunk key derivation is bypassed.
+        key_manager: optional DupLESS-style manager; when given, segment keys
+            are requested from it (one query per *segment*, which is how
+            MinHash encryption also slashes server-aided MLE's key-generation
+            overhead [53]). Without it, keys are derived locally from the
+            minimum fingerprint.
+        spec: segment size bounds.
+    """
+
+    def __init__(
+        self,
+        scheme: MLEScheme,
+        key_manager: KeyManager | None = None,
+        spec: SegmentationSpec | None = None,
+        fingerprinter: Fingerprinter | None = None,
+    ):
+        self.scheme = scheme
+        self.key_manager = key_manager
+        self.spec = spec or SegmentationSpec()
+        self.fingerprinter = fingerprinter or scheme.fingerprinter
+
+    def segment_key(self, minimum_fingerprint: bytes) -> bytes:
+        """Derive the key for a segment from its minimum fingerprint."""
+        if self.key_manager is not None:
+            return self.key_manager.derive_key(minimum_fingerprint)
+        return sha256(b"minhash-segment-key:" + minimum_fingerprint)
+
+    def encrypt_stream(
+        self, plaintext_chunks: list[bytes]
+    ) -> tuple[list[MinHashSegmentResult], KeyRecipe]:
+        """Encrypt a logical chunk stream segment by segment.
+
+        Returns per-segment results (ciphertexts in the original chunk
+        order) and the flat key recipe for decryption.
+        """
+        fingerprints = [self.fingerprinter(chunk) for chunk in plaintext_chunks]
+        sizes = [len(chunk) for chunk in plaintext_chunks]
+        segments = segment_stream(fingerprints, sizes, self.spec)
+        results: list[MinHashSegmentResult] = []
+        recipe = KeyRecipe()
+        for segment in segments:
+            segment_fps = fingerprints[segment.start : segment.end]
+            minimum = min(segment_fps)
+            key = self.segment_key(minimum)
+            ciphertexts = [
+                self.scheme.encrypt_with_key(plaintext_chunks[index], key)
+                for index in range(segment.start, segment.end)
+            ]
+            for _ in range(len(segment)):
+                recipe.add(key)
+            results.append(
+                MinHashSegmentResult(
+                    segment=segment,
+                    minimum_fingerprint=minimum,
+                    key=key,
+                    ciphertexts=ciphertexts,
+                )
+            )
+        return results, recipe
+
+    def decrypt_stream(
+        self,
+        ciphertexts: list[CiphertextChunk],
+        recipe: KeyRecipe,
+    ) -> list[bytes]:
+        """Decrypt a chunk stream with its key recipe."""
+        return [
+            self.scheme.decrypt_chunk(chunk, key)
+            for chunk, key in zip(ciphertexts, recipe.keys)
+        ]

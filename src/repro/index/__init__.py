@@ -1,0 +1,17 @@
+"""Indexing substrate.
+
+* :class:`KVStore` — an embedded, ordered key-value store with optional
+  write-ahead-log persistence. The paper's attack implementation keeps its
+  frequency and co-occurrence tables in LevelDB (§5.2); this module plays
+  the same role offline.
+* :class:`BloomFilter` — the in-memory filter of the DDFS prototype
+  (§7.4.1), parameterised by capacity and target false-positive rate.
+* :class:`LRUCache` / :class:`FingerprintCache` — the byte-budgeted
+  fingerprint cache of the DDFS prototype.
+"""
+
+from repro.index.bloom import BloomFilter
+from repro.index.cache import FingerprintCache, LRUCache
+from repro.index.kvstore import KVStore
+
+__all__ = ["BloomFilter", "FingerprintCache", "LRUCache", "KVStore"]

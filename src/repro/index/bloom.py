@@ -1,0 +1,68 @@
+"""Bloom filter (DDFS prototype, §7.4.1).
+
+The prototype sizes its filter for a 1 % false-positive rate over the
+expected fingerprint population (the paper's FSL configuration: ~65 M
+fingerprints, 7 hash functions, ~74 MB of bits). This implementation derives
+(m, k) from (capacity, target FPR) with the standard optimal formulas and
+reports its own memory footprint so experiments can budget it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+from repro.common.errors import ConfigurationError
+
+
+class BloomFilter:
+    """Standard Bloom filter over byte keys.
+
+    Args:
+        capacity: expected number of distinct inserted keys.
+        false_positive_rate: target FPR at ``capacity`` insertions.
+    """
+
+    def __init__(self, capacity: int, false_positive_rate: float = 0.01):
+        if capacity <= 0:
+            raise ConfigurationError("capacity must be positive")
+        if not 0.0 < false_positive_rate < 1.0:
+            raise ConfigurationError("false_positive_rate must be in (0, 1)")
+        self.capacity = capacity
+        self.false_positive_rate = false_positive_rate
+        ln2 = math.log(2)
+        self.num_bits = max(8, int(math.ceil(-capacity * math.log(false_positive_rate) / (ln2 * ln2))))
+        self.num_hashes = max(1, int(round(self.num_bits / capacity * ln2)))
+        self._bits = bytearray((self.num_bits + 7) // 8)
+        self.inserted = 0
+
+    def _positions(self, key: bytes) -> list[int]:
+        # Kirsch–Mitzenmacher double hashing from one 128-bit digest.
+        digest = hashlib.blake2b(key, digest_size=16).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:], "big") | 1
+        return [
+            (h1 + i * h2) % self.num_bits for i in range(self.num_hashes)
+        ]
+
+    def add(self, key: bytes) -> None:
+        for pos in self._positions(key):
+            self._bits[pos >> 3] |= 1 << (pos & 7)
+        self.inserted += 1
+
+    def __contains__(self, key: bytes) -> bool:
+        return all(
+            self._bits[pos >> 3] & (1 << (pos & 7)) for pos in self._positions(key)
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        """Memory footprint of the bit array."""
+        return len(self._bits)
+
+    def expected_fpr(self) -> float:
+        """Theoretical FPR at the current number of insertions."""
+        if self.inserted == 0:
+            return 0.0
+        exponent = -self.num_hashes * self.inserted / self.num_bits
+        return (1.0 - math.exp(exponent)) ** self.num_hashes

@@ -1,0 +1,37 @@
+"""Deduplicated storage substrate: the DDFS-like prototype (§7.4) and the
+end-to-end encrypted deduplication system (Figure 2).
+
+* :class:`DDFSEngine` — steps S1–S4 with metered metadata access.
+* :class:`ContainerStore` / :class:`Container` — 4 MB container layout.
+* :class:`OnDiskFingerprintIndex` — byte-metered fingerprint index.
+* :class:`FileRecipe` — restore-order chunk references.
+* :class:`EncryptedDedupSystem` — full content-level client/server path.
+"""
+
+from repro.storage.container import Container, ContainerEntry, ContainerStore
+from repro.storage.ddfs import DDFSEngine
+from repro.storage.fingerprint_index import OnDiskFingerprintIndex
+from repro.storage.gc import GCReport, ReferenceTracker, collect_garbage
+from repro.storage.metrics import BackupWriteReport, MetadataAccessStats
+from repro.storage.recipes import ChunkRef, FileRecipe
+from repro.storage.restore_sim import RestoreReport, simulate_restore
+from repro.storage.system import EncryptedDedupSystem, StoredFile
+
+__all__ = [
+    "Container",
+    "ContainerEntry",
+    "ContainerStore",
+    "DDFSEngine",
+    "OnDiskFingerprintIndex",
+    "GCReport",
+    "ReferenceTracker",
+    "collect_garbage",
+    "BackupWriteReport",
+    "MetadataAccessStats",
+    "ChunkRef",
+    "FileRecipe",
+    "RestoreReport",
+    "simulate_restore",
+    "EncryptedDedupSystem",
+    "StoredFile",
+]

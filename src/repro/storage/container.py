@@ -1,0 +1,134 @@
+"""Container management (§7.4.1).
+
+Deduplicated storage appends unique chunks in logical order into fixed-size
+*containers* (4 MB in the paper) that serve as the basic on-disk read/write
+units; chunk locality then means that chunks likely to be accessed together
+sit in the same container, which is what makes step S4's whole-container
+fingerprint prefetch effective.
+
+Containers optionally carry chunk payloads (the content-level system stores
+ciphertext bytes; the trace-driven prototype stores metadata only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError, StorageError
+from repro.common.units import MiB
+
+
+@dataclass(frozen=True)
+class ContainerEntry:
+    """One chunk stored in a container."""
+
+    fingerprint: bytes
+    size: int
+    offset: int
+
+
+@dataclass
+class Container:
+    """A sealed container: entries plus optional payload bytes."""
+
+    container_id: int
+    entries: list[ContainerEntry] = field(default_factory=list)
+    payload: bytes = b""
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.entries)
+
+    @property
+    def data_bytes(self) -> int:
+        return sum(entry.size for entry in self.entries)
+
+    def fingerprints(self) -> list[bytes]:
+        return [entry.fingerprint for entry in self.entries]
+
+    def read_chunk(self, fingerprint: bytes) -> bytes:
+        """Payload bytes for ``fingerprint`` (content-level containers)."""
+        for entry in self.entries:
+            if entry.fingerprint == fingerprint:
+                data = self.payload[entry.offset : entry.offset + entry.size]
+                if len(data) != entry.size:
+                    raise StorageError("container payload truncated")
+                return data
+        raise StorageError(f"chunk {fingerprint.hex()} not in container")
+
+
+class ContainerStore:
+    """Accumulates chunks into an open container and seals full ones."""
+
+    def __init__(self, container_size: int = 4 * MiB, keep_payload: bool = False):
+        if container_size <= 0:
+            raise ConfigurationError("container_size must be positive")
+        self.container_size = container_size
+        self.keep_payload = keep_payload
+        self.containers: dict[int, Container] = {}
+        self._next_id = 0
+        self._open_entries: list[ContainerEntry] = []
+        self._open_payload: list[bytes] = []
+        self._open_bytes = 0
+        self._open_index: dict[bytes, int] = {}
+
+    # -- writing -------------------------------------------------------------
+
+    def append(self, fingerprint: bytes, size: int, data: bytes | None = None) -> int | None:
+        """Buffer a unique chunk; returns the sealed container id if the
+        buffer filled up and was flushed, else ``None``."""
+        if self.keep_payload:
+            if data is None:
+                raise StorageError("payload-keeping store requires chunk data")
+            if len(data) != size:
+                raise StorageError("chunk data length disagrees with size")
+        entry = ContainerEntry(
+            fingerprint=fingerprint, size=size, offset=self._open_bytes
+        )
+        self._open_entries.append(entry)
+        if self.keep_payload:
+            self._open_payload.append(data if data is not None else b"")
+        self._open_index[fingerprint] = size
+        self._open_bytes += size
+        if self._open_bytes >= self.container_size:
+            return self.flush()
+        return None
+
+    def flush(self) -> int | None:
+        """Seal the open container; returns its id, or None if empty."""
+        if not self._open_entries:
+            return None
+        container = Container(
+            container_id=self._next_id,
+            entries=self._open_entries,
+            payload=b"".join(self._open_payload) if self.keep_payload else b"",
+        )
+        self.containers[container.container_id] = container
+        self._next_id += 1
+        self._open_entries = []
+        self._open_payload = []
+        self._open_bytes = 0
+        self._open_index = {}
+        return container.container_id
+
+    # -- reading -------------------------------------------------------------
+
+    def in_open_buffer(self, fingerprint: bytes) -> bool:
+        """Whether the chunk is buffered but not yet sealed (duplicate
+        suppression must consider these too, or back-to-back duplicates
+        would be double-stored)."""
+        return fingerprint in self._open_index
+
+    def get(self, container_id: int) -> Container:
+        try:
+            return self.containers[container_id]
+        except KeyError:
+            raise StorageError(f"unknown container {container_id}") from None
+
+    @property
+    def num_containers(self) -> int:
+        return len(self.containers)
+
+    def stored_bytes(self) -> int:
+        sealed = sum(c.data_bytes for c in self.containers.values())
+        return sealed + self._open_bytes

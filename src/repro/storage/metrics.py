@@ -1,0 +1,67 @@
+"""Metadata-access accounting (§7.4.2).
+
+The DDFS prototype's deduplication performance is dominated by on-disk
+metadata access, which the paper splits into three categories:
+
+* **update access** — writing the metadata of newly stored unique chunks to
+  the on-disk fingerprint index (steps S2/S3);
+* **index access** — looking up the on-disk fingerprint index to confirm a
+  Bloom-filter hit (step S3);
+* **loading access** — reading a whole container's fingerprints into the
+  in-memory fingerprint cache after an index hit (step S4).
+
+All three are measured in bytes of metadata moved, at a configurable
+per-fingerprint entry size (32 B in the paper's evaluation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MetadataAccessStats:
+    """Byte counters for one backup's worth of deduplication."""
+
+    update_bytes: int = 0
+    index_bytes: int = 0
+    loading_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.update_bytes + self.index_bytes + self.loading_bytes
+
+    def add(self, other: "MetadataAccessStats") -> None:
+        self.update_bytes += other.update_bytes
+        self.index_bytes += other.index_bytes
+        self.loading_bytes += other.loading_bytes
+
+    def breakdown(self) -> dict[str, int]:
+        return {
+            "update": self.update_bytes,
+            "index": self.index_bytes,
+            "loading": self.loading_bytes,
+        }
+
+
+@dataclass
+class BackupWriteReport:
+    """Outcome of deduplicating one backup stream (Figures 13/14 rows)."""
+
+    label: str
+    total_chunks: int = 0
+    unique_chunks: int = 0
+    duplicate_chunks: int = 0
+    logical_bytes: int = 0
+    stored_bytes: int = 0
+    containers_written: int = 0
+    bloom_false_positives: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    metadata: MetadataAccessStats = field(default_factory=MetadataAccessStats)
+
+    @property
+    def dedup_ratio(self) -> float:
+        if self.stored_bytes == 0:
+            return 0.0
+        return self.logical_bytes / self.stored_bytes

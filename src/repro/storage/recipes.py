@@ -1,0 +1,76 @@
+"""File recipes (§2.1, §6.2).
+
+A file recipe lists the chunk references of a file *in the file's original
+chunk order*, so the file can be reconstructed regardless of how the storage
+system deduplicated, scrambled, or containerised the chunks. Together with
+the (conventionally encrypted) key recipe it is all a client needs to
+restore: fetch each ciphertext chunk by fingerprint, decrypt with the
+corresponding key, concatenate.
+
+Scrambling (§6.2) permutes only the *upload order*; the recipe retains the
+logical order, which is why restores are unaffected by the defense.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.common.errors import IntegrityError
+from repro.crypto.cipher import BlockCipher
+from repro.crypto.primitives import hkdf_expand
+
+
+@dataclass(frozen=True)
+class ChunkRef:
+    """Reference to one stored ciphertext chunk."""
+
+    tag: bytes
+    size: int
+
+
+@dataclass
+class FileRecipe:
+    """Ordered chunk references for one file."""
+
+    filename: str
+    chunks: list[ChunkRef] = field(default_factory=list)
+
+    def add(self, tag: bytes, size: int) -> None:
+        self.chunks.append(ChunkRef(tag=tag, size=size))
+
+    def __len__(self) -> int:
+        return len(self.chunks)
+
+    @property
+    def logical_bytes(self) -> int:
+        return sum(ref.size for ref in self.chunks)
+
+    # Recipes hold the map from ciphertext chunks back to file layout, so
+    # they are stored under the user's own key (threat model §3.3: the
+    # adversary cannot read any recipe).
+
+    def seal(self, user_secret: bytes) -> bytes:
+        payload = json.dumps(
+            {
+                "filename": self.filename,
+                "chunks": [[ref.tag.hex(), ref.size] for ref in self.chunks],
+            }
+        ).encode()
+        return BlockCipher().encrypt(
+            hkdf_expand(user_secret, b"file-recipe"), payload
+        )
+
+    @classmethod
+    def unseal(cls, sealed: bytes, user_secret: bytes) -> "FileRecipe":
+        payload = BlockCipher().decrypt(
+            hkdf_expand(user_secret, b"file-recipe"), sealed
+        )
+        try:
+            doc = json.loads(payload.decode())
+            recipe = cls(filename=doc["filename"])
+            for tag_hex, size in doc["chunks"]:
+                recipe.add(bytes.fromhex(tag_hex), int(size))
+        except (KeyError, ValueError, UnicodeDecodeError) as exc:
+            raise IntegrityError("file recipe payload corrupt") from exc
+        return recipe

@@ -1,0 +1,91 @@
+"""Shared fixtures: small, fast workloads for unit/integration tests.
+
+The bench-scale canonical workloads live in ``repro.analysis.workloads``;
+tests use miniature variants so the whole suite stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.fsl import FSLConfig, FSLDatasetGenerator
+from repro.datasets.model import Backup, BackupSeries
+from repro.datasets.synthetic import SyntheticConfig, SyntheticDatasetGenerator
+from repro.datasets.vm import VMConfig, VMDatasetGenerator
+from repro.defenses.pipeline import DefensePipeline, DefenseScheme
+from repro.defenses.segmentation import SegmentationSpec
+
+
+@pytest.fixture(scope="session")
+def tiny_fsl_series() -> BackupSeries:
+    # Scaled so the u=1 locality-attack seed reliably lands (the attack is
+    # all-or-nothing below a few thousand chunks per backup).
+    config = FSLConfig(
+        num_users=4,
+        num_backups=4,
+        files_per_user=60,
+        mean_file_chunks=24,
+        num_templates=40,
+        popular_pool_size=80,
+    )
+    return FSLDatasetGenerator(seed=11, config=config).generate()
+
+
+@pytest.fixture(scope="session")
+def tiny_vm_series() -> BackupSeries:
+    config = VMConfig(
+        num_vms=4,
+        num_backups=6,
+        base_image_chunks=400,
+        user_region_chunks=150,
+        heavy_weeks=(2, 3),
+        quiet_weeks=(0,),
+        popular_pool_size=20,
+    )
+    return VMDatasetGenerator(seed=13, config=config).generate()
+
+
+@pytest.fixture(scope="session")
+def tiny_synthetic_series() -> BackupSeries:
+    config = SyntheticConfig(
+        num_files=60,
+        mean_file_chunks=16,
+        num_snapshots=4,
+        num_templates=12,
+        popular_pool_size=20,
+    )
+    return SyntheticDatasetGenerator(seed=17, config=config).generate()
+
+
+@pytest.fixture(scope="session")
+def tiny_segmentation() -> SegmentationSpec:
+    """Segments of roughly 8-32 chunks for the tiny workloads."""
+    return SegmentationSpec.scaled(8192)
+
+
+@pytest.fixture(scope="session")
+def tiny_encrypted_mle(tiny_fsl_series, tiny_segmentation):
+    return DefensePipeline(
+        DefenseScheme.MLE, segmentation=tiny_segmentation, seed=5
+    ).encrypt_series(tiny_fsl_series)
+
+
+@pytest.fixture(scope="session")
+def tiny_encrypted_combined(tiny_fsl_series, tiny_segmentation):
+    return DefensePipeline(
+        DefenseScheme.COMBINED, segmentation=tiny_segmentation, seed=5
+    ).encrypt_series(tiny_fsl_series)
+
+
+def make_backup(label: str, tokens: list[str], size: int = 4096) -> Backup:
+    """Build a backup whose fingerprints are readable ASCII tokens."""
+    return Backup(
+        label=label,
+        fingerprints=[token.encode() for token in tokens],
+        sizes=[size] * len(tokens),
+    )
+
+
+@pytest.fixture()
+def backup_factory():
+    return make_backup

@@ -1,0 +1,120 @@
+"""Integration: dataset → defense pipeline → attack → evaluation.
+
+These run the paper's core claims end-to-end on the tiny test workloads:
+the locality-based attack beats the basic attack by orders of magnitude
+under deterministic MLE, and the combined defense suppresses it.
+"""
+
+import pytest
+
+from repro.attacks import (
+    AdvancedLocalityAttack,
+    AttackEvaluator,
+    BasicAttack,
+    LocalityAttack,
+)
+from repro.defenses.pipeline import DefensePipeline, DefenseScheme
+
+pytestmark = pytest.mark.integration
+
+
+class TestAttackHierarchy:
+    def test_locality_beats_basic_on_fsl(self, tiny_encrypted_mle):
+        evaluator = AttackEvaluator(tiny_encrypted_mle)
+        basic = evaluator.run(BasicAttack(), auxiliary=-2, target=-1)
+        locality = evaluator.run(
+            LocalityAttack(u=1, v=15, w=50_000), auxiliary=-2, target=-1
+        )
+        assert locality.inference_rate > 10 * max(basic.inference_rate, 1e-6)
+        assert locality.inference_rate > 0.02
+
+    def test_advanced_at_least_matches_locality(self, tiny_encrypted_mle):
+        evaluator = AttackEvaluator(tiny_encrypted_mle)
+        locality = evaluator.run(
+            LocalityAttack(u=1, v=15, w=50_000), auxiliary=-2, target=-1
+        )
+        advanced = evaluator.run(
+            AdvancedLocalityAttack(u=1, v=15, w=50_000), auxiliary=-2, target=-1
+        )
+        assert advanced.inference_rate >= locality.inference_rate
+
+    def test_recent_auxiliary_beats_stale(self, tiny_encrypted_mle):
+        evaluator = AttackEvaluator(tiny_encrypted_mle)
+        attack = AdvancedLocalityAttack(u=1, v=15, w=50_000)
+        recent = evaluator.run(attack, auxiliary=-2, target=-1)
+        stale = evaluator.run(attack, auxiliary=0, target=-1)
+        assert recent.inference_rate > stale.inference_rate
+
+    def test_leakage_strictly_helps(self, tiny_encrypted_mle):
+        evaluator = AttackEvaluator(tiny_encrypted_mle)
+        attack = LocalityAttack(u=1, v=15, w=50_000)
+        without = evaluator.run(attack, auxiliary=1, target=-1)
+        with_leak = evaluator.run(
+            attack, auxiliary=1, target=-1, leakage_rate=0.01
+        )
+        assert with_leak.inference_rate > without.inference_rate
+
+
+class TestDefenseSuppression:
+    def test_combined_suppresses_advanced_attack(
+        self, tiny_encrypted_mle, tiny_encrypted_combined
+    ):
+        attack = AdvancedLocalityAttack(u=1, v=15, w=50_000)
+        undefended = AttackEvaluator(tiny_encrypted_mle).run(
+            attack, auxiliary=-2, target=-1, leakage_rate=0.002
+        )
+        defended = AttackEvaluator(tiny_encrypted_combined).run(
+            attack, auxiliary=-2, target=-1, leakage_rate=0.002
+        )
+        assert defended.inference_rate < undefended.inference_rate / 5
+        assert defended.inference_rate < 0.02
+
+    def test_minhash_alone_weaker_than_combined(
+        self, tiny_fsl_series, tiny_segmentation, tiny_encrypted_combined
+    ):
+        minhash = DefensePipeline(
+            DefenseScheme.MINHASH, segmentation=tiny_segmentation, seed=5
+        ).encrypt_series(tiny_fsl_series)
+        attack = AdvancedLocalityAttack(u=1, v=15, w=50_000)
+        minhash_report = AttackEvaluator(minhash).run(
+            attack, auxiliary=-2, target=-1, leakage_rate=0.002
+        )
+        combined_report = AttackEvaluator(tiny_encrypted_combined).run(
+            attack, auxiliary=-2, target=-1, leakage_rate=0.002
+        )
+        assert combined_report.inference_rate <= minhash_report.inference_rate
+
+    def test_storage_saving_loss_is_bounded(
+        self, tiny_fsl_series, tiny_segmentation
+    ):
+        from repro.datasets.stats import storage_savings
+
+        mle = DefensePipeline(
+            DefenseScheme.MLE, segmentation=tiny_segmentation
+        ).encrypt_series(tiny_fsl_series)
+        combined = DefensePipeline(
+            DefenseScheme.COMBINED, segmentation=tiny_segmentation
+        ).encrypt_series(tiny_fsl_series)
+        saving_mle = storage_savings(
+            [b.ciphertext for b in mle.backups]
+        )[-1]
+        saving_combined = storage_savings(
+            [b.ciphertext for b in combined.backups]
+        )[-1]
+        assert saving_combined <= saving_mle
+        assert saving_mle - saving_combined < 0.25
+
+
+class TestVMDataset:
+    def test_advanced_equals_locality_on_fixed_chunks(self, tiny_vm_series):
+        encrypted = DefensePipeline(DefenseScheme.MLE).encrypt_series(
+            tiny_vm_series
+        )
+        evaluator = AttackEvaluator(encrypted)
+        locality = evaluator.run(
+            LocalityAttack(u=1, v=15, w=50_000), auxiliary=-2, target=-1
+        )
+        advanced = evaluator.run(
+            AdvancedLocalityAttack(u=1, v=15, w=50_000), auxiliary=-2, target=-1
+        )
+        assert locality.inference_rate == advanced.inference_rate

@@ -1,0 +1,122 @@
+"""Integration: chunking → MLE/MinHash → DDFS store → restore, plus the
+trace-driven metadata experiment on generated workloads."""
+
+import pytest
+
+from repro.chunking import ChunkerSpec, GearChunker
+from repro.common.errors import IntegrityError
+from repro.crypto.mle import ConvergentEncryption
+from repro.datasets.filesystem import build_tree
+from repro.datasets.mutate import evolve_tree
+from repro.defenses.pipeline import DefensePipeline, DefenseScheme
+from repro.defenses.segmentation import SegmentationSpec
+from repro.storage.ddfs import DDFSEngine
+from repro.storage.system import EncryptedDedupSystem
+
+pytestmark = pytest.mark.integration
+
+SMALL_CHUNKS = ChunkerSpec(min_size=512, avg_size=2048, max_size=8192)
+SMALL_SEGMENTS = SegmentationSpec(
+    min_bytes=8 * 1024, avg_bytes=16 * 1024, max_bytes=32 * 1024
+)
+
+
+def make_system(**kwargs):
+    return EncryptedDedupSystem(
+        scheme=ConvergentEncryption(),
+        chunker=GearChunker(SMALL_CHUNKS),
+        segmentation=SMALL_SEGMENTS,
+        container_size=64 * 1024,
+        **kwargs,
+    )
+
+
+class TestBackupGenerationsEndToEnd:
+    def test_three_generations_store_and_restore(self):
+        system = make_system(use_minhash=True, use_scramble=True)
+        tree = build_tree(seed=20, num_files=6, mean_file_size=24_000)
+        handles = {}
+        trees = [tree]
+        for generation in (1, 2):
+            trees.append(
+                evolve_tree(trees[-1], seed=20, generation=generation)
+            )
+        for generation, snapshot in enumerate(trees):
+            for file in snapshot.iter_files():
+                handles[(generation, file.path)] = system.put_file(
+                    file.path, file.data
+                )
+        system.flush()
+        for (generation, path), handle in handles.items():
+            assert system.get_file(handle) == trees[generation].get(path).data
+
+    def test_temporal_dedup_saves_storage(self):
+        system = make_system()
+        tree = build_tree(seed=21, num_files=6, mean_file_size=24_000)
+        for file in tree.iter_files():
+            system.put_file(file.path, file.data)
+        system.flush()
+        first_gen = system.stored_bytes
+        evolved = evolve_tree(tree, seed=21, generation=1, modify_fraction=0.2)
+        for file in evolved.iter_files():
+            system.put_file(file.path, file.data)
+        system.flush()
+        second_gen_added = system.stored_bytes - first_gen
+        assert second_gen_added < 0.5 * first_gen
+
+    def test_corrupted_container_detected_on_restore(self):
+        system = make_system()
+        tree = build_tree(seed=22, num_files=2, mean_file_size=16_000)
+        handles = [
+            system.put_file(file.path, file.data) for file in tree.iter_files()
+        ]
+        system.flush()
+        # Flip a payload byte in the first container.
+        container = system.engine.containers.get(0)
+        corrupted = bytearray(container.payload)
+        corrupted[0] ^= 0xFF
+        container.payload = bytes(corrupted)
+        with pytest.raises(IntegrityError):
+            for handle in handles:
+                system.get_file(handle)
+
+
+class TestTraceDrivenMetadata:
+    def test_mle_vs_combined_metadata_profile(self, tiny_fsl_series, tiny_segmentation):
+        results = {}
+        for scheme in (DefenseScheme.MLE, DefenseScheme.COMBINED):
+            encrypted = DefensePipeline(
+                scheme, segmentation=tiny_segmentation
+            ).encrypt_series(tiny_fsl_series)
+            engine = DDFSEngine(
+                cache_budget_bytes=16 * 1024,
+                bloom_capacity=60_000,
+                container_size=32 * 4096,
+            )
+            reports = engine.process_series(
+                [b.ciphertext for b in encrypted.backups]
+            )
+            results[scheme] = reports
+        # Combined stores more unique chunks (MinHash variants)...
+        mle_unique = sum(r.unique_chunks for r in results[DefenseScheme.MLE])
+        combined_unique = sum(
+            r.unique_chunks for r in results[DefenseScheme.COMBINED]
+        )
+        assert combined_unique >= mle_unique
+        # ...and update access scales with unique chunks for both schemes.
+        for scheme, reports in results.items():
+            for report in reports:
+                assert report.metadata.update_bytes == 32 * report.unique_chunks
+
+    def test_larger_cache_reduces_loading(self, tiny_encrypted_mle):
+        backups = [b.ciphertext for b in tiny_encrypted_mle.backups]
+        loading = {}
+        for budget in (8 * 1024, 1024 * 1024):
+            engine = DDFSEngine(
+                cache_budget_bytes=budget,
+                bloom_capacity=60_000,
+                container_size=32 * 4096,
+            )
+            reports = engine.process_series(backups)
+            loading[budget] = sum(r.metadata.loading_bytes for r in reports)
+        assert loading[1024 * 1024] < loading[8 * 1024]

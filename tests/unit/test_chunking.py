@@ -1,0 +1,208 @@
+"""Tests for the chunking substrate: fixed, Rabin, gear, fingerprints."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chunking import (
+    Chunk,
+    ChunkerSpec,
+    Fingerprinter,
+    FixedSizeChunker,
+    GearChunker,
+    RabinChunker,
+    RabinRolling,
+)
+from repro.chunking.base import reassemble
+from repro.common.errors import ConfigurationError
+
+SPEC = ChunkerSpec(min_size=64, avg_size=256, max_size=1024)
+
+
+def chunkers():
+    return [
+        FixedSizeChunker(block_size=256),
+        RabinChunker(SPEC),
+        GearChunker(SPEC),
+    ]
+
+
+class TestChunkerSpec:
+    def test_mask(self):
+        assert ChunkerSpec(64, 256, 1024).mask == 255
+
+    @pytest.mark.parametrize(
+        "args", [(0, 256, 1024), (64, 200, 1024), (512, 256, 1024), (64, 256, 128)]
+    )
+    def test_invalid_specs(self, args):
+        with pytest.raises(ConfigurationError):
+            ChunkerSpec(*args)
+
+
+class TestChunkBasics:
+    def test_chunk_size(self):
+        chunk = Chunk(offset=3, data=b"abcd")
+        assert chunk.size == 4
+        assert len(chunk) == 4
+
+    def test_empty_input_gives_no_chunks(self):
+        for chunker in chunkers():
+            assert chunker.split(b"") == []
+
+    def test_single_byte(self):
+        for chunker in chunkers():
+            chunks = chunker.split(b"x")
+            assert reassemble(chunks) == b"x"
+
+
+class TestReassembly:
+    @given(st.binary(min_size=0, max_size=20_000))
+    @settings(max_examples=25, deadline=None)
+    def test_reassembly_invariant(self, data):
+        for chunker in chunkers():
+            chunks = chunker.split(data)
+            assert reassemble(chunks) == data
+            # Offsets must be consistent with concatenation order.
+            position = 0
+            for chunk in chunks:
+                assert chunk.offset == position
+                position += chunk.size
+
+    def test_cut_points_end_with_length(self):
+        data = random.Random(0).randbytes(5000)
+        for chunker in chunkers():
+            cuts = chunker.cut_points(data)
+            assert cuts[-1] == len(data)
+            assert cuts == sorted(cuts)
+            assert len(set(cuts)) == len(cuts)
+
+
+class TestSizeBounds:
+    def test_content_defined_bounds(self):
+        data = random.Random(1).randbytes(100_000)
+        for chunker in (RabinChunker(SPEC), GearChunker(SPEC)):
+            chunks = chunker.split(data)
+            sizes = [c.size for c in chunks]
+            # All chunks except the final one respect min/max.
+            for size in sizes[:-1]:
+                assert SPEC.min_size <= size <= SPEC.max_size
+            assert sizes[-1] <= SPEC.max_size
+
+    def test_average_size_in_expected_band(self):
+        data = random.Random(2).randbytes(300_000)
+        for chunker in (RabinChunker(SPEC), GearChunker(SPEC)):
+            sizes = [c.size for c in chunker.split(data)]
+            mean = sum(sizes) / len(sizes)
+            # Content-defined chunking with min-size skipping lands around
+            # min + avg; allow a generous band.
+            assert SPEC.min_size < mean < SPEC.max_size
+
+
+class TestFixedChunker:
+    def test_exact_blocks(self):
+        chunker = FixedSizeChunker(block_size=100)
+        chunks = chunker.split(b"a" * 250)
+        assert [c.size for c in chunks] == [100, 100, 50]
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ConfigurationError):
+            FixedSizeChunker(block_size=0)
+
+
+class TestShiftRobustness:
+    def test_insertion_preserves_most_chunks(self):
+        data = random.Random(3).randbytes(60_000)
+        shifted = data[:30_000] + b"INSERTED" + data[30_000:]
+        for chunker in (RabinChunker(SPEC), GearChunker(SPEC)):
+            before = {c.data for c in chunker.split(data)}
+            after = {c.data for c in chunker.split(shifted)}
+            shared = len(before & after) / len(before)
+            assert shared > 0.8, f"{chunker}: only {shared:.0%} chunks survive"
+
+    def test_fixed_size_chunking_is_not_shift_robust(self):
+        # The contrast that motivates content-defined chunking.
+        data = random.Random(4).randbytes(60_000)
+        shifted = b"X" + data
+        chunker = FixedSizeChunker(4096)
+        before = {c.data for c in chunker.split(data)}
+        after = {c.data for c in chunker.split(shifted)}
+        assert len(before & after) / len(before) < 0.1
+
+
+class TestRabinRolling:
+    def test_rolling_matches_naive_window_fingerprint(self):
+        rolling = RabinRolling(window=16)
+        data = random.Random(5).randbytes(200)
+        fingerprint = 0
+        for index, byte in enumerate(data):
+            if index < rolling.window:
+                fingerprint = rolling.append(fingerprint, byte)
+            else:
+                fingerprint = rolling.slide(
+                    fingerprint, byte, data[index - rolling.window]
+                )
+            if index >= rolling.window - 1:
+                window = data[index - rolling.window + 1 : index + 1]
+                assert fingerprint == rolling.fingerprint(window), index
+
+    def test_degree_bound(self):
+        rolling = RabinRolling()
+        rng = random.Random(6)
+        fingerprint = 0
+        for _ in range(1000):
+            fingerprint = rolling.append(fingerprint, rng.randrange(256))
+            assert fingerprint < (1 << rolling.degree)
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            RabinRolling(window=0)
+
+
+class TestRabinChunkerZeros:
+    def test_zero_runs_do_not_cut_everywhere(self):
+        # All-zero data has fingerprint 0; the magic value must avoid
+        # degenerate per-byte cuts.
+        chunker = RabinChunker(SPEC)
+        chunks = chunker.split(b"\x00" * 50_000)
+        sizes = [c.size for c in chunks]
+        assert all(s >= SPEC.min_size for s in sizes[:-1])
+        # Zero data has no boundaries, so chunks should hit max_size.
+        assert sizes[0] == SPEC.max_size
+
+
+class TestFingerprinter:
+    def test_deterministic(self):
+        fp = Fingerprinter("sha256")
+        assert fp(b"data") == fp(b"data")
+
+    def test_distinct_content_distinct_fingerprints(self):
+        fp = Fingerprinter("sha256")
+        assert fp(b"a") != fp(b"b")
+
+    def test_truncation(self):
+        fp = Fingerprinter("sha1", truncate_bytes=6)
+        assert len(fp(b"data")) == 6
+        assert fp.digest_size == 6
+
+    def test_hex(self):
+        fp = Fingerprinter("sha256", truncate_bytes=4)
+        assert fp.hex(b"data") == fp(b"data").hex()
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ConfigurationError):
+            Fingerprinter("sha512")
+
+    def test_bad_truncation(self):
+        with pytest.raises(ConfigurationError):
+            Fingerprinter("sha1", truncate_bytes=0)
+        with pytest.raises(ConfigurationError):
+            Fingerprinter("sha1", truncate_bytes=21)
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_truncated_is_prefix_of_full(self, data):
+        full = Fingerprinter("sha256")
+        short = Fingerprinter("sha256", truncate_bytes=8)
+        assert full(data)[:8] == short(data)

@@ -1,0 +1,136 @@
+"""Tests for the chunk identity space and popularity models."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.datasets.chunkspace import (
+    ChunkSpace,
+    PopularPool,
+    SizeModel,
+    ZipfSampler,
+)
+
+
+class TestSizeModel:
+    def test_fixed(self):
+        model = SizeModel(kind="fixed", fixed_size=4096)
+        assert model.size_for(0.1) == 4096
+        assert model.size_for(0.9) == 4096
+
+    def test_variable_bounds(self):
+        model = SizeModel(min_size=2048, avg_size=8192, max_size=65536)
+        for u in (0.0, 0.25, 0.5, 0.75, 0.999999):
+            size = model.size_for(u)
+            assert 2048 <= size <= 65536
+
+    def test_quantisation(self):
+        model = SizeModel(size_quantum=512)
+        for u in (0.1, 0.4, 0.8):
+            assert model.size_for(u) % 512 == 0
+
+    def test_mean_near_average(self):
+        model = SizeModel(min_size=2048, avg_size=8192, max_size=65536, size_quantum=1)
+        rng = random.Random(0)
+        sizes = [model.size_for(rng.random()) for _ in range(20_000)]
+        mean = sum(sizes) / len(sizes)
+        assert 0.8 * 8192 < mean < 1.2 * 8192
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            SizeModel(kind="weird")
+        with pytest.raises(ConfigurationError):
+            SizeModel(min_size=10_000, avg_size=8192, max_size=65536)
+        with pytest.raises(ConfigurationError):
+            SizeModel(size_quantum=0)
+
+
+class TestChunkSpace:
+    def test_allocate_monotonic(self):
+        space = ChunkSpace("test")
+        ids = space.allocate_many(10)
+        assert ids == list(range(10))
+        assert space.allocated == 10
+
+    def test_fingerprint_stable_and_distinct(self):
+        space = ChunkSpace("test", fingerprint_bytes=6)
+        assert space.fingerprint(1) == space.fingerprint(1)
+        assert space.fingerprint(1) != space.fingerprint(2)
+        assert len(space.fingerprint(1)) == 6
+
+    def test_namespace_separation(self):
+        a = ChunkSpace("ns-a")
+        b = ChunkSpace("ns-b")
+        assert a.fingerprint(1) != b.fingerprint(1)
+
+    def test_size_stable(self):
+        space = ChunkSpace("test")
+        assert space.size(5) == space.size(5)
+
+    def test_invalid_fingerprint_bytes(self):
+        with pytest.raises(ConfigurationError):
+            ChunkSpace("test", fingerprint_bytes=2)
+
+
+class TestZipfSampler:
+    def test_rank_zero_most_likely(self):
+        sampler = ZipfSampler(count=50, exponent=1.2)
+        rng = random.Random(1)
+        counts = Counter(sampler.draw(rng) for _ in range(20_000))
+        assert counts[0] > counts[10] > counts.get(45, 0)
+
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(count=10, exponent=1.0)
+        assert abs(sum(sampler.probabilities) - 1.0) < 1e-9
+
+    def test_single_rank(self):
+        sampler = ZipfSampler(count=1, exponent=1.0)
+        assert sampler.draw(random.Random(0)) == 0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            ZipfSampler(count=0, exponent=1.0)
+        with pytest.raises(ConfigurationError):
+            ZipfSampler(count=5, exponent=0.0)
+
+
+class TestPopularPool:
+    def test_build_singleton_top(self):
+        space = ChunkSpace("pool")
+        pool = PopularPool.build(
+            space, random.Random(2), num_runs=20, singleton_top=5
+        )
+        assert all(len(run) == 1 for run in pool.runs[:5])
+
+    def test_draw_run_returns_prefixes(self):
+        space = ChunkSpace("pool")
+        pool = PopularPool.build(
+            space, random.Random(3), num_runs=10, min_run=4, max_run=6,
+            singleton_top=0,
+        )
+        rng = random.Random(4)
+        for _ in range(50):
+            run = pool.draw_run(rng)
+            full = next(r for r in pool.runs if r[0] == run[0])
+            assert run == full[: len(run)]
+
+    def test_zipf_head_dominates(self):
+        space = ChunkSpace("pool")
+        pool = PopularPool.build(space, random.Random(5), num_runs=30)
+        rng = random.Random(6)
+        counts = Counter(tuple(pool.draw_run(rng))[0] for _ in range(5000))
+        top_chunk = pool.runs[0][0]
+        assert counts[top_chunk] == max(counts.values())
+
+    def test_expected_run_length_positive(self):
+        space = ChunkSpace("pool")
+        pool = PopularPool.build(space, random.Random(7), num_runs=10)
+        assert pool.expected_run_length >= 1.0
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PopularPool(runs=[])
+        with pytest.raises(ConfigurationError):
+            PopularPool(runs=[[]])

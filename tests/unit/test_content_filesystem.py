@@ -1,0 +1,128 @@
+"""Tests for the content-level file tree and mutation model."""
+
+import random
+
+import pytest
+
+from repro.chunking import ChunkerSpec, GearChunker
+from repro.common.errors import ConfigurationError
+from repro.datasets.filesystem import (
+    ContentFile,
+    ContentTree,
+    build_tree,
+    deterministic_bytes,
+)
+from repro.datasets.mutate import evolve_tree, mutate_file
+
+
+class TestDeterministicBytes:
+    def test_reproducible(self):
+        assert deterministic_bytes(1, "x", 100) == deterministic_bytes(1, "x", 100)
+
+    def test_label_separation(self):
+        assert deterministic_bytes(1, "x", 100) != deterministic_bytes(1, "y", 100)
+
+    def test_length(self):
+        for length in (0, 1, 63, 64, 65, 1000):
+            assert len(deterministic_bytes(1, "x", length)) == length
+
+    def test_negative_length(self):
+        with pytest.raises(ConfigurationError):
+            deterministic_bytes(1, "x", -1)
+
+
+class TestBuildTree:
+    def test_structure(self):
+        tree = build_tree(seed=1, num_files=10, duplicate_assets=2, asset_copies=3)
+        assert len(tree) == 10 + 2 * 3
+        assert tree.total_bytes() > 0
+
+    def test_duplicate_assets_identical(self):
+        tree = build_tree(seed=2, num_files=4, duplicate_assets=1, asset_copies=3)
+        copies = [
+            tree.get(path)
+            for path in tree.paths()
+            if "asset00" in path
+        ]
+        assert len(copies) == 3
+        assert copies[0].data == copies[1].data == copies[2].data
+
+    def test_deterministic(self):
+        a = build_tree(seed=3, num_files=5)
+        b = build_tree(seed=3, num_files=5)
+        assert a.concatenated() == b.concatenated()
+
+    def test_tree_operations(self):
+        tree = ContentTree()
+        tree.add(ContentFile(path="p", data=b"data"))
+        assert tree.get("p").size == 4
+        tree.remove("p")
+        assert len(tree) == 0
+
+
+class TestMutateFile:
+    def test_churn_fraction(self):
+        file = ContentFile(path="f", data=deterministic_bytes(4, "f", 100_000))
+        edited = mutate_file(
+            file, random.Random(1), churn=0.05, insert_probability=0.0
+        )
+        changed = sum(1 for a, b in zip(file.data, edited.data) if a != b)
+        assert 0 < changed < 0.12 * len(file.data)
+
+    def test_zero_churn_identity(self):
+        file = ContentFile(path="f", data=b"hello world")
+        edited = mutate_file(file, random.Random(2), churn=0.0)
+        assert edited.data == file.data
+
+    def test_insertions_grow_file(self):
+        file = ContentFile(path="f", data=deterministic_bytes(5, "f", 50_000))
+        rng = random.Random(3)
+        grew = False
+        for _ in range(20):
+            edited = mutate_file(file, rng, churn=0.05, insert_probability=1.0)
+            if len(edited.data) > len(file.data):
+                grew = True
+                break
+        assert grew
+
+    def test_invalid_churn(self):
+        with pytest.raises(ConfigurationError):
+            mutate_file(ContentFile("f", b"x"), random.Random(0), churn=2.0)
+
+    def test_edit_preserves_most_chunks(self):
+        """Clustered edits + CDC = chunk locality at the content level."""
+        chunker = GearChunker(ChunkerSpec(min_size=512, avg_size=2048, max_size=8192))
+        file = ContentFile(path="f", data=deterministic_bytes(6, "f", 200_000))
+        edited = mutate_file(file, random.Random(4), churn=0.02)
+        before = {c.data for c in chunker.split(file.data)}
+        after = {c.data for c in chunker.split(edited.data)}
+        assert len(before & after) / len(before) > 0.6
+
+
+class TestEvolveTree:
+    def test_evolution_preserves_unmodified_files(self):
+        tree = build_tree(seed=7, num_files=10)
+        evolved = evolve_tree(tree, seed=7, generation=1, modify_fraction=0.2)
+        same = sum(
+            1
+            for path in tree.paths()
+            if path in evolved.files and evolved.get(path).data == tree.get(path).data
+        )
+        assert same >= 0.6 * len(tree)
+
+    def test_adds_new_files(self):
+        tree = build_tree(seed=8, num_files=5)
+        evolved = evolve_tree(tree, seed=8, generation=1, add_files=2)
+        assert len(evolved) == len(tree) + 2
+
+    def test_original_untouched(self):
+        tree = build_tree(seed=9, num_files=5)
+        snapshot = {path: tree.get(path).data for path in tree.paths()}
+        evolve_tree(tree, seed=9, generation=1)
+        assert {path: tree.get(path).data for path in tree.paths()} == snapshot
+
+    def test_deterministic(self):
+        tree = build_tree(seed=10, num_files=5)
+        a = evolve_tree(tree, seed=10, generation=1)
+        b = evolve_tree(tree, seed=10, generation=1)
+        assert a.concatenated() == b.concatenated()

@@ -1,0 +1,272 @@
+"""Tests for repro.crypto: primitives, cipher, key manager, MLE schemes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import (
+    ConfigurationError,
+    IntegrityError,
+    RateLimitExceeded,
+)
+from repro.crypto.cipher import (
+    BLOCK_SIZE,
+    BlockCipher,
+    ciphertext_blocks,
+    pad,
+    unpad,
+)
+from repro.crypto.keymanager import KeyManager, RateLimiter
+from repro.crypto.mle import (
+    CiphertextChunk,
+    ConvergentEncryption,
+    KeyRecipe,
+    ServerAidedMLE,
+)
+from repro.crypto.primitives import hkdf_expand, hmac_digest, prf_stream
+
+KEY = b"k" * 32
+
+
+class TestPrimitives:
+    def test_prf_stream_deterministic(self):
+        assert prf_stream(KEY, b"n", 100) == prf_stream(KEY, b"n", 100)
+
+    def test_prf_stream_key_separation(self):
+        assert prf_stream(KEY, b"n", 64) != prf_stream(b"j" * 32, b"n", 64)
+
+    def test_prf_stream_nonce_separation(self):
+        assert prf_stream(KEY, b"a", 64) != prf_stream(KEY, b"b", 64)
+
+    @pytest.mark.parametrize("length", [0, 1, 63, 64, 65, 1000])
+    def test_prf_stream_lengths(self, length):
+        assert len(prf_stream(KEY, b"n", length)) == length
+
+    def test_prf_stream_prefix_stable(self):
+        # Requesting a longer stream must extend, not change, the prefix.
+        assert prf_stream(KEY, b"n", 200)[:50] == prf_stream(KEY, b"n", 50)
+
+    def test_prf_stream_negative_length(self):
+        with pytest.raises(ValueError):
+            prf_stream(KEY, b"n", -1)
+
+    def test_hkdf_expand_lengths_and_separation(self):
+        a = hkdf_expand(KEY, b"purpose-a")
+        b = hkdf_expand(KEY, b"purpose-b")
+        assert len(a) == 32
+        assert a != b
+        assert hkdf_expand(KEY, b"purpose-a", 64)[:32] == a
+
+    def test_hmac_digest_deterministic(self):
+        assert hmac_digest(KEY, b"m") == hmac_digest(KEY, b"m")
+
+
+class TestPadding:
+    @given(st.binary(max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_pad_unpad_roundtrip(self, data):
+        padded = pad(data)
+        assert len(padded) % BLOCK_SIZE == 0
+        assert len(padded) > len(data)
+        assert unpad(padded) == data
+
+    def test_unpad_rejects_bad_length(self):
+        with pytest.raises(IntegrityError):
+            unpad(b"short")
+
+    def test_unpad_rejects_corrupt_padding(self):
+        padded = bytearray(pad(b"hello"))
+        padded[-1] = 200  # invalid pad length byte
+        with pytest.raises(IntegrityError):
+            unpad(bytes(padded))
+
+    def test_ciphertext_blocks(self):
+        assert ciphertext_blocks(0) == 1
+        assert ciphertext_blocks(15) == 1
+        assert ciphertext_blocks(16) == 2
+        assert ciphertext_blocks(4096) == 257
+
+    def test_ciphertext_blocks_matches_actual_encryption(self):
+        cipher = BlockCipher()
+        for size in (0, 1, 15, 16, 17, 100, 4096):
+            ciphertext = cipher.encrypt(KEY, b"x" * size)
+            assert len(ciphertext) // BLOCK_SIZE == ciphertext_blocks(size)
+
+
+class TestBlockCipher:
+    @given(st.binary(max_size=500))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, data):
+        cipher = BlockCipher()
+        assert cipher.decrypt(KEY, cipher.encrypt(KEY, data)) == data
+
+    def test_deterministic(self):
+        cipher = BlockCipher()
+        assert cipher.encrypt(KEY, b"data") == cipher.encrypt(KEY, b"data")
+
+    def test_key_separation(self):
+        cipher = BlockCipher()
+        assert cipher.encrypt(KEY, b"data") != cipher.encrypt(b"x" * 32, b"data")
+
+    def test_wrong_key_fails_or_garbles(self):
+        cipher = BlockCipher()
+        ciphertext = cipher.encrypt(KEY, b"some plaintext bytes")
+        try:
+            wrong = cipher.decrypt(b"w" * 32, ciphertext)
+            assert wrong != b"some plaintext bytes"
+        except IntegrityError:
+            pass  # padding check caught it — also fine
+
+    def test_empty_key_rejected(self):
+        cipher = BlockCipher()
+        with pytest.raises(ConfigurationError):
+            cipher.encrypt(b"", b"data")
+
+
+class TestRateLimiter:
+    def test_burst_then_block(self):
+        limiter = RateLimiter(rate=1.0, burst=3.0)
+        assert all(limiter.try_acquire() for _ in range(3))
+        assert not limiter.try_acquire()
+
+    def test_refill_with_logical_clock(self):
+        limiter = RateLimiter(rate=2.0, burst=2.0)
+        limiter.try_acquire()
+        limiter.try_acquire()
+        assert not limiter.try_acquire()
+        limiter.advance(1.0)  # refills 2 tokens
+        assert limiter.try_acquire()
+        assert limiter.try_acquire()
+        assert not limiter.try_acquire()
+
+    def test_bucket_does_not_exceed_burst(self):
+        limiter = RateLimiter(rate=100.0, burst=2.0)
+        limiter.advance(100.0)
+        assert limiter.try_acquire()
+        assert limiter.try_acquire()
+        assert not limiter.try_acquire()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            RateLimiter(rate=0, burst=1)
+        with pytest.raises(ConfigurationError):
+            RateLimiter(rate=1, burst=0)
+
+    def test_cannot_rewind_clock(self):
+        limiter = RateLimiter(rate=1, burst=1)
+        with pytest.raises(ConfigurationError):
+            limiter.advance(-1)
+
+
+class TestKeyManager:
+    def test_deterministic_keys(self):
+        manager = KeyManager(b"s" * 32)
+        assert manager.derive_key(b"fp1") == manager.derive_key(b"fp1")
+
+    def test_distinct_fingerprints_distinct_keys(self):
+        manager = KeyManager(b"s" * 32)
+        assert manager.derive_key(b"fp1") != manager.derive_key(b"fp2")
+
+    def test_distinct_secrets_distinct_keys(self):
+        a = KeyManager(b"a" * 32)
+        b = KeyManager(b"b" * 32)
+        assert a.derive_key(b"fp") != b.derive_key(b"fp")
+
+    def test_verify_key(self):
+        manager = KeyManager(b"s" * 32)
+        key = manager.derive_key(b"fp")
+        assert manager.verify_key(b"fp", key)
+        assert not manager.verify_key(b"fp", b"\x00" * 32)
+
+    def test_rate_limited_brute_force(self):
+        limiter = RateLimiter(rate=1.0, burst=5.0)
+        manager = KeyManager(b"s" * 32, rate_limiter=limiter)
+        served = 0
+        rejected = 0
+        for candidate in range(20):  # online brute-force attempt
+            try:
+                manager.derive_key(str(candidate).encode())
+                served += 1
+            except RateLimitExceeded:
+                rejected += 1
+        assert served == 5
+        assert rejected == 15
+        assert manager.queries_served == 5
+        assert manager.queries_rejected == 15
+
+    def test_short_secret_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KeyManager(b"short")
+
+
+class TestMLESchemes:
+    @pytest.mark.parametrize("scheme_name", ["convergent", "server-aided"])
+    def test_determinism_enables_dedup(self, scheme_name):
+        scheme = self._scheme(scheme_name)
+        chunk_a, key_a = scheme.encrypt_chunk(b"same content")
+        chunk_b, key_b = scheme.encrypt_chunk(b"same content")
+        assert chunk_a.data == chunk_b.data
+        assert chunk_a.tag == chunk_b.tag
+        assert key_a == key_b
+
+    @pytest.mark.parametrize("scheme_name", ["convergent", "server-aided"])
+    def test_roundtrip(self, scheme_name):
+        scheme = self._scheme(scheme_name)
+        chunk, key = scheme.encrypt_chunk(b"secret payload")
+        assert scheme.decrypt_chunk(chunk, key) == b"secret payload"
+
+    def test_different_content_different_ciphertext(self):
+        scheme = ConvergentEncryption()
+        a, _ = scheme.encrypt_chunk(b"content-a")
+        b, _ = scheme.encrypt_chunk(b"content-b")
+        assert a.tag != b.tag
+
+    def test_tamper_detection(self):
+        scheme = ConvergentEncryption()
+        chunk, key = scheme.encrypt_chunk(b"payload")
+        tampered = CiphertextChunk(
+            data=chunk.data[:-1] + bytes([chunk.data[-1] ^ 1]), tag=chunk.tag
+        )
+        with pytest.raises(IntegrityError):
+            scheme.decrypt_chunk(tampered, key)
+
+    def test_convergent_vs_server_aided_differ(self):
+        convergent = ConvergentEncryption()
+        aided = self._scheme("server-aided")
+        a, _ = convergent.encrypt_chunk(b"content")
+        b, _ = aided.encrypt_chunk(b"content")
+        assert a.data != b.data
+
+    def test_ciphertext_is_block_padded(self):
+        scheme = ConvergentEncryption()
+        chunk, _ = scheme.encrypt_chunk(b"x" * 100)
+        assert chunk.size % BLOCK_SIZE == 0
+        assert chunk.size == 112  # 100 -> 7 blocks
+
+    @staticmethod
+    def _scheme(name):
+        if name == "convergent":
+            return ConvergentEncryption()
+        return ServerAidedMLE(KeyManager(b"s" * 32))
+
+
+class TestKeyRecipe:
+    def test_seal_unseal_roundtrip(self):
+        recipe = KeyRecipe()
+        recipe.add(b"\x01" * 32)
+        recipe.add(b"\x02" * 32)
+        sealed = recipe.seal(b"user-secret")
+        restored = KeyRecipe.unseal(sealed, b"user-secret")
+        assert restored.keys == recipe.keys
+
+    def test_wrong_user_secret_rejected(self):
+        recipe = KeyRecipe(keys=[b"\x01" * 32])
+        sealed = recipe.seal(b"alice")
+        with pytest.raises(IntegrityError):
+            KeyRecipe.unseal(sealed, b"mallory")
+
+    def test_len(self):
+        recipe = KeyRecipe()
+        assert len(recipe) == 0
+        recipe.add(b"k")
+        assert len(recipe) == 1

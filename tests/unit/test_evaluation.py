@@ -1,0 +1,165 @@
+"""Tests for the attack evaluator: inference rate, leakage sampling."""
+
+import pytest
+
+from repro.attacks.basic import BasicAttack
+from repro.attacks.evaluation import (
+    AttackEvaluator,
+    InferenceReport,
+    sample_leakage,
+)
+from repro.attacks.locality import LocalityAttack
+from repro.common.errors import ConfigurationError
+from repro.datasets.model import Backup, BackupSeries
+from repro.defenses.pipeline import DefensePipeline, DefenseScheme
+
+
+def encrypted_pair(plain_tokens, label="b"):
+    series = BackupSeries(
+        name="t",
+        backups=[
+            Backup(
+                label=f"{label}{i}",
+                fingerprints=[t.encode() for t in tokens],
+                sizes=[4096] * len(tokens),
+            )
+            for i, tokens in enumerate(plain_tokens)
+        ],
+    )
+    return DefensePipeline(DefenseScheme.MLE).encrypt_series(series)
+
+
+class TestInferenceReport:
+    def test_rate_and_precision(self):
+        report = InferenceReport(
+            attack="locality",
+            scheme="mle",
+            auxiliary_label="a",
+            target_label="t",
+            unique_ciphertext_chunks=100,
+            inferred_pairs=50,
+            correct_pairs=25,
+            leakage_rate=0.0,
+            leaked_pairs=0,
+            iterations=10,
+        )
+        assert report.inference_rate == 0.25
+        assert report.precision == 0.5
+
+    def test_zero_divisions(self):
+        report = InferenceReport(
+            attack="basic",
+            scheme="mle",
+            auxiliary_label="a",
+            target_label="t",
+            unique_ciphertext_chunks=0,
+            inferred_pairs=0,
+            correct_pairs=0,
+            leakage_rate=0.0,
+            leaked_pairs=0,
+            iterations=0,
+        )
+        assert report.inference_rate == 0.0
+        assert report.precision == 0.0
+
+    def test_str_contains_key_fields(self):
+        report = InferenceReport(
+            attack="locality",
+            scheme="mle",
+            auxiliary_label="aux",
+            target_label="tgt",
+            unique_ciphertext_chunks=10,
+            inferred_pairs=5,
+            correct_pairs=5,
+            leakage_rate=0.01,
+            leaked_pairs=1,
+            iterations=3,
+        )
+        text = str(report)
+        assert "locality" in text and "aux" in text and "tgt" in text
+
+
+class TestSampleLeakage:
+    def test_zero_rate_empty(self):
+        encrypted = encrypted_pair([["a", "b"], ["a", "b"]])
+        assert sample_leakage(encrypted[1], 0.0) == {}
+
+    def test_sample_size(self):
+        tokens = [f"t{i}" for i in range(100)]
+        encrypted = encrypted_pair([tokens, tokens])
+        leaked = sample_leakage(encrypted[1], 0.1, seed=1)
+        assert len(leaked) == 10
+
+    def test_sampled_pairs_are_true_pairs(self):
+        tokens = [f"t{i}" for i in range(50)]
+        encrypted = encrypted_pair([tokens, tokens])
+        leaked = sample_leakage(encrypted[1], 0.2, seed=2)
+        for cipher_fp, plain_fp in leaked.items():
+            assert encrypted[1].truth[cipher_fp] == plain_fp
+
+    def test_deterministic_per_seed(self):
+        tokens = [f"t{i}" for i in range(50)]
+        encrypted = encrypted_pair([tokens, tokens])
+        assert sample_leakage(encrypted[1], 0.2, seed=3) == sample_leakage(
+            encrypted[1], 0.2, seed=3
+        )
+        assert sample_leakage(encrypted[1], 0.2, seed=3) != sample_leakage(
+            encrypted[1], 0.2, seed=4
+        )
+
+    def test_invalid_rate(self):
+        encrypted = encrypted_pair([["a"], ["a"]])
+        with pytest.raises(ConfigurationError):
+            sample_leakage(encrypted[1], 1.5)
+
+
+class TestAttackEvaluator:
+    def test_perfect_inference_on_identical_unambiguous_streams(self):
+        # Distinct frequencies everywhere -> basic attack is exact.
+        tokens = ["a"] * 3 + ["b"] * 2 + ["c"]
+        encrypted = encrypted_pair([tokens, tokens])
+        evaluator = AttackEvaluator(encrypted)
+        report = evaluator.run(BasicAttack(), auxiliary=0, target=1)
+        assert report.inference_rate == 1.0
+
+    def test_disjoint_streams_rate_zero(self):
+        encrypted = encrypted_pair([["a", "b", "c"], ["x", "y", "z"]])
+        evaluator = AttackEvaluator(encrypted)
+        report = evaluator.run(
+            LocalityAttack(u=1, v=2, w=10), auxiliary=0, target=1
+        )
+        assert report.correct_pairs == 0
+
+    def test_rate_counts_unique_ciphertext_chunks(self):
+        # 6 logical chunks but 3 unique.
+        tokens = ["a", "b", "c", "a", "b", "c"]
+        encrypted = encrypted_pair([tokens, tokens])
+        evaluator = AttackEvaluator(encrypted)
+        report = evaluator.run(BasicAttack(), auxiliary=0, target=1)
+        assert report.unique_ciphertext_chunks == 3
+
+    def test_leakage_included_in_rate(self):
+        # Disjoint content: nothing inferable, so the rate equals the
+        # leakage contribution exactly.
+        target = [f"t{i}" for i in range(20)]
+        encrypted = encrypted_pair([["x", "y"], target])
+        evaluator = AttackEvaluator(encrypted)
+        report = evaluator.run(
+            LocalityAttack(u=1, v=2, w=10),
+            auxiliary=0,
+            target=1,
+            leakage_rate=0.25,
+        )
+        assert report.leaked_pairs == 5
+        assert report.correct_pairs == 5
+        assert report.inference_rate == 0.25
+
+    def test_negative_indices(self, tiny_encrypted_mle):
+        evaluator = AttackEvaluator(tiny_encrypted_mle)
+        by_negative = evaluator.run(BasicAttack(), auxiliary=-2, target=-1)
+        by_positive = evaluator.run(
+            BasicAttack(),
+            auxiliary=len(tiny_encrypted_mle) - 2,
+            target=len(tiny_encrypted_mle) - 1,
+        )
+        assert by_negative.inference_rate == by_positive.inference_rate

@@ -1,0 +1,168 @@
+"""Tests for the fingerprint-level file simulation."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.datasets.chunkspace import ChunkSpace, PopularPool
+from repro.datasets.filesim import (
+    FileMutator,
+    SimFile,
+    SimFileSystem,
+    TemplateLibrary,
+    snapshot,
+)
+
+
+def make_mutator(seed=0, popular=False):
+    space = ChunkSpace(f"filesim-{seed}")
+    pool = None
+    rate = 0.0
+    if popular:
+        pool = PopularPool.build(space, random.Random(seed), num_runs=10)
+        rate = 0.1
+    return FileMutator(space, pool, rate), space
+
+
+class TestSimFileSystem:
+    def test_add_get_remove(self):
+        fs = SimFileSystem()
+        fs.add(SimFile(path="a", chunks=[1]))
+        assert "a" in fs
+        assert fs.get("a").chunks == [1]
+        fs.remove("a")
+        assert "a" not in fs
+
+    def test_duplicate_path_rejected(self):
+        fs = SimFileSystem()
+        fs.add(SimFile(path="a"))
+        with pytest.raises(ConfigurationError):
+            fs.add(SimFile(path="a"))
+
+    def test_paths_sorted(self):
+        fs = SimFileSystem()
+        for path in ("c", "a", "b"):
+            fs.add(SimFile(path=path))
+        assert fs.paths() == ["a", "b", "c"]
+
+    def test_total_chunks(self):
+        fs = SimFileSystem()
+        fs.add(SimFile(path="a", chunks=[1, 2]))
+        fs.add(SimFile(path="b", chunks=[3]))
+        assert fs.total_chunks() == 3
+
+
+class TestFileMutator:
+    def test_create_file_length(self):
+        mutator, _ = make_mutator()
+        file = mutator.create_file("f", random.Random(1), 20)
+        assert len(file) >= 20
+
+    def test_modify_rewrites_clustered_region(self):
+        mutator, _ = make_mutator()
+        file = SimFile(path="f", chunks=list(range(1000, 1100)))
+        before = list(file.chunks)
+        rewritten = mutator.modify_file(
+            file, random.Random(2), churn=0.2, max_regions=1,
+            resize_probability=0.0,
+        )
+        assert rewritten > 0
+        changed = [i for i, (a, b) in enumerate(zip(before, file.chunks)) if a != b]
+        # single region -> changed indices are contiguous
+        assert changed == list(range(changed[0], changed[-1] + 1))
+        # roughly 20% churn
+        assert 10 <= len(changed) <= 30
+
+    def test_modify_zero_churn_noop(self):
+        mutator, _ = make_mutator()
+        file = SimFile(path="f", chunks=[1, 2, 3])
+        assert mutator.modify_file(file, random.Random(3), churn=0.0) == 0
+        assert file.chunks == [1, 2, 3]
+
+    def test_modify_invalid_churn(self):
+        mutator, _ = make_mutator()
+        with pytest.raises(ConfigurationError):
+            mutator.modify_file(SimFile("f", [1]), random.Random(0), churn=2.0)
+
+    def test_popular_rate_requires_pool(self):
+        space = ChunkSpace("x")
+        with pytest.raises(ConfigurationError):
+            FileMutator(space, None, 0.5)
+
+    def test_popular_injection_rate(self):
+        mutator, space = make_mutator(popular=True)
+        rng = random.Random(4)
+        chunks = mutator.make_chunks(rng, 5000)
+        pool_ids = mutator.popular_pool.all_chunk_ids()
+        popular_fraction = sum(1 for c in chunks if c in pool_ids) / len(chunks)
+        assert 0.05 < popular_fraction < 0.2
+
+
+class TestTemplateLibrary:
+    def test_instantiate_copies_chunks(self):
+        mutator, _ = make_mutator()
+        library = TemplateLibrary(
+            mutator, random.Random(5), num_templates=5, mean_chunks=10
+        )
+        a = library.instantiate("a", random.Random(6))
+        b = library.instantiate("b", random.Random(6))
+        assert a.chunks == b.chunks
+        assert a.chunks is not b.chunks  # independent copies
+
+    def test_lengths_bounded(self):
+        mutator, _ = make_mutator()
+        library = TemplateLibrary(
+            mutator, random.Random(7), num_templates=50, mean_chunks=10,
+            max_length_factor=4,
+        )
+        for template in library.templates:
+            assert 2 <= len(template) <= 10 * 4 + 8  # make_chunks may overshoot
+
+
+class TestSnapshot:
+    def _fs(self, space):
+        fs = SimFileSystem()
+        fs.add(SimFile(path="a", chunks=space.allocate_many(5)))
+        fs.add(SimFile(path="b", chunks=space.allocate_many(5)))
+        fs.add(SimFile(path="c", chunks=space.allocate_many(5)))
+        return fs
+
+    def test_stable_order(self):
+        space = ChunkSpace("snap")
+        fs = self._fs(space)
+        first = snapshot(fs, space, "s1")
+        second = snapshot(fs, space, "s2")
+        assert first.fingerprints == second.fingerprints
+
+    def test_shuffle_requires_rng(self):
+        space = ChunkSpace("snap")
+        fs = self._fs(space)
+        with pytest.raises(ConfigurationError):
+            snapshot(fs, space, "s", shuffle_order=True)
+
+    def test_scan_disorder_moves_some_files(self):
+        space = ChunkSpace("snap2")
+        fs = SimFileSystem()
+        for index in range(20):
+            fs.add(SimFile(path=f"f{index:02d}", chunks=space.allocate_many(3)))
+        stable = snapshot(fs, space, "s")
+        disordered = snapshot(
+            fs, space, "s", rng=random.Random(8), scan_disorder=0.3
+        )
+        assert sorted(stable.fingerprints) == sorted(disordered.fingerprints)
+        assert stable.fingerprints != disordered.fingerprints
+
+    def test_scan_disorder_validation(self):
+        space = ChunkSpace("snap")
+        fs = self._fs(space)
+        with pytest.raises(ConfigurationError):
+            snapshot(fs, space, "s", scan_disorder=2.0)
+        with pytest.raises(ConfigurationError):
+            snapshot(fs, space, "s", scan_disorder=0.5)  # no rng
+
+    def test_sizes_parallel_to_fingerprints(self):
+        space = ChunkSpace("snap")
+        fs = self._fs(space)
+        backup = snapshot(fs, space, "s")
+        assert len(backup.fingerprints) == len(backup.sizes) == 15

@@ -1,0 +1,141 @@
+"""Tests for the COUNT / FREQ-ANALYSIS building blocks."""
+
+import pytest
+
+from repro.attacks.frequency import (
+    FINGERPRINT,
+    INSERTION,
+    classify_by_blocks,
+    count_frequencies,
+    count_with_neighbors,
+    freq_analysis,
+    rank_by_frequency,
+    sized_freq_analysis,
+)
+from repro.datasets.model import Backup
+
+
+def backup(tokens, sizes=None):
+    tokens = [t.encode() for t in tokens]
+    if sizes is None:
+        sizes = [4096] * len(tokens)
+    return Backup(label="t", fingerprints=tokens, sizes=sizes)
+
+
+class TestCount:
+    def test_count_frequencies(self):
+        freq = count_frequencies(backup(["a", "b", "a", "a", "c"]))
+        assert freq == {b"a": 3, b"b": 1, b"c": 1}
+
+    def test_count_with_neighbors_frequencies(self):
+        stats = count_with_neighbors(backup(["a", "b", "a"]))
+        assert stats.frequencies == {b"a": 2, b"b": 1}
+        assert stats.unique_chunks == 2
+
+    def test_left_right_tables(self):
+        stats = count_with_neighbors(backup(["a", "b", "c", "b", "c"]))
+        # left neighbors of c: b (twice)
+        assert stats.left[b"c"] == {b"b": 2}
+        # right neighbors of b: c (twice)
+        assert stats.right[b"b"] == {b"c": 2}
+        # a has no left neighbor, c (last) contributes no right entry
+        assert b"a" not in stats.left
+        assert b"c" not in stats.right or stats.right[b"c"] == {b"b": 1}
+
+    def test_first_occurrence_size_recorded(self):
+        stats = count_with_neighbors(
+            backup(["a", "b"], sizes=[1000, 2000])
+        )
+        assert stats.sizes == {b"a": 1000, b"b": 2000}
+
+    def test_empty_backup(self):
+        stats = count_with_neighbors(backup([]))
+        assert stats.frequencies == {}
+
+
+class TestRanking:
+    def test_rank_by_frequency_descending(self):
+        table = {b"x": 1, b"y": 5, b"z": 3}
+        assert rank_by_frequency(table)[:2] == [b"y", b"z"]
+
+    def test_insertion_tie_break_preserves_first_seen_order(self):
+        table = {}
+        for token in (b"m", b"k", b"z", b"a"):
+            table[token] = 1
+        assert rank_by_frequency(table, INSERTION) == [b"m", b"k", b"z", b"a"]
+
+    def test_fingerprint_tie_break_sorts_by_bytes(self):
+        table = {b"m": 1, b"k": 1, b"z": 1, b"a": 1}
+        assert rank_by_frequency(table, FINGERPRINT) == [b"a", b"k", b"m", b"z"]
+
+    def test_unknown_tie_break(self):
+        with pytest.raises(ValueError):
+            rank_by_frequency({b"a": 1}, "bogus")
+
+
+class TestFreqAnalysis:
+    def test_rank_pairing(self):
+        pairs = freq_analysis({b"c1": 9, b"c2": 5}, {b"m1": 7, b"m2": 2})
+        assert pairs == [(b"c1", b"m1"), (b"c2", b"m2")]
+
+    def test_limit(self):
+        pairs = freq_analysis(
+            {b"c1": 3, b"c2": 2, b"c3": 1},
+            {b"m1": 3, b"m2": 2, b"m3": 1},
+            limit=2,
+        )
+        assert len(pairs) == 2
+
+    def test_uneven_table_sizes(self):
+        pairs = freq_analysis({b"c1": 3}, {b"m1": 9, b"m2": 1})
+        assert pairs == [(b"c1", b"m1")]
+
+    def test_empty_tables(self):
+        assert freq_analysis({}, {b"m": 1}) == []
+        assert freq_analysis({b"c": 1}, {}) == []
+
+
+class TestSizeClassification:
+    def test_plaintext_block_count(self):
+        classes = classify_by_blocks(
+            {b"a": 1, b"b": 1},
+            {b"a": 15, b"b": 16},
+            is_plaintext=True,
+        )
+        # 15 bytes -> 1 block; 16 bytes -> 2 blocks (PKCS#7 always pads)
+        assert set(classes) == {1, 2}
+
+    def test_ciphertext_block_count(self):
+        classes = classify_by_blocks(
+            {b"a": 1}, {b"a": 32}, is_plaintext=False
+        )
+        assert set(classes) == {2}
+
+    def test_plaintext_and_its_ciphertext_land_in_same_class(self):
+        # plaintext of n bytes -> ciphertext of (n//16+1)*16 bytes
+        for size in (0, 1, 15, 16, 100, 4096):
+            plain = classify_by_blocks({b"p": 1}, {b"p": size}, is_plaintext=True)
+            padded = (size // 16 + 1) * 16
+            cipher = classify_by_blocks(
+                {b"c": 1}, {b"c": padded}, is_plaintext=False
+            )
+            assert set(plain) == set(cipher), size
+
+    def test_sized_freq_analysis_blocks_cross_size_pairs(self):
+        # Without sizes c1<->m1 (both top-frequency); with sizes, c1 can
+        # only pair with the same-size m2.
+        ciphertext = {b"c1": 9, b"c2": 5}
+        plaintext = {b"m1": 9, b"m2": 5}
+        ciphertext_sizes = {b"c1": 4112, b"c2": 8208}  # padded
+        plaintext_sizes = {b"m1": 8200, b"m2": 4100}
+        pairs = sized_freq_analysis(
+            ciphertext, plaintext, ciphertext_sizes, plaintext_sizes
+        )
+        assert (b"c1", b"m2") in pairs
+        assert (b"c2", b"m1") in pairs
+
+    def test_sized_freq_analysis_skips_unmatched_classes(self):
+        pairs = sized_freq_analysis(
+            {b"c1": 1}, {b"m1": 1}, {b"c1": 16}, {b"m1": 5000}
+        )
+        assert pairs == []

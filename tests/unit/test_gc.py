@@ -1,0 +1,133 @@
+"""Tests for backup deletion and garbage collection."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, StorageError
+from repro.datasets.model import Backup
+from repro.storage.ddfs import DDFSEngine
+from repro.storage.gc import GCReport, ReferenceTracker, collect_garbage
+
+
+def backup(tokens, sizes=None, label="b"):
+    tokens = [t.encode() for t in tokens]
+    if sizes is None:
+        sizes = [4096] * len(tokens)
+    return Backup(label=label, fingerprints=tokens, sizes=sizes)
+
+
+def make_engine(container_chunks=4):
+    return DDFSEngine(
+        cache_budget_bytes=64 * 1024,
+        bloom_capacity=10_000,
+        container_size=container_chunks * 4096,
+    )
+
+
+class TestReferenceTracker:
+    def test_register_and_counts(self):
+        tracker = ReferenceTracker()
+        tracker.register_backup(backup(["a", "b", "a"], label="b1"))
+        assert tracker.is_live(b"a")
+        assert tracker.live_chunks() == 2
+
+    def test_duplicate_registration_rejected(self):
+        tracker = ReferenceTracker()
+        tracker.register_backup(backup(["a"], label="b1"))
+        with pytest.raises(ConfigurationError):
+            tracker.register_backup(backup(["a"], label="b1"))
+
+    def test_delete_releases_references(self):
+        tracker = ReferenceTracker()
+        tracker.register_backup(backup(["a", "b"], label="b1"))
+        tracker.register_backup(backup(["a", "c"], label="b2"))
+        died = tracker.delete_backup("b1")
+        assert died == 1  # b is dead, a still referenced by b2
+        assert tracker.is_live(b"a")
+        assert not tracker.is_live(b"b")
+
+    def test_delete_unknown_backup(self):
+        with pytest.raises(StorageError):
+            ReferenceTracker().delete_backup("missing")
+
+    def test_registered_backups(self):
+        tracker = ReferenceTracker()
+        tracker.register_backup(backup(["a"], label="b1"))
+        assert tracker.registered_backups() == ["b1"]
+
+
+class TestCollectGarbage:
+    def _setup(self):
+        """Two backups sharing half their chunks, then delete the first."""
+        engine = make_engine(container_chunks=4)
+        tracker = ReferenceTracker()
+        first = backup([f"x{i}" for i in range(8)], label="b1")
+        second = backup(
+            [f"x{i}" for i in range(4)] + [f"y{i}" for i in range(4)],
+            label="b2",
+        )
+        engine.process_backup(first)
+        engine.process_backup(second)
+        tracker.register_backup(first)
+        tracker.register_backup(second)
+        return engine, tracker
+
+    def test_no_garbage_while_all_live(self):
+        engine, tracker = self._setup()
+        report = collect_garbage(engine, tracker)
+        assert report.containers_reclaimed == 0
+        assert report.bytes_reclaimed == 0
+
+    def test_reclaim_after_deletion(self):
+        engine, tracker = self._setup()
+        tracker.delete_backup("b1")  # x4..x7 become dead
+        report = collect_garbage(engine, tracker, live_ratio_threshold=0.9)
+        assert report.containers_reclaimed >= 1
+        assert report.bytes_reclaimed == 4 * 4096
+        assert report.chunks_dead == 4
+
+    def test_survivors_remain_restorable(self):
+        engine, tracker = self._setup()
+        tracker.delete_backup("b1")
+        collect_garbage(engine, tracker, live_ratio_threshold=0.9)
+        # Every live chunk still resolves through the index to an existing
+        # container.
+        for token in [f"x{i}" for i in range(4)] + [f"y{i}" for i in range(4)]:
+            container_id = engine.index.container_of(token.encode())
+            assert container_id is not None
+            container = engine.containers.get(container_id)
+            assert token.encode() in container.fingerprints()
+
+    def test_dead_chunks_unindexed(self):
+        engine, tracker = self._setup()
+        tracker.delete_backup("b1")
+        collect_garbage(engine, tracker, live_ratio_threshold=0.9)
+        for index in range(4, 8):
+            assert engine.index.container_of(f"x{index}".encode()) is None
+
+    def test_rewriting_dead_content_after_gc(self):
+        """A chunk whose content returns after GC must be storable again
+        (Bloom filter says maybe, index says no -> unique path)."""
+        engine, tracker = self._setup()
+        tracker.delete_backup("b1")
+        collect_garbage(engine, tracker, live_ratio_threshold=0.9)
+        third = backup([f"x{i}" for i in range(4, 8)], label="b3")
+        report = engine.process_backup(third)
+        assert report.unique_chunks == 4
+        assert report.bloom_false_positives == 4  # stale bloom bits
+
+    def test_threshold_validation(self):
+        engine, tracker = self._setup()
+        with pytest.raises(ConfigurationError):
+            collect_garbage(engine, tracker, live_ratio_threshold=0.0)
+
+    def test_high_live_ratio_containers_left_alone(self):
+        engine = make_engine(container_chunks=8)
+        tracker = ReferenceTracker()
+        first = backup([f"x{i}" for i in range(8)], label="b1")
+        engine.process_backup(first)
+        tracker.register_backup(first)
+        # Kill one of eight chunks: live ratio 7/8 stays above 0.5.
+        tracker.register_backup(backup([f"x{i}" for i in range(1, 8)], label="b2"))
+        tracker.delete_backup("b1")
+        report = collect_garbage(engine, tracker, live_ratio_threshold=0.5)
+        assert report.containers_reclaimed == 0

@@ -1,0 +1,138 @@
+"""Tests for the three dataset generators: workload-shape guarantees."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.datasets.fsl import FSLConfig, FSLDatasetGenerator
+from repro.datasets.stats import (
+    adjacency_preservation,
+    content_overlap,
+    frequency_cdf,
+    series_frequencies,
+)
+from repro.datasets.synthetic import SyntheticConfig, SyntheticDatasetGenerator
+from repro.datasets.vm import VMConfig, VMDatasetGenerator
+
+
+class TestFSLGenerator:
+    def test_backup_count_and_labels(self, tiny_fsl_series):
+        assert len(tiny_fsl_series) == 4
+        assert tiny_fsl_series.backups[0].label == "Jan 22"
+        assert tiny_fsl_series.chunking == "variable"
+
+    def test_deterministic(self):
+        config = FSLConfig(num_users=1, num_backups=2, files_per_user=10)
+        a = FSLDatasetGenerator(seed=1, config=config).generate()
+        b = FSLDatasetGenerator(seed=1, config=config).generate()
+        assert a.backups[1].fingerprints == b.backups[1].fingerprints
+
+    def test_seed_changes_content(self):
+        config = FSLConfig(num_users=1, num_backups=1, files_per_user=10)
+        a = FSLDatasetGenerator(seed=1, config=config).generate()
+        b = FSLDatasetGenerator(seed=2, config=config).generate()
+        assert a.backups[0].fingerprints != b.backups[0].fingerprints
+
+    def test_temporal_redundancy(self, tiny_fsl_series):
+        latest = tiny_fsl_series.backups[-1]
+        recent = content_overlap(tiny_fsl_series.backups[-2], latest)
+        old = content_overlap(tiny_fsl_series.backups[0], latest)
+        assert recent > old > 0.0
+
+    def test_chunk_locality(self, tiny_fsl_series):
+        preserved = adjacency_preservation(
+            tiny_fsl_series.backups[-2], tiny_fsl_series.backups[-1]
+        )
+        assert preserved > 0.5
+
+    def test_frequency_skew(self, tiny_fsl_series):
+        cdf = frequency_cdf(series_frequencies(tiny_fsl_series))
+        assert cdf.fraction_below(100) > 0.95
+        assert cdf.max_frequency > 10 * cdf.median_frequency
+
+    def test_dedup_ratio_band(self, tiny_fsl_series):
+        assert 1.5 < tiny_fsl_series.dedup_ratio() < 20
+
+    def test_fingerprints_are_48_bit(self, tiny_fsl_series):
+        assert len(tiny_fsl_series.backups[0].fingerprints[0]) == 6
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            FSLConfig(num_users=0)
+        with pytest.raises(ConfigurationError):
+            FSLConfig(common_file_probability=1.5)
+
+
+class TestVMGenerator:
+    def test_fixed_size_chunks(self, tiny_vm_series):
+        assert tiny_vm_series.chunking == "fixed"
+        sizes = set(tiny_vm_series.backups[0].sizes)
+        assert sizes == {4096}
+
+    def test_high_cross_vm_redundancy(self, tiny_vm_series):
+        first = tiny_vm_series.backups[0]
+        # intra-backup dedup alone shrinks the first backup a lot (shared
+        # base image across VMs)
+        assert len(first.unique_fingerprints()) < 0.6 * len(first)
+
+    def test_churn_window_lowers_overlap(self):
+        config = VMConfig(
+            num_vms=3,
+            num_backups=8,
+            base_image_chunks=300,
+            user_region_chunks=400,
+            heavy_weeks=(3, 4),
+            quiet_weeks=(0, 1),
+            popular_pool_size=10,
+        )
+        series = VMDatasetGenerator(seed=3, config=config).generate()
+        quiet = content_overlap(series.backups[0], series.backups[1])
+        heavy = content_overlap(series.backups[3], series.backups[4])
+        assert heavy < quiet
+
+    def test_churn_schedule(self):
+        config = VMConfig(quiet_weeks=(0,), heavy_weeks=(2,))
+        assert config.churn_for_transition(0) == config.quiet_churn
+        assert config.churn_for_transition(2) == config.heavy_churn
+        assert config.churn_for_transition(5) == config.weekly_churn
+
+    def test_invalid_heavy_weeks(self):
+        with pytest.raises(ConfigurationError):
+            VMConfig(num_backups=5, heavy_weeks=(9,))
+
+    def test_deterministic(self):
+        config = VMConfig(num_vms=2, num_backups=3, base_image_chunks=100,
+                          user_region_chunks=50, heavy_weeks=(1,), quiet_weeks=(0,))
+        a = VMDatasetGenerator(seed=5, config=config).generate()
+        b = VMDatasetGenerator(seed=5, config=config).generate()
+        assert a.backups[-1].fingerprints == b.backups[-1].fingerprints
+
+
+class TestSyntheticGenerator:
+    def test_snapshot_count_includes_initial(self, tiny_synthetic_series):
+        # num_snapshots=4 -> 5 backups (index 0 is the public image)
+        assert len(tiny_synthetic_series) == 5
+        assert tiny_synthetic_series.backups[0].label == "snapshot-00"
+
+    def test_small_per_snapshot_churn(self, tiny_synthetic_series):
+        # 2% files modified + ~1% new data: adjacent snapshots overlap a lot
+        overlap = content_overlap(
+            tiny_synthetic_series.backups[-2], tiny_synthetic_series.backups[-1]
+        )
+        assert overlap > 0.9
+
+    def test_snapshots_grow(self, tiny_synthetic_series):
+        sizes = [len(b) for b in tiny_synthetic_series.backups]
+        assert sizes[-1] > sizes[0]
+
+    def test_high_dedup_ratio(self, tiny_synthetic_series):
+        assert tiny_synthetic_series.dedup_ratio() > 3.0
+
+    def test_deterministic(self):
+        config = SyntheticConfig(num_files=20, num_snapshots=2, num_templates=5)
+        a = SyntheticDatasetGenerator(seed=9, config=config).generate()
+        b = SyntheticDatasetGenerator(seed=9, config=config).generate()
+        assert a.backups[-1].fingerprints == b.backups[-1].fingerprints
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticConfig(num_files=0)

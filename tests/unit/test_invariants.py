@@ -1,0 +1,166 @@
+"""Property-based invariants across the attack/defense stack.
+
+These encode the contracts every experiment implicitly relies on, over
+randomly generated miniature workloads.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import (
+    AdvancedLocalityAttack,
+    AttackEvaluator,
+    BasicAttack,
+    LocalityAttack,
+)
+from repro.datasets.model import Backup, BackupSeries
+from repro.defenses.pipeline import DefensePipeline, DefenseScheme
+from repro.defenses.segmentation import SegmentationSpec
+
+# Miniature random backup streams: tokens from a small alphabet so
+# duplicates and shared content arise naturally.
+_tokens = st.lists(
+    st.integers(min_value=0, max_value=40), min_size=2, max_size=120
+)
+
+_SPEC = SegmentationSpec(min_bytes=4 * 4096, avg_bytes=8 * 4096, max_bytes=16 * 4096)
+
+
+def _backup(values, label):
+    return Backup(
+        label=label,
+        fingerprints=[value.to_bytes(4, "big") for value in values],
+        sizes=[4096 + 512 * (value % 5) for value in values],
+    )
+
+
+def _series(aux_values, target_values):
+    return BackupSeries(
+        name="prop",
+        backups=[_backup(aux_values, "aux"), _backup(target_values, "target")],
+    )
+
+
+@st.composite
+def _pairs(draw):
+    return draw(_tokens), draw(_tokens)
+
+
+class TestPipelineInvariants:
+    @given(values=_pairs())
+    @settings(max_examples=30, deadline=None)
+    def test_truth_maps_are_consistent(self, values):
+        aux, target = values
+        for scheme in DefenseScheme:
+            encrypted = DefensePipeline(scheme, segmentation=_SPEC).encrypt_series(
+                _series(aux, target)
+            )
+            for encrypted_backup, plain in zip(
+                encrypted.backups, encrypted.plaintext.backups
+            ):
+                # Every ciphertext fp resolves to a plaintext fp of this
+                # backup, and the stream lengths agree.
+                assert len(encrypted_backup.ciphertext) == len(plain)
+                plain_unique = plain.unique_fingerprints()
+                for cipher_fp in set(encrypted_backup.ciphertext.fingerprints):
+                    assert encrypted_backup.truth[cipher_fp] in plain_unique
+
+    @given(values=_pairs())
+    @settings(max_examples=30, deadline=None)
+    def test_ciphertext_sizes_always_block_padded(self, values):
+        aux, target = values
+        encrypted = DefensePipeline(
+            DefenseScheme.COMBINED, segmentation=_SPEC
+        ).encrypt_series(_series(aux, target))
+        for encrypted_backup in encrypted.backups:
+            for size in encrypted_backup.ciphertext.sizes:
+                assert size % 16 == 0
+                assert size > 0
+
+    @given(values=_pairs())
+    @settings(max_examples=30, deadline=None)
+    def test_minhash_never_merges_distinct_plaintexts(self, values):
+        aux, target = values
+        encrypted = DefensePipeline(
+            DefenseScheme.MINHASH, segmentation=_SPEC
+        ).encrypt_series(_series(aux, target))
+        # A ciphertext fingerprint must never be claimed by two different
+        # plaintext chunks (that would corrupt deduplicated storage).
+        claims: dict[bytes, bytes] = {}
+        for encrypted_backup in encrypted.backups:
+            for cipher_fp, plain_fp in encrypted_backup.truth.items():
+                assert claims.setdefault(cipher_fp, plain_fp) == plain_fp
+
+
+class TestAttackInvariants:
+    @given(values=_pairs())
+    @settings(max_examples=25, deadline=None)
+    def test_inference_rate_bounded(self, values):
+        aux, target = values
+        encrypted = DefensePipeline(DefenseScheme.MLE).encrypt_series(
+            _series(aux, target)
+        )
+        evaluator = AttackEvaluator(encrypted)
+        for attack in (
+            BasicAttack(),
+            LocalityAttack(u=1, v=3, w=100),
+            AdvancedLocalityAttack(u=1, v=3, w=100),
+        ):
+            report = evaluator.run(attack, auxiliary=0, target=1)
+            assert 0.0 <= report.inference_rate <= 1.0
+            assert report.correct_pairs <= report.inferred_pairs
+
+    @given(values=_pairs())
+    @settings(max_examples=25, deadline=None)
+    def test_attacks_never_claim_a_ciphertext_twice(self, values):
+        aux, target = values
+        encrypted = DefensePipeline(DefenseScheme.MLE).encrypt_series(
+            _series(aux, target)
+        )
+        cipher = encrypted.backups[1].ciphertext
+        plain = encrypted.plaintext.backups[0]
+        result = LocalityAttack(u=1, v=3, w=100).run(cipher, plain)
+        # pairs is a dict keyed by ciphertext fp — uniqueness is structural
+        # — but every inferred plaintext must come from the auxiliary.
+        aux_unique = plain.unique_fingerprints()
+        for plain_fp in result.pairs.values():
+            assert plain_fp in aux_unique
+
+    @given(values=_pairs(), leakage=st.sampled_from([0.05, 0.2, 0.5]))
+    @settings(max_examples=25, deadline=None)
+    def test_leaked_pairs_always_correct(self, values, leakage):
+        aux, target = values
+        encrypted = DefensePipeline(DefenseScheme.MLE).encrypt_series(
+            _series(aux, target)
+        )
+        evaluator = AttackEvaluator(encrypted)
+        report = evaluator.run(
+            LocalityAttack(u=1, v=3, w=100),
+            auxiliary=0,
+            target=1,
+            leakage_rate=leakage,
+        )
+        # Leaked pairs are ground truth, so correct >= leaked.
+        assert report.correct_pairs >= report.leaked_pairs
+
+    @given(values=_pairs())
+    @settings(max_examples=15, deadline=None)
+    def test_identical_backups_with_unique_frequencies_fully_inferred(
+        self, values
+    ):
+        stream, _ = values
+        # Give every chunk a distinct frequency by repetition: chunk i
+        # appears i+1 times. Identical aux and target.
+        sequence = [
+            value for index, value in enumerate(sorted(set(stream))) for _ in range(index + 1)
+        ]
+        if not sequence:
+            return
+        encrypted = DefensePipeline(DefenseScheme.MLE).encrypt_series(
+            _series(sequence, sequence)
+        )
+        report = AttackEvaluator(encrypted).run(
+            BasicAttack(), auxiliary=0, target=1
+        )
+        assert report.inference_rate == 1.0

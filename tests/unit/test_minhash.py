@@ -1,0 +1,121 @@
+"""Tests for MinHash encryption (Algorithm 4), content level."""
+
+import random
+
+import pytest
+
+from repro.chunking import Fingerprinter
+from repro.common.errors import ConfigurationError
+from repro.crypto.keymanager import KeyManager
+from repro.crypto.mle import ConvergentEncryption
+from repro.defenses.minhash import MinHashEncryptor
+from repro.defenses.segmentation import SegmentationSpec
+
+SPEC = SegmentationSpec(min_bytes=16 * 1024, avg_bytes=32 * 1024, max_bytes=64 * 1024)
+
+
+def chunks_of(total, size=4096, seed=0):
+    rng = random.Random(seed)
+    return [rng.randbytes(size) for _ in range(total)]
+
+
+def encryptor(key_manager=None):
+    return MinHashEncryptor(
+        ConvergentEncryption(), key_manager=key_manager, spec=SPEC
+    )
+
+
+class TestSegmentKeys:
+    def test_key_derived_from_minimum_fingerprint(self):
+        enc = encryptor()
+        assert enc.segment_key(b"min-fp") == enc.segment_key(b"min-fp")
+        assert enc.segment_key(b"a") != enc.segment_key(b"b")
+
+    def test_key_manager_backed_keys(self):
+        manager = KeyManager(b"s" * 32)
+        enc = encryptor(key_manager=manager)
+        key = enc.segment_key(b"min-fp")
+        assert manager.verify_key(b"min-fp", key)
+
+    def test_one_key_query_per_segment(self):
+        manager = KeyManager(b"s" * 32)
+        enc = encryptor(key_manager=manager)
+        stream = chunks_of(32)
+        results, _ = enc.encrypt_stream(stream)
+        assert manager.queries_served == len(results)
+        assert manager.queries_served < len(stream)
+
+
+class TestEncryptStream:
+    def test_roundtrip(self):
+        enc = encryptor()
+        stream = chunks_of(20, seed=1)
+        results, recipe = enc.encrypt_stream(stream)
+        ciphertexts = [c for r in results for c in r.ciphertexts]
+        assert enc.decrypt_stream(ciphertexts, recipe) == stream
+
+    def test_identical_streams_dedup_perfectly(self):
+        enc = encryptor()
+        stream = chunks_of(30, seed=2)
+        first, _ = enc.encrypt_stream(stream)
+        second, _ = enc.encrypt_stream(stream)
+        tags_a = [c.tag for r in first for c in r.ciphertexts]
+        tags_b = [c.tag for r in second for c in r.ciphertexts]
+        assert tags_a == tags_b
+
+    def test_broder_property_similar_streams_mostly_dedup(self):
+        """Streams differing in one chunk share most segment keys, so most
+        identical chunks still encrypt identically (Broder's theorem)."""
+        enc = encryptor()
+        stream = chunks_of(60, seed=3)
+        modified = list(stream)
+        modified[30] = b"\xff" * 4096
+        tags_a = {
+            c.tag for r in enc.encrypt_stream(stream)[0] for c in r.ciphertexts
+        }
+        tags_b = {
+            c.tag
+            for r in enc.encrypt_stream(modified)[0]
+            for c in r.ciphertexts
+        }
+        shared = len(tags_a & tags_b) / len(tags_a)
+        assert shared > 0.7, f"only {shared:.0%} of tags survived a 1-chunk edit"
+
+    def test_different_segments_may_diverge(self):
+        """The same plaintext chunk in segments with different minimum
+        fingerprints yields different ciphertexts — the defense's
+        frequency-perturbing effect."""
+        enc = encryptor()
+        repeated = b"\x42" * 4096
+        # Embed the repeated chunk into two very different contexts.
+        stream_a = chunks_of(10, seed=4) + [repeated]
+        stream_b = chunks_of(10, seed=5) + [repeated]
+        tag_a = enc.encrypt_stream(stream_a)[0][-1].ciphertexts[-1].tag
+        tag_b = enc.encrypt_stream(stream_b)[0][-1].ciphertexts[-1].tag
+        # With distinct 10-chunk contexts the minima differ w.h.p.
+        assert tag_a != tag_b
+
+    def test_recipe_covers_every_chunk(self):
+        enc = encryptor()
+        stream = chunks_of(25, seed=6)
+        results, recipe = enc.encrypt_stream(stream)
+        assert len(recipe) == len(stream)
+        assert sum(len(r.ciphertexts) for r in results) == len(stream)
+
+    def test_minimum_fingerprint_is_actual_minimum(self):
+        enc = encryptor()
+        fingerprinter = Fingerprinter("sha256")
+        stream = chunks_of(40, seed=7)
+        results, _ = enc.encrypt_stream(stream)
+        for result in results:
+            segment_fps = [
+                fingerprinter(stream[i])
+                for i in range(result.segment.start, result.segment.end)
+            ]
+            assert result.minimum_fingerprint == min(segment_fps)
+
+    def test_empty_stream(self):
+        enc = encryptor()
+        results, recipe = enc.encrypt_stream([])
+        assert results == []
+        assert len(recipe) == 0

@@ -1,0 +1,157 @@
+"""Tests for the backup model, trace statistics, and trace I/O."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, IntegrityError
+from repro.datasets.model import Backup, BackupSeries, ChunkRecord
+from repro.datasets.stats import (
+    adjacency_preservation,
+    chunk_frequencies,
+    content_overlap,
+    frequency_cdf,
+    series_frequencies,
+    storage_savings,
+)
+from repro.datasets.trace import load_series, save_series
+
+
+def backup(tokens, sizes=None, label="b"):
+    tokens = [t.encode() for t in tokens]
+    if sizes is None:
+        sizes = [4096] * len(tokens)
+    return Backup(label=label, fingerprints=tokens, sizes=sizes)
+
+
+class TestBackup:
+    def test_append_and_len(self):
+        b = Backup(label="x")
+        b.append(b"fp", 100)
+        assert len(b) == 1
+        assert b.logical_bytes == 100
+
+    def test_mismatched_lists_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Backup(label="x", fingerprints=[b"a"], sizes=[])
+
+    def test_unique_bytes_counts_first_occurrence(self):
+        b = backup(["a", "b", "a"], sizes=[100, 200, 100])
+        assert b.logical_bytes == 400
+        assert b.unique_bytes() == 300
+        assert b.unique_fingerprints() == {b"a", b"b"}
+
+    def test_records_iteration(self):
+        b = backup(["a", "b"], sizes=[1, 2])
+        records = list(b.records())
+        assert records == [ChunkRecord(b"a", 1), ChunkRecord(b"b", 2)]
+
+    def test_size_of(self):
+        b = backup(["a", "b"], sizes=[10, 20])
+        assert b.size_of(b"b") == 20
+
+
+class TestBackupSeries:
+    def test_dedup_ratio(self):
+        series = BackupSeries(
+            name="t",
+            backups=[backup(["a", "b"]), backup(["a", "b"])],
+        )
+        assert series.dedup_ratio() == pytest.approx(2.0)
+
+    def test_unique_bytes_across_backups(self):
+        series = BackupSeries(
+            name="t",
+            backups=[backup(["a"]), backup(["a", "b"])],
+        )
+        assert series.unique_bytes() == 2 * 4096
+        assert series.logical_bytes == 3 * 4096
+
+    def test_invalid_chunking(self):
+        with pytest.raises(ConfigurationError):
+            BackupSeries(name="t", chunking="weird")
+
+    def test_labels_and_indexing(self):
+        series = BackupSeries(
+            name="t", backups=[backup(["a"], label="L0"), backup(["b"], label="L1")]
+        )
+        assert series.labels() == ["L0", "L1"]
+        assert series[1].label == "L1"
+        assert len(series) == 2
+
+
+class TestStats:
+    def test_chunk_frequencies(self):
+        counts = chunk_frequencies(backup(["a", "a", "b"]))
+        assert counts[b"a"] == 2
+
+    def test_series_frequencies_aggregates(self):
+        series = BackupSeries(
+            name="t", backups=[backup(["a"]), backup(["a", "b"])]
+        )
+        counts = series_frequencies(series)
+        assert counts[b"a"] == 2
+        assert counts[b"b"] == 1
+
+    def test_frequency_cdf(self):
+        cdf = frequency_cdf(chunk_frequencies(backup(["a", "a", "a", "b"])))
+        assert cdf.frequencies == [1, 3]
+        assert cdf.quantiles == [0.5, 1.0]
+        assert cdf.fraction_below(2) == 0.5
+        assert cdf.fraction_below(100) == 1.0
+        assert cdf.max_frequency == 3
+
+    def test_storage_savings_monotone_for_identical_backups(self):
+        same = backup(["a", "b", "c"])
+        savings = storage_savings([same, same, same])
+        assert savings[0] == 0.0
+        assert savings[1] == pytest.approx(0.5)
+        assert savings[2] == pytest.approx(2 / 3)
+
+    def test_content_overlap(self):
+        aux = backup(["a", "b", "c"])
+        target = backup(["b", "c", "d", "e"])
+        assert content_overlap(aux, target) == pytest.approx(0.5)
+
+    def test_adjacency_preservation(self):
+        aux = backup(["a", "b", "c", "d"])
+        target = backup(["a", "b", "x", "c", "d"])
+        # target pairs: (a,b),(b,x),(x,c),(c,d) -> 2 of 4 preserved
+        assert adjacency_preservation(aux, target) == pytest.approx(0.5)
+
+    def test_empty_inputs(self):
+        empty = backup([])
+        assert content_overlap(empty, empty) == 0.0
+        assert adjacency_preservation(empty, empty) == 0.0
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path, tiny_fsl_series):
+        path = tmp_path / "fsl.trace"
+        save_series(tiny_fsl_series, path)
+        loaded = load_series(path)
+        assert loaded.name == tiny_fsl_series.name
+        assert loaded.chunking == tiny_fsl_series.chunking
+        assert len(loaded) == len(tiny_fsl_series)
+        for a, b in zip(loaded.backups, tiny_fsl_series.backups):
+            assert a.label == b.label
+            assert a.fingerprints == b.fingerprints
+            assert a.sizes == b.sizes
+
+    def test_rejects_non_trace_file(self, tmp_path):
+        path = tmp_path / "bogus.txt"
+        path.write_text("hello\n")
+        with pytest.raises(IntegrityError):
+            load_series(path)
+
+    def test_rejects_record_before_header(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("# freqdedup-trace v1\nabcdef 123\n")
+        with pytest.raises(IntegrityError):
+            load_series(path)
+
+    def test_rejects_malformed_record(self, tmp_path):
+        path = tmp_path / "bad2.trace"
+        path.write_text(
+            "# freqdedup-trace v1\n[backup b]\nnot-hex not-int\n"
+        )
+        with pytest.raises(IntegrityError):
+            load_series(path)

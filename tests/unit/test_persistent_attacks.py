@@ -1,0 +1,114 @@
+"""Tests for the KVStore-backed attack state (paper's LevelDB path)."""
+
+import pytest
+
+from repro.attacks import AdvancedLocalityAttack, LocalityAttack
+from repro.attacks.persistent import (
+    NeighborStore,
+    PersistentAdvancedAttack,
+    PersistentLocalityAttack,
+    load_chunk_stats,
+    persist_chunk_stats,
+)
+from repro.common.errors import ConfigurationError
+from repro.datasets.model import Backup
+from repro.index.kvstore import KVStore
+
+
+def backup(tokens, sizes=None, label="b"):
+    tokens = [t.encode().ljust(4, b"_") for t in tokens]
+    if sizes is None:
+        sizes = [4096] * len(tokens)
+    return Backup(label=label, fingerprints=tokens, sizes=sizes)
+
+
+class TestNeighborStore:
+    def test_roundtrip_preserves_insertion_order(self):
+        store = NeighborStore(KVStore(), fingerprint_bytes=4)
+        table = {b"bbbb": 3, b"aaaa": 1, b"cccc": 2}
+        store.write_table(b"keyk", table)
+        loaded = store.get(b"keyk")
+        assert loaded == table
+        assert list(loaded) == [b"bbbb", b"aaaa", b"cccc"]
+
+    def test_missing_returns_default(self):
+        store = NeighborStore(KVStore(), fingerprint_bytes=4)
+        assert store.get(b"none") == {}
+        assert store.get(b"none", {b"xxxx": 1}) == {b"xxxx": 1}
+
+    def test_invalid_fp_length(self):
+        with pytest.raises(ConfigurationError):
+            NeighborStore(KVStore(), fingerprint_bytes=0)
+
+
+class TestPersistChunkStats:
+    def test_matches_in_memory_count(self, tmp_path):
+        from repro.attacks.frequency import count_with_neighbors
+
+        stream = backup(["a", "b", "a", "c", "b", "a"])
+        persisted = persist_chunk_stats(stream, tmp_path / "s")
+        in_memory = count_with_neighbors(stream)
+        assert persisted.frequencies == in_memory.frequencies
+        assert persisted.sizes == in_memory.sizes
+        for fingerprint in in_memory.left:
+            assert persisted.left.get(fingerprint) == in_memory.left[fingerprint]
+        for fingerprint in in_memory.right:
+            assert persisted.right.get(fingerprint) == in_memory.right[fingerprint]
+
+    def test_reload_from_disk(self, tmp_path):
+        stream = backup(["a", "b", "a"])
+        persist_chunk_stats(stream, tmp_path / "s")
+        loaded = load_chunk_stats(tmp_path / "s")
+        assert loaded.frequencies == {b"a___": 2, b"b___": 1}
+        assert loaded.left.get(b"b___") == {b"a___": 1}
+        assert loaded.unique_chunks == 2
+
+    def test_reload_preserves_insertion_order(self, tmp_path):
+        stream = backup(["z", "m", "a"])
+        persist_chunk_stats(stream, tmp_path / "s")
+        loaded = load_chunk_stats(tmp_path / "s")
+        assert list(loaded.frequencies) == [b"z___", b"m___", b"a___"]
+
+    def test_empty_backup_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            persist_chunk_stats(backup([]), tmp_path / "s")
+
+    def test_load_missing_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_chunk_stats(tmp_path / "nothing")
+
+
+class TestPersistentAttackEquivalence:
+    def test_locality_identical_to_in_memory(self, tmp_path, tiny_encrypted_mle, tiny_fsl_series):
+        cipher = tiny_encrypted_mle.backups[-1].ciphertext
+        aux = tiny_fsl_series.backups[-2]
+        in_memory = LocalityAttack(u=1, v=15, w=50_000).run(cipher, aux)
+        persistent = PersistentLocalityAttack(
+            tmp_path / "work", u=1, v=15, w=50_000
+        ).run(cipher, aux)
+        assert persistent.pairs == in_memory.pairs
+
+    def test_advanced_identical_to_in_memory(self, tmp_path, tiny_encrypted_mle, tiny_fsl_series):
+        cipher = tiny_encrypted_mle.backups[-1].ciphertext
+        aux = tiny_fsl_series.backups[-2]
+        in_memory = AdvancedLocalityAttack(u=1, v=15, w=50_000).run(cipher, aux)
+        persistent = PersistentAdvancedAttack(
+            tmp_path / "work", u=1, v=15, w=50_000
+        ).run(cipher, aux)
+        assert persistent.pairs == in_memory.pairs
+
+    def test_second_run_reuses_state(self, tmp_path, tiny_encrypted_mle, tiny_fsl_series):
+        cipher = tiny_encrypted_mle.backups[-1].ciphertext
+        aux = tiny_fsl_series.backups[-2]
+        attack = PersistentLocalityAttack(tmp_path / "work", u=1, v=15, w=50_000)
+        first = attack.run(cipher, aux)
+        second = attack.run(cipher, aux)  # loads persisted stats
+        assert first.pairs == second.pairs
+
+    def test_attack_name(self, tmp_path, tiny_encrypted_mle, tiny_fsl_series):
+        cipher = tiny_encrypted_mle.backups[-1].ciphertext
+        aux = tiny_fsl_series.backups[-2]
+        result = PersistentLocalityAttack(
+            tmp_path / "w", u=1, v=5, w=100
+        ).run(cipher, aux)
+        assert result.attack_name == "locality-persistent"

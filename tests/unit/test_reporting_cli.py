@@ -1,0 +1,108 @@
+"""Tests for figure reporting and the CLI front-end."""
+
+import json
+
+import pytest
+
+from repro.analysis.reporting import FigureResult, render_table, save_result
+from repro.cli import main
+
+
+class TestFigureResult:
+    def test_add_row_validates_arity(self):
+        result = FigureResult(figure="F", title="t", columns=["a", "b"])
+        result.add_row(1, 2)
+        with pytest.raises(ValueError):
+            result.add_row(1)
+
+    def test_column_access(self):
+        result = FigureResult(figure="F", title="t", columns=["a", "b"])
+        result.add_row(1, "x")
+        result.add_row(2, "y")
+        assert result.column("a") == [1, 2]
+        assert result.column("b") == ["x", "y"]
+
+
+class TestRenderTable:
+    def test_contains_header_and_rows(self):
+        result = FigureResult(figure="Figure 9", title="demo", columns=["col"])
+        result.add_row(0.12345)
+        text = render_table(result)
+        assert "Figure 9" in text
+        assert "col" in text
+        assert "0.1235" in text  # floats rendered to 4 decimal places
+
+    def test_notes_rendered(self):
+        result = FigureResult(figure="F", title="t", columns=["c"], notes=["hello"])
+        assert "note: hello" in render_table(result)
+
+
+class TestSaveResult:
+    def test_writes_text_and_json(self, tmp_path):
+        result = FigureResult(figure="Figure 5", title="t", columns=["x"])
+        result.add_row(1)
+        path = save_result(result, tmp_path)
+        assert path.exists()
+        assert "Figure 5" in path.read_text()
+        payload = json.loads((tmp_path / "figure_5.json").read_text())
+        assert payload["rows"] == [[1]]
+
+
+class TestCLI:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_stats_fsl(self, capsys):
+        assert main(["stats", "fsl"]) == 0
+        out = capsys.readouterr().out
+        assert "dedup ratio" in out
+        assert "fsl" in out
+
+    def test_generate_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "out.trace"
+        assert main(["generate", "synthetic", str(path)]) == 0
+        assert path.exists()
+        from repro.datasets.trace import load_series
+
+        series = load_series(path)
+        assert series.name == "synthetic"
+
+    def test_attack_command(self, capsys):
+        code = main(
+            ["attack", "synthetic", "--attack", "basic", "--auxiliary", "-2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "basic" in out and "rate=" in out
+
+    def test_attack_with_defense_scheme(self, capsys):
+        code = main(
+            [
+                "attack",
+                "synthetic",
+                "--attack",
+                "locality",
+                "--scheme",
+                "combined",
+                "-v",
+                "5",
+            ]
+        )
+        assert code == 0
+        assert "combined" in capsys.readouterr().out
+
+    def test_figure_command(self, tmp_path, capsys):
+        assert main(["figure", "1", "--save", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert (tmp_path / "figure_1.txt").exists()
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["stats", "nope"])

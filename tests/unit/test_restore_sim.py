@@ -1,0 +1,117 @@
+"""Tests for the restore-locality simulation."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.datasets.model import Backup
+from repro.storage.ddfs import DDFSEngine
+from repro.storage.restore_sim import simulate_restore
+
+
+def backup(tokens, label="b"):
+    return Backup(
+        label=label,
+        fingerprints=[t.encode() for t in tokens],
+        sizes=[4096] * len(tokens),
+    )
+
+
+def make_engine(container_chunks=4):
+    return DDFSEngine(
+        cache_budget_bytes=64 * 1024,
+        bloom_capacity=10_000,
+        container_size=container_chunks * 4096,
+    )
+
+
+class TestSimulateRestore:
+    def test_sequential_layout_reads_each_container_once(self):
+        engine = make_engine(container_chunks=4)
+        stream = backup([f"c{i}" for i in range(16)])
+        engine.process_backup(stream)
+        report = simulate_restore(engine, stream, cache_containers=1)
+        assert report.container_reads == 4
+        assert report.containers_in_layout == 4
+        assert report.chunks_read == 16
+
+    def test_interleaved_restore_order_thrashes_small_cache(self):
+        engine = make_engine(container_chunks=4)
+        tokens = [f"c{i}" for i in range(8)]  # containers: 0-3, 4-7
+        engine.process_backup(backup(tokens))
+        # Alternate between the two containers chunk by chunk.
+        interleaved = backup(
+            [tokens[i] for pair in zip(range(4), range(4, 8)) for i in pair]
+        )
+        thrashing = simulate_restore(engine, interleaved, cache_containers=1)
+        cached = simulate_restore(engine, interleaved, cache_containers=2)
+        assert thrashing.container_reads == 8  # reload on every switch
+        assert cached.container_reads == 2
+
+    def test_duplicate_chunks_do_not_reread(self):
+        engine = make_engine(container_chunks=4)
+        engine.process_backup(backup(["a", "b", "a", "b", "a"]))
+        report = simulate_restore(
+            engine, backup(["a", "b", "a", "b", "a"]), cache_containers=2
+        )
+        assert report.container_reads == 1
+
+    def test_unstored_chunk_rejected(self):
+        engine = make_engine()
+        engine.process_backup(backup(["a"]))
+        with pytest.raises(ConfigurationError):
+            simulate_restore(engine, backup(["ghost"]))
+
+    def test_invalid_cache_size(self):
+        engine = make_engine()
+        engine.process_backup(backup(["a"]))
+        with pytest.raises(ConfigurationError):
+            simulate_restore(engine, backup(["a"]), cache_containers=0)
+
+    def test_reads_per_chunk_metric(self):
+        engine = make_engine(container_chunks=4)
+        stream = backup([f"c{i}" for i in range(8)])
+        engine.process_backup(stream)
+        report = simulate_restore(engine, stream)
+        assert report.reads_per_mib_factor == pytest.approx(2 / 8)
+
+
+class TestRestoreOrderPlumbing:
+    def test_scrambled_pipeline_exposes_logical_order(
+        self, tiny_fsl_series, tiny_segmentation
+    ):
+        from repro.defenses.pipeline import DefensePipeline, DefenseScheme
+
+        combined = DefensePipeline(
+            DefenseScheme.COMBINED, segmentation=tiny_segmentation, seed=5
+        ).encrypt_backup(tiny_fsl_series.backups[0], 0)
+        logical = combined.logical_ciphertext()
+        # Same multiset, different order than the upload stream.
+        assert sorted(logical.fingerprints) == sorted(
+            combined.ciphertext.fingerprints
+        )
+        assert logical.fingerprints != combined.ciphertext.fingerprints
+
+    def test_mle_pipeline_logical_equals_upload(self, tiny_fsl_series):
+        from repro.defenses.pipeline import DefensePipeline, DefenseScheme
+
+        mle = DefensePipeline(DefenseScheme.MLE).encrypt_backup(
+            tiny_fsl_series.backups[0], 0
+        )
+        assert mle.logical_ciphertext() is mle.ciphertext
+
+    def test_logical_order_matches_plaintext_order(
+        self, tiny_fsl_series, tiny_segmentation
+    ):
+        """The i-th logical ciphertext chunk must be the encryption of the
+        i-th plaintext chunk — that is what file recipes record."""
+        from repro.defenses.pipeline import DefensePipeline, DefenseScheme
+
+        source = tiny_fsl_series.backups[0]
+        combined = DefensePipeline(
+            DefenseScheme.COMBINED, segmentation=tiny_segmentation, seed=5
+        ).encrypt_backup(source, 0)
+        logical = combined.logical_ciphertext()
+        for cipher_fp, plain_fp in zip(
+            logical.fingerprints, source.fingerprints
+        ):
+            assert combined.truth[cipher_fp] == plain_fp

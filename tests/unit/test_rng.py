@@ -1,0 +1,36 @@
+"""Tests for repro.common.rng: deterministic seed derivation."""
+
+from repro.common.rng import derive_seed, rng_from
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_labels_matter(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_parent_matters(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_label_order_matters(self):
+        assert derive_seed(42, "a", "b") != derive_seed(42, "b", "a")
+
+    def test_no_concatenation_ambiguity(self):
+        # ("ab",) and ("a", "b") must give different streams.
+        assert derive_seed(42, "ab") != derive_seed(42, "a", "b")
+
+    def test_mixed_label_types(self):
+        assert derive_seed(42, 1) != derive_seed(42, "1")
+
+
+class TestRngFrom:
+    def test_same_seed_same_stream(self):
+        a = rng_from(7, "x")
+        b = rng_from(7, "x")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_independent_streams(self):
+        a = rng_from(7, "x")
+        b = rng_from(7, "y")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]

@@ -1,0 +1,117 @@
+"""Tests for the scrambling defense (Algorithm 5)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.datasets.model import Backup
+from repro.defenses.scramble import (
+    DEQUE,
+    FISHER_YATES,
+    scramble_backup,
+    scramble_indices,
+    scramble_segmented,
+)
+from repro.defenses.segmentation import Segment
+
+
+class TestScrambleIndices:
+    @pytest.mark.parametrize("mode", [DEQUE, FISHER_YATES])
+    def test_is_permutation(self, mode):
+        rng = random.Random(1)
+        order = scramble_indices(10, rng, mode)
+        assert sorted(order) == list(range(10))
+
+    def test_deque_mode_matches_algorithm5(self):
+        """Each element goes to the front on an odd draw, else the back —
+        replay the exact random draws to verify."""
+        rng_a = random.Random(42)
+        order = scramble_indices(6, rng_a, DEQUE)
+        rng_b = random.Random(42)
+        from collections import deque
+
+        expected = deque()
+        for index in range(6):
+            if rng_b.getrandbits(1):
+                expected.appendleft(index)
+            else:
+                expected.append(index)
+        assert order == list(expected)
+
+    def test_deterministic_given_seed(self):
+        a = scramble_indices(20, random.Random(7), DEQUE)
+        b = scramble_indices(20, random.Random(7), DEQUE)
+        assert a == b
+
+    def test_empty_and_singleton(self):
+        rng = random.Random(0)
+        assert scramble_indices(0, rng) == []
+        assert scramble_indices(1, rng) == [0]
+
+    def test_unknown_mode(self):
+        with pytest.raises(ConfigurationError):
+            scramble_indices(5, random.Random(0), "bogus")
+
+    def test_deque_actually_scrambles(self):
+        rng = random.Random(3)
+        orders = {tuple(scramble_indices(8, rng, DEQUE)) for _ in range(20)}
+        assert len(orders) > 1
+
+
+class TestScrambleSegmented:
+    def test_multiset_preserved_per_segment(self):
+        items = list(range(20))
+        segments = [Segment(0, 7), Segment(7, 15), Segment(15, 20)]
+        result = scramble_segmented(items, segments, random.Random(5))
+        assert Counter(result[0:7]) == Counter(items[0:7])
+        assert Counter(result[7:15]) == Counter(items[7:15])
+        assert Counter(result[15:20]) == Counter(items[15:20])
+
+    def test_elements_stay_within_their_segment(self):
+        items = ["s0"] * 5 + ["s1"] * 5
+        segments = [Segment(0, 5), Segment(5, 10)]
+        result = scramble_segmented(items, segments, random.Random(1))
+        assert result[:5] == ["s0"] * 5
+        assert result[5:] == ["s1"] * 5
+
+    def test_gap_in_segments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scramble_segmented(
+                list(range(10)),
+                [Segment(0, 4), Segment(5, 10)],
+                random.Random(0),
+            )
+
+    def test_uncovered_tail_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scramble_segmented(
+                list(range(10)), [Segment(0, 4)], random.Random(0)
+            )
+
+
+class TestScrambleBackup:
+    def test_preserves_fingerprint_size_pairing(self):
+        backup = Backup(
+            label="b",
+            fingerprints=[bytes([i]) for i in range(12)],
+            sizes=[100 + i for i in range(12)],
+        )
+        segments = [Segment(0, 6), Segment(6, 12)]
+        scrambled = scramble_backup(backup, segments, random.Random(2))
+        pairing = dict(zip(backup.fingerprints, backup.sizes))
+        for fingerprint, size in zip(scrambled.fingerprints, scrambled.sizes):
+            assert pairing[fingerprint] == size
+
+    def test_breaks_adjacency(self):
+        backup = Backup(
+            label="b",
+            fingerprints=[bytes([i]) for i in range(64)],
+            sizes=[1] * 64,
+        )
+        segments = [Segment(0, 32), Segment(32, 64)]
+        scrambled = scramble_backup(backup, segments, random.Random(3))
+        before = set(zip(backup.fingerprints, backup.fingerprints[1:]))
+        after = set(zip(scrambled.fingerprints, scrambled.fingerprints[1:]))
+        assert len(before & after) < len(before) / 2

@@ -1,0 +1,170 @@
+"""Tests for Shamir secret sharing and the quorum key manager."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError, IntegrityError
+from repro.crypto.keymanager import RateLimiter
+from repro.crypto.quorum import KeyManagerReplica, QuorumKeyManager
+from repro.crypto.secretsharing import (
+    Share,
+    combine_shares,
+    gf_div,
+    gf_mul,
+    split_secret,
+)
+
+SECRET = b"attack at dawn \xff\x00"
+
+
+class TestGF256:
+    def test_multiplicative_identity(self):
+        for value in (1, 7, 130, 255):
+            assert gf_mul(value, 1) == value
+
+    def test_zero_annihilates(self):
+        assert gf_mul(0, 123) == 0
+        assert gf_mul(55, 0) == 0
+
+    def test_commutativity(self):
+        rng = random.Random(0)
+        for _ in range(100):
+            a, b = rng.randrange(256), rng.randrange(256)
+            assert gf_mul(a, b) == gf_mul(b, a)
+
+    def test_div_inverts_mul(self):
+        rng = random.Random(1)
+        for _ in range(100):
+            a = rng.randrange(256)
+            b = rng.randrange(1, 256)
+            assert gf_div(gf_mul(a, b), b) == a
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_div(5, 0)
+
+    def test_aes_field_sanity(self):
+        # Known AES field product: 0x53 * 0xCA = 0x01.
+        assert gf_mul(0x53, 0xCA) == 0x01
+
+
+class TestShamir:
+    @given(
+        secret=st.binary(min_size=1, max_size=48),
+        threshold=st.integers(min_value=1, max_value=5),
+        extra=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_split_combine_roundtrip(self, secret, threshold, extra):
+        shares = split_secret(
+            secret, threshold, threshold + extra, rng=random.Random(7)
+        )
+        rng = random.Random(9)
+        subset = rng.sample(shares, threshold)
+        assert combine_shares(subset) == secret
+
+    def test_any_k_subset_works(self):
+        shares = split_secret(SECRET, 3, 5, rng=random.Random(2))
+        import itertools
+
+        for subset in itertools.combinations(shares, 3):
+            assert combine_shares(list(subset)) == SECRET
+
+    def test_fewer_than_threshold_gives_garbage(self):
+        shares = split_secret(SECRET, 3, 5, rng=random.Random(3))
+        # Interpolating with too few shares yields the wrong value (with
+        # overwhelming probability).
+        assert combine_shares(shares[:2]) != SECRET
+
+    def test_share_independence_of_order(self):
+        shares = split_secret(SECRET, 2, 4, rng=random.Random(4))
+        assert combine_shares([shares[3], shares[0]]) == SECRET
+        assert combine_shares([shares[0], shares[3]]) == SECRET
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            split_secret(SECRET, 0, 3)
+        with pytest.raises(ConfigurationError):
+            split_secret(SECRET, 4, 3)
+        with pytest.raises(ConfigurationError):
+            split_secret(b"", 1, 1)
+
+    def test_duplicate_indices_rejected(self):
+        shares = split_secret(SECRET, 2, 3, rng=random.Random(5))
+        with pytest.raises(IntegrityError):
+            combine_shares([shares[0], shares[0]])
+
+    def test_inconsistent_lengths_rejected(self):
+        with pytest.raises(IntegrityError):
+            combine_shares([Share(1, b"ab"), Share(2, b"abc")])
+
+
+MASTER = b"m" * 32
+
+
+class TestQuorumKeyManager:
+    def make_quorum(self, threshold=2, replicas=4, limiter_factory=None):
+        return QuorumKeyManager.create(
+            MASTER, threshold, replicas, limiter_factory
+        )
+
+    def test_key_is_deterministic(self):
+        quorum = self.make_quorum()
+        assert quorum.derive_key(b"fp") == quorum.derive_key(b"fp")
+
+    def test_distinct_fingerprints_distinct_keys(self):
+        quorum = self.make_quorum()
+        assert quorum.derive_key(b"fp1") != quorum.derive_key(b"fp2")
+
+    def test_matches_single_manager_semantics(self):
+        # The quorum reconstructs exactly HMAC(master, 'mle-key:' || fp) —
+        # the same key a single KeyManager would derive.
+        from repro.crypto.keymanager import KeyManager
+
+        quorum = self.make_quorum()
+        single = KeyManager(MASTER)
+        assert quorum.derive_key(b"fp") == single.derive_key(b"fp")
+
+    def test_tolerates_replica_failures(self):
+        quorum = self.make_quorum(threshold=2, replicas=4)
+        key_before = quorum.derive_key(b"fp")
+        quorum.replicas[0].available = False
+        quorum.replicas[2].available = False
+        assert quorum.live_replicas() == 2
+        assert quorum.derive_key(b"fp") == key_before
+
+    def test_fails_below_threshold(self):
+        quorum = self.make_quorum(threshold=3, replicas=4)
+        for replica in quorum.replicas[:2]:
+            replica.available = False
+        with pytest.raises(ConfigurationError):
+            quorum.derive_key(b"fp")
+
+    def test_rate_limited_replicas_count_as_failures(self):
+        quorum = self.make_quorum(
+            threshold=2,
+            replicas=3,
+            limiter_factory=lambda: RateLimiter(rate=0.001, burst=1.0),
+        )
+        quorum.derive_key(b"fp1")  # consumes replicas 1 and 2's budgets
+        # Next query: replicas 1-2 are exhausted, only replica 3 has one
+        # token left -> below threshold.
+        with pytest.raises(ConfigurationError):
+            quorum.derive_key(b"fp2")
+
+    def test_replica_validation(self):
+        with pytest.raises(ConfigurationError):
+            KeyManagerReplica(b"short", 1, 1, 1)
+        with pytest.raises(ConfigurationError):
+            KeyManagerReplica(MASTER, 5, 2, 4)
+        with pytest.raises(ConfigurationError):
+            QuorumKeyManager([])
+
+    def test_mixed_thresholds_rejected(self):
+        a = KeyManagerReplica(MASTER, 1, 2, 3)
+        b = KeyManagerReplica(MASTER, 2, 3, 3)
+        with pytest.raises(ConfigurationError):
+            QuorumKeyManager([a, b])

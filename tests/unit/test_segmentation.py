@@ -1,0 +1,124 @@
+"""Tests for variable-size segmentation (§7.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import KiB, MiB
+from repro.datasets.chunkspace import ChunkSpace
+from repro.defenses.segmentation import (
+    Segment,
+    SegmentationSpec,
+    segment_stream,
+)
+
+SPEC = SegmentationSpec(min_bytes=32 * KiB, avg_bytes=64 * KiB, max_bytes=128 * KiB)
+
+
+def make_stream(count, seed=0, size=4096):
+    space = ChunkSpace(namespace=f"seg-{seed}")
+    ids = space.allocate_many(count)
+    return [space.fingerprint(i) for i in ids], [size] * count
+
+
+class TestSpec:
+    def test_defaults_follow_paper(self):
+        spec = SegmentationSpec()
+        assert spec.min_bytes == 512 * KiB
+        assert spec.avg_bytes == 1 * MiB
+        assert spec.max_bytes == 2 * MiB
+
+    def test_invalid_ordering(self):
+        with pytest.raises(ConfigurationError):
+            SegmentationSpec(min_bytes=2 * MiB, avg_bytes=1 * MiB, max_bytes=4 * MiB)
+
+    def test_divisor_for(self):
+        spec = SegmentationSpec()
+        assert spec.divisor_for(8192) == 128
+        assert spec.divisor_for(4096) == 256
+
+    def test_divisor_requires_positive_chunk_size(self):
+        with pytest.raises(ConfigurationError):
+            SegmentationSpec().divisor_for(0)
+
+    def test_scaled(self):
+        spec = SegmentationSpec.scaled(8192)
+        assert spec.min_bytes == 8 * 8192
+        assert spec.avg_bytes == 16 * 8192
+        assert spec.max_bytes == 32 * 8192
+
+
+class TestSegmentStream:
+    def test_tiles_stream_exactly(self):
+        fingerprints, sizes = make_stream(500)
+        segments = segment_stream(fingerprints, sizes, SPEC)
+        assert segments[0].start == 0
+        assert segments[-1].end == len(fingerprints)
+        for before, after in zip(segments, segments[1:]):
+            assert before.end == after.start
+
+    def test_size_bounds(self):
+        fingerprints, sizes = make_stream(2000)
+        segments = segment_stream(fingerprints, sizes, SPEC)
+        for segment in segments[:-1]:
+            seg_bytes = sum(sizes[segment.start : segment.end])
+            assert seg_bytes >= SPEC.min_bytes
+            # max may be exceeded by at most one chunk
+            assert seg_bytes < SPEC.max_bytes + max(sizes)
+
+    def test_deterministic(self):
+        fingerprints, sizes = make_stream(800)
+        assert segment_stream(fingerprints, sizes, SPEC) == segment_stream(
+            fingerprints, sizes, SPEC
+        )
+
+    def test_empty_stream(self):
+        assert segment_stream([], [], SPEC) == []
+
+    def test_single_chunk(self):
+        fingerprints, sizes = make_stream(1)
+        assert segment_stream(fingerprints, sizes, SPEC) == [Segment(0, 1)]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            segment_stream([b"x"], [1, 2], SPEC)
+
+    def test_content_defined_boundaries_self_synchronise(self):
+        """Identical runs embedded in different contexts produce identical
+        interior segment boundaries — the property MinHash encryption's
+        dedup preservation depends on."""
+        shared_fps, shared_sizes = make_stream(400, seed=1)
+        prefix_a, sizes_a = make_stream(37, seed=2)
+        prefix_b, sizes_b = make_stream(111, seed=3)
+        stream_a = prefix_a + shared_fps
+        stream_b = prefix_b + shared_fps
+        segs_a = segment_stream(stream_a, sizes_a + shared_sizes, SPEC)
+        segs_b = segment_stream(stream_b, sizes_b + shared_sizes, SPEC)
+
+        def interior_boundaries(segments, offset, total):
+            return {
+                segment.end - offset
+                for segment in segments
+                if segment.end > offset and segment.end < total
+            }
+
+        bounds_a = interior_boundaries(segs_a, len(prefix_a), len(stream_a))
+        bounds_b = interior_boundaries(segs_b, len(prefix_b), len(stream_b))
+        # After an initial alignment phase the boundary sets coincide.
+        deep_a = {b for b in bounds_a if b > 100}
+        deep_b = {b for b in bounds_b if b > 100}
+        assert deep_a == deep_b
+        assert deep_a, "expected interior boundaries past the sync point"
+
+    @given(count=st.integers(min_value=0, max_value=600))
+    @settings(max_examples=20, deadline=None)
+    def test_every_chunk_in_exactly_one_segment(self, count):
+        fingerprints, sizes = make_stream(count, seed=count)
+        segments = segment_stream(fingerprints, sizes, SPEC)
+        covered = [
+            index
+            for segment in segments
+            for index in range(segment.start, segment.end)
+        ]
+        assert covered == list(range(count))

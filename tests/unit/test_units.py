@@ -1,0 +1,57 @@
+"""Tests for repro.common.units."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import GiB, KiB, MiB, format_size, parse_size
+
+
+class TestParseSize:
+    def test_plain_integer_passthrough(self):
+        assert parse_size(12345) == 12345
+
+    def test_bare_number_string(self):
+        assert parse_size("4096") == 4096
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("4KB", 4 * KiB),
+            ("4 KiB", 4 * KiB),
+            ("1MB", MiB),
+            ("2 MiB", 2 * MiB),
+            ("1g", GiB),
+            ("0.5 GB", GiB // 2),
+            ("512b", 512),
+        ],
+    )
+    def test_suffixes(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_case_insensitive(self):
+        assert parse_size("4kb") == parse_size("4KB") == parse_size("4Kb")
+
+    @pytest.mark.parametrize("bad", ["", "abc", "4XB", "MB4", "-4KB"])
+    def test_malformed_raises(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_size(bad)
+
+
+class TestFormatSize:
+    def test_bytes(self):
+        assert format_size(512) == "512 B"
+
+    def test_kib(self):
+        assert format_size(4 * KiB) == "4.0 KiB"
+
+    def test_mib(self):
+        assert format_size(int(2.5 * MiB)) == "2.5 MiB"
+
+    def test_negative(self):
+        assert format_size(-MiB) == "-1.0 MiB"
+
+    def test_round_trip_order_of_magnitude(self):
+        # format then parse lands within 10% for sizes above 1 KiB
+        for value in (3 * KiB, 7 * MiB, 2 * GiB):
+            text = format_size(value).replace(" ", "")
+            assert abs(parse_size(text) - value) / value < 0.1

@@ -1,0 +1,104 @@
+"""Tests for the canonical workloads and figure-driver plumbing."""
+
+import pytest
+
+from repro.analysis.reporting import FigureResult
+from repro.analysis.workloads import (
+    encrypted_series,
+    fsl_series,
+    scaled_segmentation,
+    series_by_name,
+    storage_fsl_series,
+    synthetic_series,
+    vm_series,
+)
+from repro.defenses.pipeline import DefenseScheme
+
+
+class TestCanonicalWorkloads:
+    def test_memoisation(self):
+        assert fsl_series() is fsl_series()
+        assert encrypted_series("fsl") is encrypted_series("fsl")
+
+    def test_series_by_name(self):
+        assert series_by_name("fsl") is fsl_series()
+        assert series_by_name("vm") is vm_series()
+        assert series_by_name("synthetic") is synthetic_series()
+        assert series_by_name("storage-fsl") is storage_fsl_series()
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            series_by_name("nope")
+
+    def test_expected_structure(self):
+        assert len(fsl_series()) == 5
+        assert len(vm_series()) == 13
+        assert len(synthetic_series()) == 11
+        assert fsl_series().chunking == "variable"
+        assert vm_series().chunking == "fixed"
+
+    def test_scaled_segmentation_tracks_chunk_size(self):
+        fsl_spec = scaled_segmentation(fsl_series())   # ~8 KiB chunks
+        vm_spec = scaled_segmentation(vm_series())     # 4 KiB chunks
+        assert fsl_spec.avg_bytes > vm_spec.avg_bytes
+
+    def test_encrypted_series_scheme(self):
+        combined = encrypted_series("synthetic", DefenseScheme.COMBINED)
+        assert combined.scheme is DefenseScheme.COMBINED
+        assert len(combined) == len(synthetic_series())
+
+    def test_storage_workload_has_lower_minhash_loss(self):
+        """The storage-fsl variant exists precisely because its redundancy
+        is temporal: MinHash must cost it much less than the
+        attack-calibrated fsl workload."""
+        from repro.datasets.stats import storage_savings
+
+        losses = {}
+        for name in ("fsl", "storage-fsl"):
+            mle = encrypted_series(name, DefenseScheme.MLE)
+            combined = encrypted_series(name, DefenseScheme.COMBINED)
+            saving_mle = storage_savings(
+                [b.ciphertext for b in mle.backups]
+            )[-1]
+            saving_combined = storage_savings(
+                [b.ciphertext for b in combined.backups]
+            )[-1]
+            losses[name] = saving_mle - saving_combined
+        assert losses["storage-fsl"] < losses["fsl"] / 2
+        assert losses["storage-fsl"] < 0.06
+
+
+class TestFigureDriversFast:
+    """Smoke the cheap figure drivers (the expensive ones run as benches)."""
+
+    def test_fig1(self):
+        from repro.analysis.figures import fig1_frequency_skew
+
+        result = fig1_frequency_skew(datasets=("fsl",))
+        assert result.columns[0] == "dataset"
+        assert len(result.rows) == 1
+        assert result.rows[0][0] == "fsl"
+
+    def test_fig11(self):
+        from repro.analysis.figures import fig11_storage_saving
+
+        result = fig11_storage_saving(datasets=("storage-fsl",))
+        savings = result.column("storage_saving")
+        assert all(0.0 <= value <= 1.0 for value in savings)
+        assert len(result.rows) == 2 * len(storage_fsl_series())
+
+    def test_fig13_structure(self):
+        from repro.analysis.figures import fig13_metadata_small_cache
+
+        result = fig13_metadata_small_cache()
+        assert result.columns[-1] == "total_MiB"
+        schemes = set(result.column("scheme"))
+        assert schemes == {"mle", "combined"}
+        for row in result.rows:
+            update, index, loading, total = row[2:]
+            assert total == pytest.approx(update + index + loading, abs=1e-3)
+
+    def test_results_are_figure_results(self):
+        from repro.analysis.figures import fig1_frequency_skew
+
+        assert isinstance(fig1_frequency_skew(datasets=("fsl",)), FigureResult)
