@@ -1,0 +1,199 @@
+"""Backend scaling bench: memory vs SQLite vs sharded COUNT state.
+
+Ingests a skewed synthetic trace (default 10^5 chunk records; use
+``--chunks 1000000`` or ``BENCH_BACKEND_CHUNKS=1000000`` for paper-scale)
+through the streaming COUNT on each backend, then measures random lookup
+throughput against the resulting stores. Before reporting, it verifies the
+tentpole invariant: the COUNT digest — frequencies, sizes, and both
+neighbor tables, *including iteration order* — is byte-identical across
+all backends and equal to the single-pass in-memory COUNT.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_backend_scale.py [--chunks N]
+
+or under pytest-benchmark like the other micro benches.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import os
+import random
+import struct
+import tempfile
+import time
+from pathlib import Path
+
+from repro.attacks.frequency import count_with_neighbors
+from repro.attacks.streaming import CountStores, StreamingCount
+from repro.datasets.model import Backup
+
+DEFAULT_CHUNKS = int(os.environ.get("BENCH_BACKEND_CHUNKS", 100_000))
+DEFAULT_UNIQUE_FRACTION = 0.2
+DEFAULT_LOOKUPS = 20_000
+BACKENDS = ("memory", "sqlite", "sharded:4")
+
+_PAIR = struct.Struct(">8sQ")
+
+
+def synthetic_trace(
+    num_chunks: int = DEFAULT_CHUNKS,
+    unique_fraction: float = DEFAULT_UNIQUE_FRACTION,
+    seed: int = 11,
+) -> Backup:
+    """A skewed logical chunk stream (few hot chunks, long cold tail)."""
+    rng = random.Random(seed)
+    num_unique = max(1, int(num_chunks * unique_fraction))
+    pool = [rng.randbytes(8) for _ in range(num_unique)]
+    size_of = {fp: rng.randrange(2048, 16384) for fp in pool}
+    fingerprints = [
+        pool[min(int(rng.random() ** 3 * num_unique), num_unique - 1)]
+        for _ in range(num_chunks)
+    ]
+    return Backup(
+        label=f"bench-{num_chunks}",
+        fingerprints=fingerprints,
+        sizes=[size_of[fp] for fp in fingerprints],
+    )
+
+
+def count_digest(stats) -> str:
+    """Canonical digest of a COUNT result, sensitive to iteration order.
+
+    Works for both :class:`~repro.attacks.frequency.ChunkStats` (dict
+    tables) and :class:`~repro.attacks.streaming.BackendChunkStats`
+    (backend tables): equal digests mean byte-identical attack input.
+    """
+    digest = hashlib.sha256()
+    for fingerprint, frequency in stats.frequencies.items():
+        digest.update(_PAIR.pack(fingerprint, frequency))
+        digest.update(_PAIR.pack(fingerprint, stats.sizes[fingerprint]))
+        for side in (stats.left, stats.right):
+            table = side.get(fingerprint) or {}
+            for neighbor, count in table.items():
+                digest.update(_PAIR.pack(neighbor, count))
+    return digest.hexdigest()
+
+
+def open_stores(spec: str, directory: Path | None) -> CountStores:
+    if directory is None:
+        return CountStores.in_memory()
+    return CountStores.open(directory, spec)
+
+
+def run_backend(
+    spec: str,
+    backup: Backup,
+    num_lookups: int,
+    directory: Path | None,
+    seed: int = 5,
+) -> dict:
+    """Ingest + lookup one backend; returns throughput numbers and digest."""
+    stores = open_stores(spec, directory)
+    counter = StreamingCount(stores)
+
+    started = time.perf_counter()
+    counter.ingest_backup(backup)
+    stats = counter.finalize()
+    ingest_seconds = time.perf_counter() - started
+
+    rng = random.Random(seed)
+    probes = rng.choices(backup.fingerprints, k=num_lookups)
+    started = time.perf_counter()
+    hits = 0
+    for fingerprint in probes:
+        if stores.meta.get(fingerprint) is not None:
+            hits += 1
+        stats.left.get(fingerprint)
+    lookup_seconds = time.perf_counter() - started
+    assert hits == num_lookups  # every probe is a real fingerprint
+
+    result = {
+        "backend": spec,
+        "chunks": len(backup),
+        "unique": stats.unique_chunks,
+        "ingest_seconds": ingest_seconds,
+        "ingest_chunks_per_s": len(backup) / ingest_seconds,
+        "lookups": num_lookups,
+        "lookup_seconds": lookup_seconds,
+        "lookups_per_s": num_lookups / lookup_seconds,
+        "digest": count_digest(stats),
+    }
+    stores.close()
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--chunks", type=int, default=DEFAULT_CHUNKS)
+    parser.add_argument(
+        "--unique-fraction", type=float, default=DEFAULT_UNIQUE_FRACTION
+    )
+    parser.add_argument("--lookups", type=int, default=DEFAULT_LOOKUPS)
+    args = parser.parse_args(argv)
+
+    backup = synthetic_trace(args.chunks, args.unique_fraction)
+    reference_digest = count_digest(count_with_neighbors(backup))
+
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="bench-backend-") as tmp:
+        for spec in BACKENDS:
+            directory = (
+                None if spec == "memory" else Path(tmp) / spec.replace(":", "-")
+            )
+            rows.append(run_backend(spec, backup, args.lookups, directory))
+
+    print(
+        f"{'backend':<12} {'chunks':>9} {'unique':>8} "
+        f"{'ingest s':>9} {'ingest/s':>11} {'lookup s':>9} {'lookup/s':>11}"
+    )
+    for row in rows:
+        print(
+            f"{row['backend']:<12} {row['chunks']:>9,} {row['unique']:>8,} "
+            f"{row['ingest_seconds']:>9.2f} {row['ingest_chunks_per_s']:>11,.0f} "
+            f"{row['lookup_seconds']:>9.2f} {row['lookups_per_s']:>11,.0f}"
+        )
+
+    digests = {row["digest"] for row in rows} | {reference_digest}
+    if len(digests) != 1:
+        print("FAIL: COUNT output differs across backends!")
+        return 1
+    print(
+        f"COUNT digest identical across all backends and the in-memory "
+        f"reference: {reference_digest[:16]}…"
+    )
+    return 0
+
+
+# -- pytest-benchmark entry points -------------------------------------------
+
+
+def _bench_ingest(benchmark, spec: str, tmp_path):
+    backup = synthetic_trace(min(DEFAULT_CHUNKS, 100_000))
+
+    def run():
+        directory = None
+        if spec != "memory":
+            directory = tmp_path / f"{spec.replace(':', '-')}-{time.monotonic_ns()}"
+        return run_backend(spec, backup, 1000, directory)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result["unique"] > 1000
+
+
+def bench_backend_ingest_memory(benchmark, tmp_path):
+    _bench_ingest(benchmark, "memory", tmp_path)
+
+
+def bench_backend_ingest_sqlite(benchmark, tmp_path):
+    _bench_ingest(benchmark, "sqlite", tmp_path)
+
+
+def bench_backend_ingest_sharded(benchmark, tmp_path):
+    _bench_ingest(benchmark, "sharded:4", tmp_path)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,8 +18,8 @@ from functools import lru_cache
 from repro.common.units import KiB, MiB
 from repro.datasets.fsl import FSLConfig, FSLDatasetGenerator
 from repro.datasets.model import BackupSeries
-from repro.datasets.synthetic import SyntheticConfig, SyntheticDatasetGenerator
-from repro.datasets.vm import VMConfig, VMDatasetGenerator
+from repro.datasets.synthetic import SyntheticDatasetGenerator
+from repro.datasets.vm import VMDatasetGenerator
 from repro.defenses.pipeline import DefensePipeline, DefenseScheme, EncryptedSeries
 from repro.defenses.segmentation import SegmentationSpec
 

@@ -8,6 +8,9 @@
 * :class:`AttackEvaluator` / :class:`InferenceReport` — run attacks against
   encrypted series in ciphertext-only or known-plaintext mode and compute
   inference rates.
+* :class:`StreamingCount` / :func:`streaming_count` — batch-ingesting COUNT
+  flushing through a pluggable :class:`~repro.index.backends.KVBackend`,
+  with the persistent attack variants running on top of it.
 """
 
 from repro.attacks.advanced import AdvancedLocalityAttack
@@ -34,8 +37,18 @@ from repro.attacks.persistent import (
     load_chunk_stats,
     persist_chunk_stats,
 )
+from repro.attacks.streaming import (
+    BackendChunkStats,
+    CountStores,
+    StreamingCount,
+    streaming_count,
+)
 
 __all__ = [
+    "BackendChunkStats",
+    "CountStores",
+    "StreamingCount",
+    "streaming_count",
     "PersistentAdvancedAttack",
     "PersistentLocalityAttack",
     "load_chunk_stats",

@@ -21,7 +21,23 @@ from repro.defenses.pipeline import EncryptedBackup, EncryptedSeries
 
 @dataclass(frozen=True)
 class InferenceReport:
-    """Outcome of one attack run."""
+    """Outcome of one attack run.
+
+    Attributes:
+        attack: name of the attack that produced this report (e.g.
+            ``"locality"``).
+        scheme: defense scheme the target series was encrypted under.
+        auxiliary_label: label of the auxiliary (plaintext) backup.
+        target_label: label of the target (ciphertext) backup.
+        unique_ciphertext_chunks: unique ciphertext chunks in the target —
+            the denominator of the inference rate.
+        inferred_pairs: ciphertext–plaintext pairs the attack output.
+        correct_pairs: inferred pairs that match the ground truth.
+        leakage_rate: requested known-plaintext leakage (0 for
+            ciphertext-only mode).
+        leaked_pairs: pairs actually leaked to the attack.
+        iterations: neighbor-analysis iterations the attack performed.
+    """
 
     attack: str
     scheme: str
@@ -69,6 +85,19 @@ def sample_leakage(
     ``leakage_rate`` is relative to the number of unique ciphertext chunks;
     the sample is drawn uniformly over unique ciphertext chunks (stolen-
     device leakage does not favour any particular chunk).
+
+    Args:
+        target: the encrypted backup whose pairs leak.
+        leakage_rate: fraction of unique ciphertext chunks leaked, in
+            ``[0, 1]``.
+        seed: determinises the sample (same seed, same leaked set).
+
+    Returns:
+        A ``ciphertext fingerprint -> plaintext fingerprint`` dict; empty
+        when the rate rounds down to zero pairs.
+
+    Raises:
+        ConfigurationError: if ``leakage_rate`` is outside ``[0, 1]``.
     """
     if not 0.0 <= leakage_rate <= 1.0:
         raise ConfigurationError("leakage_rate must be in [0, 1]")
@@ -108,6 +137,10 @@ class AttackEvaluator:
             leakage_rate: fraction of the target's unique ciphertext chunks
                 leaked as known pairs (0 = ciphertext-only mode).
             seed: determinises the leakage sample.
+
+        Returns:
+            An :class:`InferenceReport` scoring the attack's output pairs
+            against the series' ground truth.
         """
         plaintext_aux = self.encrypted.plaintext[auxiliary]
         encrypted_target = self.encrypted[target]

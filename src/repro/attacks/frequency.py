@@ -23,6 +23,13 @@ are broken matters (the paper discusses this in §4.1):
   locality-based attack's power this destroys.
 
 Both orders are deterministic, so every experiment is exactly reproducible.
+
+COUNT exists in two forms sharing one hot loop (:func:`accumulate_counts`):
+the dict-only :func:`count_with_neighbors` used by default, and the
+batch-ingesting :class:`repro.attacks.streaming.StreamingCount`, which
+flushes per-batch deltas through a pluggable
+:class:`~repro.index.backends.KVBackend` so the tables can spill to disk
+(the paper's LevelDB mode, §5.2).
 """
 
 from __future__ import annotations
@@ -54,21 +61,33 @@ def count_frequencies(backup: Backup) -> dict[bytes, int]:
     return frequencies
 
 
-def count_with_neighbors(backup: Backup) -> ChunkStats:
-    """The locality-based attack's COUNT: frequencies plus left/right
-    neighbor co-occurrence tables and per-chunk sizes (Algorithm 2)."""
-    stats = ChunkStats()
+def accumulate_counts(
+    stats: ChunkStats,
+    fingerprints: list[bytes],
+    chunk_sizes: list[int],
+    previous: bytes | None = None,
+) -> bytes | None:
+    """One COUNT pass over a (sub-)stream, accumulated into ``stats``.
+
+    This is the hot loop shared by :func:`count_with_neighbors` (one pass
+    over a whole backup) and the batch-ingesting streaming COUNT
+    (:class:`repro.attacks.streaming.StreamingCount`, one pass per batch).
+    ``previous`` carries the adjacency across batch boundaries: pass the
+    return value of one call as the ``previous`` of the next and the
+    accumulated tables are identical to a single whole-stream pass.
+
+    Returns the last fingerprint of the sub-stream (the next call's
+    ``previous``), or the ``previous`` argument unchanged if the
+    sub-stream is empty.
+    """
     frequencies = stats.frequencies
     left = stats.left
     right = stats.right
     sizes = stats.sizes
-    fingerprints = backup.fingerprints
-    backup_sizes = backup.sizes
-    previous: bytes | None = None
     for index, fingerprint in enumerate(fingerprints):
         frequencies[fingerprint] = frequencies.get(fingerprint, 0) + 1
         if fingerprint not in sizes:
-            sizes[fingerprint] = backup_sizes[index]
+            sizes[fingerprint] = chunk_sizes[index]
         if previous is not None:
             left_table = left.get(fingerprint)
             if left_table is None:
@@ -79,6 +98,20 @@ def count_with_neighbors(backup: Backup) -> ChunkStats:
                 right_table = right[previous] = {}
             right_table[fingerprint] = right_table.get(fingerprint, 0) + 1
         previous = fingerprint
+    return previous
+
+
+def count_with_neighbors(backup: Backup) -> ChunkStats:
+    """The locality-based attack's COUNT: frequencies plus left/right
+    neighbor co-occurrence tables and per-chunk sizes (Algorithm 2).
+
+    Everything stays in plain dicts — the allocation-light path used by
+    the figure benches. For traces whose tables exceed RAM, use the
+    backend-flushing :class:`repro.attacks.streaming.StreamingCount`,
+    which produces byte-identical output.
+    """
+    stats = ChunkStats()
+    accumulate_counts(stats, backup.fingerprints, backup.sizes)
     return stats
 
 

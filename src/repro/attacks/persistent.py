@@ -1,4 +1,4 @@
-"""KVStore-backed attack state (the paper's LevelDB implementation, §5.2).
+"""Backend-backed attack state (the paper's LevelDB implementation, §5.2).
 
 The paper's attack code keeps its three associative-array families — chunk
 frequencies F, left/right co-occurrence tables L/R — in LevelDB, keyed by
@@ -8,177 +8,171 @@ process multi-TB traces whose tables exceed RAM, and its insertion-ordered
 lists are the reason ties break in first-occurrence order (see
 :mod:`repro.attacks.frequency`).
 
-This module reproduces that design on :class:`repro.index.kvstore.KVStore`:
+This module reproduces that design on the pluggable
+:class:`~repro.index.backends.KVBackend` layer (the streaming COUNT itself
+lives in :mod:`repro.attacks.streaming`):
 
-* :class:`NeighborStore` — serialized, insertion-ordered neighbor tables
-  loaded lazily per chunk;
-* :func:`persist_chunk_stats` — builds and persists the COUNT output for a
-  backup;
+* :func:`persist_chunk_stats` — streams the COUNT output for a backup into
+  backend stores under a directory;
+* :func:`load_chunk_stats` — reopens persisted stores via the completion
+  marker written when a COUNT run finishes (partial state from an
+  interrupted run is never loaded — it is wiped and recounted);
 * :class:`PersistentLocalityAttack` / :class:`PersistentAdvancedAttack` —
-  the locality-based attacks running against on-disk state. Results are
-  bit-identical to the in-memory attacks (property-tested).
+  the locality-based attacks running against on-disk state, on any
+  backend. Results are bit-identical to the in-memory attacks
+  (property-tested).
 """
 
 from __future__ import annotations
 
 import os
-import struct
+import shutil
 from pathlib import Path
 
 from repro.attacks.advanced import AdvancedLocalityAttack
 from repro.attacks.base import AttackResult
 from repro.attacks.frequency import ChunkStats
 from repro.attacks.locality import LocalityAttack
+from repro.attacks.streaming import (
+    BackendChunkStats,
+    CountStores,
+    NeighborStore,
+    StreamingCount,
+)
 from repro.common.errors import ConfigurationError
 from repro.datasets.model import Backup
-from repro.index.kvstore import KVStore
+from repro.index.backends import DEFAULT_SHARDS
 
-_COUNT = struct.Struct(">I")
-_META = struct.Struct(">IQ")  # size, frequency
+__all__ = [
+    "NeighborStore",
+    "PersistentAdvancedAttack",
+    "PersistentChunkStats",
+    "PersistentLocalityAttack",
+    "load_chunk_stats",
+    "persist_chunk_stats",
+]
+
+# Backwards-compatible name: the stats object now lives in the streaming
+# module and works over any backend, not just the WAL KVStore.
+PersistentChunkStats = BackendChunkStats
+
+# Written (with the backend spec as content) only after a COUNT run
+# completes; its absence marks a directory as empty or partial.
+_MARKER = "COUNT_STATE"
+_STORE_STEMS = ("meta", "left", "right")
 
 
-class NeighborStore:
-    """Insertion-ordered neighbor tables serialized into a KVStore.
+def _canonical_spec(backend: str, shards: int | None) -> str:
+    name, _, option = backend.partition(":")
+    if name != "sharded":
+        return name
+    if shards is None:
+        shards = int(option) if option else DEFAULT_SHARDS
+    return f"sharded:{shards}"
 
-    Each record is ``fingerprint -> [(neighbor, count), ...]`` with the
-    neighbors in first-occurrence order, exactly like the sequential lists
-    of the paper's implementation.
+
+def _clear_partial_state(directory: Path) -> None:
+    """Drop store files left behind by an interrupted COUNT run.
+
+    The streaming COUNT *merges* into its stores, so counting into
+    leftover state would corrupt every table. Only the known store
+    layouts are removed (``meta*``/``left*``/``right*`` files, their WAL
+    sidecars, and shard directories).
     """
-
-    def __init__(self, store: KVStore, fingerprint_bytes: int):
-        if fingerprint_bytes <= 0:
-            raise ConfigurationError("fingerprint_bytes must be positive")
-        self._store = store
-        self._fp_len = fingerprint_bytes
-        self._record = struct.Struct(f">{fingerprint_bytes}sI")
-
-    def write_table(self, fingerprint: bytes, table: dict[bytes, int]) -> None:
-        packed = b"".join(
-            self._record.pack(neighbor, count)
-            for neighbor, count in table.items()
-        )
-        self._store.put(fingerprint, packed)
-
-    def get(
-        self, fingerprint: bytes, default: dict[bytes, int] | None = None
-    ) -> dict[bytes, int]:
-        raw = self._store.get(fingerprint)
-        if raw is None:
-            return default if default is not None else {}
-        table: dict[bytes, int] = {}
-        for offset in range(0, len(raw), self._record.size):
-            neighbor, count = self._record.unpack_from(raw, offset)
-            table[neighbor] = count
-        return table
-
-    def __contains__(self, fingerprint: bytes) -> bool:
-        return fingerprint in self._store
-
-    def __len__(self) -> int:
-        return len(self._store)
-
-
-class PersistentChunkStats:
-    """COUNT output with on-disk neighbor tables.
-
-    ``frequencies`` and ``sizes`` stay in memory (they are needed in full
-    for the global ranking anyway); the much larger ``left``/``right``
-    co-occurrence tables are loaded lazily per chunk. The interface matches
-    :class:`~repro.attacks.frequency.ChunkStats` where the attacks use it.
-    """
-
-    def __init__(
-        self,
-        frequencies: dict[bytes, int],
-        sizes: dict[bytes, int],
-        left: NeighborStore,
-        right: NeighborStore,
-    ):
-        self.frequencies = frequencies
-        self.sizes = sizes
-        self.left = left
-        self.right = right
-
-    @property
-    def unique_chunks(self) -> int:
-        return len(self.frequencies)
+    if not directory.is_dir():
+        return
+    for stem in _STORE_STEMS:
+        for path in directory.glob(f"{stem}*"):
+            if path.is_dir():
+                shutil.rmtree(path)
+            else:
+                path.unlink()
 
 
 def persist_chunk_stats(
     backup: Backup,
     directory: str | os.PathLike,
-) -> PersistentChunkStats:
-    """Run COUNT over ``backup`` and persist the tables under ``directory``.
+    backend: str = "kvstore",
+    shards: int | None = None,
+) -> BackendChunkStats:
+    """Run the streaming COUNT over ``backup``, persisted under ``directory``.
 
-    Reopening the same directory later (``load_chunk_stats``) skips the
+    A completion marker (recording the backend spec) is written only after
+    the full stream is counted; a directory holding partial state from an
+    interrupted run is wiped and recounted, never loaded. Reopening a
+    completed directory later (:func:`load_chunk_stats`) skips the
     counting pass — useful when the same auxiliary backup is attacked
     against many targets, as in the Figure 6 sweep.
+
+    Args:
+        backup: the logical chunk stream to count.
+        directory: where the stores live (one subdirectory per backup).
+        backend: backend spec (``"kvstore"``, ``"sqlite"``, ``"sharded"``,
+            ``"sharded:N"``; see :func:`repro.index.backends.open_backend`).
+        shards: shard count for the sharded backend.
+
+    Raises:
+        ConfigurationError: for an empty backup, or when the directory
+            already holds completed stats (reopen those with
+            :func:`load_chunk_stats` instead — recounting would merge
+            into them and double every frequency).
     """
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
     if not backup.fingerprints:
         raise ConfigurationError("cannot persist stats of an empty backup")
-    fp_len = len(backup.fingerprints[0])
-
-    # In-memory COUNT pass (transient), then flush to the stores.
-    from repro.attacks.frequency import count_with_neighbors
-
-    stats = count_with_neighbors(backup)
-    meta_store = KVStore.open(directory / "meta.kv")
-    left_store = KVStore.open(directory / "left.kv")
-    right_store = KVStore.open(directory / "right.kv")
-    left = NeighborStore(left_store, fp_len)
-    right = NeighborStore(right_store, fp_len)
-    for fingerprint, frequency in stats.frequencies.items():
-        meta_store.put(
-            fingerprint, _META.pack(stats.sizes[fingerprint], frequency)
+    directory = Path(directory)
+    marker = directory / _MARKER
+    if marker.exists():
+        raise ConfigurationError(
+            f"stats already persisted under {directory}; "
+            "use load_chunk_stats to reopen them"
         )
-    for fingerprint, table in stats.left.items():
-        left.write_table(fingerprint, table)
-    for fingerprint, table in stats.right.items():
-        right.write_table(fingerprint, table)
-    for store in (meta_store, left_store, right_store):
-        store.flush()
-    return PersistentChunkStats(stats.frequencies, stats.sizes, left, right)
+    _clear_partial_state(directory)
+    spec = _canonical_spec(backend, shards)
+    stores = CountStores.open(directory, spec)
+    counter = StreamingCount(stores)
+    counter.ingest_backup(backup)
+    stats = counter.finalize()
+    if spec != "memory":
+        marker.write_text(spec + "\n")
+    return stats
 
 
-def load_chunk_stats(directory: str | os.PathLike) -> PersistentChunkStats:
+def load_chunk_stats(directory: str | os.PathLike) -> BackendChunkStats:
     """Reopen stats persisted by :func:`persist_chunk_stats`.
 
-    Frequencies and sizes are rebuilt into memory from the meta store
-    (insertion order of the original stream is preserved by the log
-    replay, keeping tie-break behaviour identical).
+    The backend is read from the completion marker, so partial state from
+    an interrupted run is never loaded (missing marker raises, and the
+    next :func:`persist_chunk_stats` recounts from scratch). Frequencies
+    and sizes are rebuilt into memory in first-insertion order of the
+    original stream, keeping tie-break behaviour identical.
     """
     directory = Path(directory)
-    meta_path = directory / "meta.kv"
-    if not meta_path.exists():
-        raise ConfigurationError(f"no persisted stats under {directory}")
-    meta_store = KVStore.open(meta_path)
-    if len(meta_store) == 0:
-        raise ConfigurationError(f"no persisted stats under {directory}")
-    frequencies: dict[bytes, int] = {}
-    sizes: dict[bytes, int] = {}
-    # Replay in insertion order so tie-break behaviour stays identical.
-    for fingerprint, raw in meta_store.insertion_items():
-        size, frequency = _META.unpack(raw)
-        frequencies[fingerprint] = frequency
-        sizes[fingerprint] = size
-    fp_len = len(next(iter(frequencies)))
-    left = NeighborStore(KVStore.open(directory / "left.kv"), fp_len)
-    right = NeighborStore(KVStore.open(directory / "right.kv"), fp_len)
-    return PersistentChunkStats(frequencies, sizes, left, right)
+    marker = directory / _MARKER
+    if not marker.exists():
+        raise ConfigurationError(
+            f"no completed persisted stats under {directory}"
+        )
+    stores = CountStores.open(directory, marker.read_text().strip())
+    return BackendChunkStats.from_stores(stores)
 
 
 class _PersistentCountMixin:
-    """Shares the KVStore-backed COUNT pass between the attack variants.
+    """Shares the backend-backed COUNT pass between the attack variants.
 
     ``workdir`` holds one store per (side, backup label); pre-existing
     stores are reused, mirroring the paper's reuse of LevelDB state across
     experiments (e.g. one auxiliary backup attacked against many targets).
     """
 
-    def _init_persistence(self, workdir: str | os.PathLike) -> None:
+    def _init_persistence(
+        self,
+        workdir: str | os.PathLike,
+        backend: str = "kvstore",
+        shards: int | None = None,
+    ) -> None:
         self.workdir = Path(workdir)
+        self.backend = backend
+        self.shards = shards
         self._side = "ciphertext"
 
     def _count(self, backup: Backup) -> ChunkStats:
@@ -187,7 +181,9 @@ class _PersistentCountMixin:
         try:
             stats = load_chunk_stats(directory)
         except ConfigurationError:
-            stats = persist_chunk_stats(backup, directory)
+            stats = persist_chunk_stats(
+                backup, directory, self.backend, self.shards
+            )
         return stats  # type: ignore[return-value]
 
     def run(
@@ -203,7 +199,7 @@ class _PersistentCountMixin:
 
 
 class PersistentLocalityAttack(_PersistentCountMixin, LocalityAttack):
-    """Locality-based attack with KVStore-backed COUNT state."""
+    """Locality-based attack with backend-backed COUNT state."""
 
     name = "locality-persistent"
 
@@ -213,14 +209,16 @@ class PersistentLocalityAttack(_PersistentCountMixin, LocalityAttack):
         u: int = 1,
         v: int = 15,
         w: int = 200_000,
+        backend: str = "kvstore",
+        shards: int | None = None,
         **kwargs,
     ):
         super().__init__(u=u, v=v, w=w, **kwargs)
-        self._init_persistence(workdir)
+        self._init_persistence(workdir, backend, shards)
 
 
 class PersistentAdvancedAttack(_PersistentCountMixin, AdvancedLocalityAttack):
-    """Advanced locality-based attack with KVStore-backed COUNT state."""
+    """Advanced locality-based attack with backend-backed COUNT state."""
 
     name = "advanced-persistent"
 
@@ -230,7 +228,9 @@ class PersistentAdvancedAttack(_PersistentCountMixin, AdvancedLocalityAttack):
         u: int = 1,
         v: int = 15,
         w: int = 200_000,
+        backend: str = "kvstore",
+        shards: int | None = None,
         **kwargs,
     ):
         super().__init__(u=u, v=v, w=w, **kwargs)
-        self._init_persistence(workdir)
+        self._init_persistence(workdir, backend, shards)

@@ -97,9 +97,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workdir",
         metavar="DIR",
         help=(
-            "keep COUNT state in KVStores under DIR (the paper's LevelDB "
+            "keep COUNT state on disk under DIR (the paper's LevelDB "
             "mode); reruns against the same backups skip recounting"
         ),
+    )
+    attack.add_argument(
+        "--backend",
+        choices=("kvstore", "sqlite", "sharded"),
+        default="kvstore",
+        help=(
+            "key-value backend for --workdir COUNT state: the WAL-log "
+            "kvstore (default), a batched SQLite store, or hash-partitioned "
+            "SQLite shards"
+        ),
+    )
+    attack.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="shard count for --backend sharded (default 4)",
     )
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
@@ -155,17 +171,37 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
+    if args.workdir is None and (args.backend != "kvstore" or args.shards != 4):
+        print(
+            "warning: --backend/--shards have no effect without --workdir",
+            file=sys.stderr,
+        )
+    if args.workdir and args.attack == "basic":
+        print(
+            "warning: --workdir is ignored for the basic attack",
+            file=sys.stderr,
+        )
     scheme = DefenseScheme(args.scheme)
     evaluator = AttackEvaluator(encrypted_series(args.dataset, scheme))
     if args.attack == "basic":
         attack = BasicAttack()
     elif args.workdir and args.attack == "locality":
         attack = PersistentLocalityAttack(
-            args.workdir, u=args.u, v=args.v, w=args.w
+            args.workdir,
+            u=args.u,
+            v=args.v,
+            w=args.w,
+            backend=args.backend,
+            shards=args.shards,
         )
     elif args.workdir:
         attack = PersistentAdvancedAttack(
-            args.workdir, u=args.u, v=args.v, w=args.w
+            args.workdir,
+            u=args.u,
+            v=args.v,
+            w=args.w,
+            backend=args.backend,
+            shards=args.shards,
         )
     elif args.attack == "locality":
         attack = LocalityAttack(u=args.u, v=args.v, w=args.w)

@@ -18,7 +18,7 @@ removed. The defining properties reproduced here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import rng_from

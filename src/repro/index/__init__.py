@@ -1,17 +1,39 @@
 """Indexing substrate.
 
+* :class:`KVBackend` and its implementations (:class:`MemoryBackend`,
+  :class:`SQLiteBackend`, :class:`ShardedBackend`, built via
+  :func:`open_backend`) — the pluggable backend seam every
+  fingerprint-keyed table sits behind (the paper keeps these tables in
+  LevelDB, §5.2).
 * :class:`KVStore` — an embedded, ordered key-value store with optional
-  write-ahead-log persistence. The paper's attack implementation keeps its
-  frequency and co-occurrence tables in LevelDB (§5.2); this module plays
-  the same role offline.
+  write-ahead-log persistence; also satisfies :class:`KVBackend`.
 * :class:`BloomFilter` — the in-memory filter of the DDFS prototype
   (§7.4.1), parameterised by capacity and target false-positive rate.
 * :class:`LRUCache` / :class:`FingerprintCache` — the byte-budgeted
   fingerprint cache of the DDFS prototype.
 """
 
+from repro.index.backends import (
+    BACKEND_SPECS,
+    KVBackend,
+    MemoryBackend,
+    ShardedBackend,
+    SQLiteBackend,
+    open_backend,
+)
 from repro.index.bloom import BloomFilter
 from repro.index.cache import FingerprintCache, LRUCache
 from repro.index.kvstore import KVStore
 
-__all__ = ["BloomFilter", "FingerprintCache", "LRUCache", "KVStore"]
+__all__ = [
+    "BACKEND_SPECS",
+    "BloomFilter",
+    "FingerprintCache",
+    "KVBackend",
+    "KVStore",
+    "LRUCache",
+    "MemoryBackend",
+    "ShardedBackend",
+    "SQLiteBackend",
+    "open_backend",
+]

@@ -56,6 +56,16 @@ class KVStore:
         self._data[key] = value
         self._append_record(_VALUE, key, value)
 
+    def put_batch(self, items) -> None:
+        """Insert many pairs; equivalent to sequential :meth:`put` calls.
+
+        Part of the :class:`~repro.index.backends.KVBackend` protocol; the
+        memtable absorbs each write directly, so there is no extra batching
+        benefit here beyond the buffered log file.
+        """
+        for key, value in items:
+            self.put(key, value)
+
     def delete(self, key: bytes) -> bool:
         """Remove ``key``; returns whether it existed."""
         existed = key in self._data

@@ -42,6 +42,12 @@ class DDFSEngine:
         container_size: container payload size (4 MB in the paper).
         entry_bytes: metadata bytes per fingerprint entry (32 B).
         keep_payload: retain chunk payloads for the restore path.
+        index_backend: backend for the on-disk fingerprint index — a
+            :class:`~repro.index.backends.KVBackend` instance, a spec
+            string (``"memory"``, ``"sqlite"``, ``"sharded[:N]"``, …), or
+            ``None`` for the default in-process store.
+        index_path: where a spec-string ``index_backend`` persists; a
+            spec string without a path stays in process memory.
     """
 
     def __init__(
@@ -52,13 +58,17 @@ class DDFSEngine:
         container_size: int = 4 * MiB,
         entry_bytes: int = 32,
         keep_payload: bool = False,
+        index_backend=None,
+        index_path=None,
     ):
         if bloom_capacity <= 0:
             raise ConfigurationError("bloom_capacity must be positive")
         self.cache = FingerprintCache(cache_budget_bytes, entry_bytes)
         self.bloom = BloomFilter(bloom_capacity, bloom_fpr)
         self.containers = ContainerStore(container_size, keep_payload)
-        self.index = OnDiskFingerprintIndex(entry_bytes)
+        self.index = OnDiskFingerprintIndex(
+            entry_bytes, store=index_backend, path=index_path
+        )
         self._pending_container_fingerprints: list[bytes] = []
 
     # -- chunk path -----------------------------------------------------------

@@ -2,16 +2,18 @@
 
 The fingerprint index maps every stored chunk's fingerprint to the container
 holding its physical copy. It grows with the number of unique chunks, so the
-prototype keeps it "on disk" — here a :class:`~repro.index.kvstore.KVStore`
-— and meters every access in bytes of metadata moved (``entry_bytes`` per
-fingerprint entry, 32 B in the paper's configuration), which is the quantity
-Figures 13/14 report.
+prototype keeps it "on disk" — behind any
+:class:`~repro.index.backends.KVBackend` — and meters every access in bytes
+of metadata moved (``entry_bytes`` per fingerprint entry, 32 B in the
+paper's configuration), which is the quantity Figures 13/14 report.
 """
 
 from __future__ import annotations
 
 import struct
 
+from repro.common.errors import ConfigurationError
+from repro.index.backends import KVBackend, open_backend
 from repro.index.kvstore import KVStore
 from repro.storage.metrics import MetadataAccessStats
 
@@ -19,15 +21,41 @@ _CONTAINER_ID = struct.Struct(">q")
 
 
 class OnDiskFingerprintIndex:
-    """Byte-metered fingerprint → container-id index."""
+    """Byte-metered fingerprint → container-id index.
+
+    Args:
+        entry_bytes: metered metadata bytes per fingerprint entry.
+        store: the backend holding the index — a
+            :class:`~repro.index.backends.KVBackend` instance, a backend
+            spec string for :func:`~repro.index.backends.open_backend`
+            (``"memory"``, ``"sqlite"``, ``"sharded[:N]"``, …), or ``None``
+            for the default in-process store.
+        path: where a spec-string backend persists (file for ``sqlite``,
+            directory for ``sharded``); without it, spec-string backends
+            stay in process memory.
+    """
 
     def __init__(
         self,
         entry_bytes: int = 32,
-        store: KVStore | None = None,
+        store: KVBackend | str | None = None,
+        path: str | None = None,
     ):
         self.entry_bytes = entry_bytes
-        self._store = store if store is not None else KVStore()
+        if store is None:
+            if path is not None:
+                raise ConfigurationError(
+                    "path requires a backend spec string (e.g. 'sqlite')"
+                )
+            store = KVStore()
+        elif isinstance(store, str):
+            store = open_backend(store, path)
+        elif path is not None:
+            raise ConfigurationError(
+                "pass either a backend instance or a spec string with a "
+                "path, not both"
+            )
+        self._store = store
         self.stats = MetadataAccessStats()
 
     def __len__(self) -> int:
@@ -44,8 +72,7 @@ class OnDiskFingerprintIndex:
     def update_batch(self, fingerprints: list[bytes], container_id: int) -> None:
         """Record a sealed container's chunks (update access, steps S2/S3)."""
         packed = _CONTAINER_ID.pack(container_id)
-        for fingerprint in fingerprints:
-            self._store.put(fingerprint, packed)
+        self._store.put_batch((fp, packed) for fp in fingerprints)
         self.stats.update_bytes += self.entry_bytes * len(fingerprints)
 
     def container_of(self, fingerprint: bytes) -> int | None:

@@ -52,6 +52,14 @@ class EncryptedDedupSystem:
         scramble_seed: determinises scrambling.
         cache_budget_bytes / bloom_capacity / container_size: DDFS engine
             configuration.
+        index_backend: backend for the server's fingerprint index — a
+            :class:`~repro.index.backends.KVBackend` instance, a spec
+            string (``"memory"``, ``"sqlite"``, ``"sharded[:N]"``, …), or
+            ``None`` for the default in-process store. Lets the same
+            system spill its index to disk or shard it without touching
+            the dedup logic.
+        index_path: where a spec-string ``index_backend`` persists (a
+            spec string without a path stays in process memory).
     """
 
     def __init__(
@@ -65,6 +73,8 @@ class EncryptedDedupSystem:
         cache_budget_bytes: int = 4 * MiB,
         bloom_capacity: int = 1_000_000,
         container_size: int = 4 * MiB,
+        index_backend=None,
+        index_path=None,
     ):
         if use_scramble and not use_minhash:
             # Scramble-only is supported for ablations, but it still needs
@@ -81,6 +91,8 @@ class EncryptedDedupSystem:
             bloom_capacity=bloom_capacity,
             container_size=container_size,
             keep_payload=True,
+            index_backend=index_backend,
+            index_path=index_path,
         )
         # When the MLE scheme is server-aided, MinHash segment keys come
         # from the same key manager (one query per segment, §6.1).
@@ -94,7 +106,18 @@ class EncryptedDedupSystem:
     # -- store path -----------------------------------------------------------
 
     def put_file(self, filename: str, data: bytes) -> StoredFile:
-        """Chunk, encrypt, (optionally) scramble, and deduplicate a file."""
+        """Chunk, encrypt, (optionally) scramble, and deduplicate a file.
+
+        Args:
+            filename: client-side name recorded in the file recipe.
+            data: the file contents (empty files are stored as one empty
+                chunk so they restore byte-identically).
+
+        Returns:
+            A :class:`StoredFile` holding the chunk recipe and the key
+            recipe — everything :meth:`get_file` needs to restore the
+            file. The server never sees either.
+        """
         plaintext_chunks = [chunk.data for chunk in self.chunker.split(data)]
         if not plaintext_chunks:
             plaintext_chunks = [b""] if data == b"" else plaintext_chunks
@@ -151,7 +174,23 @@ class EncryptedDedupSystem:
     # -- restore path ----------------------------------------------------------
 
     def get_file(self, stored: StoredFile) -> bytes:
-        """Restore a file from its recipes, verifying chunk integrity."""
+        """Restore a file from its recipes, verifying chunk integrity.
+
+        Args:
+            stored: the handle returned by :meth:`put_file`. Call
+                :meth:`flush` first if the file was stored since the last
+                container seal, otherwise trailing chunks are still in the
+                open container buffer.
+
+        Returns:
+            The original plaintext bytes.
+
+        Raises:
+            ConfigurationError: if the chunk and key recipes disagree.
+            StorageError: if a referenced chunk is missing from the
+                fingerprint index.
+            IntegrityError: if a restored chunk fails tag verification.
+        """
         if len(stored.recipe) != len(stored.keys):
             raise ConfigurationError("recipe/key length mismatch")
         pieces: list[bytes] = []
@@ -175,4 +214,5 @@ class EncryptedDedupSystem:
 
     @property
     def stored_bytes(self) -> int:
+        """Physical bytes in sealed containers (post-deduplication)."""
         return self.engine.containers.stored_bytes()

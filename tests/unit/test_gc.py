@@ -5,7 +5,7 @@ import pytest
 from repro.common.errors import ConfigurationError, StorageError
 from repro.datasets.model import Backup
 from repro.storage.ddfs import DDFSEngine
-from repro.storage.gc import GCReport, ReferenceTracker, collect_garbage
+from repro.storage.gc import ReferenceTracker, collect_garbage
 
 
 def backup(tokens, sizes=None, label="b"):

@@ -4,7 +4,6 @@ These encode the contracts every experiment implicitly relies on, over
 randomly generated miniature workloads.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -2,10 +2,7 @@
 
 import random
 
-import pytest
-
 from repro.chunking import Fingerprinter
-from repro.common.errors import ConfigurationError
 from repro.crypto.keymanager import KeyManager
 from repro.crypto.mle import ConvergentEncryption
 from repro.defenses.minhash import MinHashEncryptor

@@ -112,3 +112,43 @@ class TestPersistentAttackEquivalence:
             tmp_path / "w", u=1, v=5, w=100
         ).run(cipher, aux)
         assert result.attack_name == "locality-persistent"
+
+    @pytest.mark.parametrize("backend", ["sqlite", "sharded:2"])
+    def test_other_backends_identical_to_in_memory(
+        self, backend, tmp_path, tiny_encrypted_mle, tiny_fsl_series
+    ):
+        cipher = tiny_encrypted_mle.backups[-1].ciphertext
+        aux = tiny_fsl_series.backups[-2]
+        in_memory = LocalityAttack(u=1, v=15, w=50_000).run(cipher, aux)
+        persistent = PersistentLocalityAttack(
+            tmp_path / "work", u=1, v=15, w=50_000, backend=backend
+        ).run(cipher, aux)
+        assert persistent.pairs == in_memory.pairs
+
+    def test_repersist_into_completed_directory_rejected(self, tmp_path):
+        stream = backup(["a", "b", "a"])
+        persist_chunk_stats(stream, tmp_path / "s")
+        with pytest.raises(ConfigurationError):
+            persist_chunk_stats(stream, tmp_path / "s")
+
+    def test_interrupted_run_is_wiped_and_recounted(self, tmp_path):
+        from repro.attacks.frequency import count_with_neighbors
+        from repro.attacks.streaming import CountStores, StreamingCount
+
+        stream = backup(["a", "b", "a", "c", "b", "a"])
+        # Simulate an interrupted COUNT: half the stream lands in the
+        # stores, no completion marker is written.
+        partial = StreamingCount(CountStores.open(tmp_path / "s", "sqlite"))
+        partial.ingest(stream.fingerprints[:3], stream.sizes[:3])
+        partial.finalize()
+        partial.stores.close()
+
+        # Loading must refuse the partial state...
+        with pytest.raises(ConfigurationError):
+            load_chunk_stats(tmp_path / "s")
+        # ...and re-persisting (even on a different backend) must wipe it
+        # rather than merge into it.
+        stats = persist_chunk_stats(stream, tmp_path / "s", backend="kvstore")
+        assert stats.frequencies == count_with_neighbors(stream).frequencies
+        reloaded = load_chunk_stats(tmp_path / "s")
+        assert reloaded.frequencies == stats.frequencies

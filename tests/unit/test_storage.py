@@ -7,7 +7,7 @@ from repro.datasets.model import Backup
 from repro.storage.container import ContainerStore
 from repro.storage.ddfs import DDFSEngine
 from repro.storage.fingerprint_index import OnDiskFingerprintIndex
-from repro.storage.metrics import BackupWriteReport, MetadataAccessStats
+from repro.storage.metrics import MetadataAccessStats
 from repro.storage.recipes import FileRecipe
 
 
