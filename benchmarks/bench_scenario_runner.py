@@ -1,0 +1,146 @@
+"""Scenario-runner bench: process fan-out speedup + cache-hit reruns.
+
+Runs one multi-cell attack figure three ways and verifies the engine's
+contract:
+
+1. **serial** (``jobs=1``) — the baseline;
+2. **parallel** (``--jobs N``, default 4) — must produce byte-identical
+   rows, and on a machine with >= 4 CPUs must be >= 2x faster (the
+   assertion scales down gracefully on smaller machines and is skipped on
+   a single core, where a wall-clock speedup is physically impossible);
+3. **cached rerun** — a fresh cache directory is populated once, then the
+   rerun must execute zero cells and still produce identical rows.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_scenario_runner.py
+    PYTHONPATH=src python benchmarks/bench_scenario_runner.py --figure 5 --full --jobs 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from dataclasses import replace
+
+from repro.analysis.figures import FIGURE_SCENARIOS
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import Scenario
+
+# Attack figures with enough cells to be worth fanning out.
+SWEEPABLE = ("4", "5", "6", "7", "8", "9", "10")
+
+# Datasets kept in the default (non --full) run: the cheap ones, so the
+# bench finishes in tens of seconds while still spanning many cells.
+QUICK_DATASETS = ("fsl", "synthetic")
+
+
+def quick_scenario(scenario: Scenario) -> Scenario:
+    """Restrict a figure scenario to the quick datasets."""
+    specs = tuple(
+        replace(spec, datasets=tuple(
+            name for name in spec.datasets if name in QUICK_DATASETS
+        ))
+        for spec in scenario.specs
+    )
+    specs = tuple(spec for spec in specs if spec.datasets)
+    return replace(scenario, specs=specs)
+
+
+def warm_scenario(scenario: Scenario) -> float:
+    """Generate and encrypt every workload the scenario touches, in the
+    parent process (same warming the runner does before forking workers).
+
+    Serial execution and forked workers then both start from warm memoised
+    caches, so the timed comparison measures cell compute scaling — not
+    which side happened to pay dataset generation first.
+    """
+    from repro.scenarios.cells import warm_workloads
+
+    start = time.perf_counter()
+    warm_workloads(scenario.cells())
+    return time.perf_counter() - start
+
+
+def timed_run(scenario: Scenario, jobs: int, cache=None):
+    start = time.perf_counter()
+    run = run_scenario(scenario, jobs=jobs, cache=cache)
+    return run, time.perf_counter() - start
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--figure", choices=SWEEPABLE, default="5")
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the figure's full dataset grid (default: quick datasets)",
+    )
+    args = parser.parse_args(argv)
+
+    scenario = FIGURE_SCENARIOS[args.figure]()
+    if not args.full:
+        scenario = quick_scenario(scenario)
+    cells = scenario.cells()
+    cpus = os.cpu_count() or 1
+    print(
+        f"figure {args.figure}: {len(cells)} cells, "
+        f"jobs={args.jobs}, cpus={cpus}"
+    )
+
+    warm_seconds = warm_scenario(scenario)
+    print(f"workload warmup: {warm_seconds:.2f}s (untimed below)")
+
+    serial, serial_seconds = timed_run(scenario, jobs=1)
+    print(f"serial      : {serial_seconds:8.2f}s  ({len(serial.rows)} rows)")
+
+    parallel, parallel_seconds = timed_run(scenario, jobs=args.jobs)
+    speedup = serial_seconds / max(parallel_seconds, 1e-9)
+    print(f"jobs={args.jobs:<2}     : {parallel_seconds:8.2f}s  ({speedup:.2f}x)")
+
+    assert json.dumps(parallel.rows) == json.dumps(serial.rows), (
+        "parallel rows differ from serial rows"
+    )
+    print("parallel rows byte-identical to serial: ok")
+
+    if cpus >= 4 and args.jobs >= 4:
+        assert speedup >= 2.0, (
+            f"expected >=2x speedup at jobs={args.jobs} on {cpus} CPUs, "
+            f"got {speedup:.2f}x"
+        )
+        print("speedup >= 2x: ok")
+    elif cpus >= 2:
+        assert speedup >= 1.2, (
+            f"expected >=1.2x speedup on {cpus} CPUs, got {speedup:.2f}x"
+        )
+        print(f"speedup >= 1.2x on {cpus} CPUs: ok")
+    else:
+        print("speedup assertion skipped: single CPU")
+
+    with tempfile.TemporaryDirectory(prefix="scenario-cache-") as cache_dir:
+        populate, populate_seconds = timed_run(
+            scenario, jobs=1, cache=cache_dir
+        )
+        assert populate.stats.cache_hits == 0
+        rerun, rerun_seconds = timed_run(scenario, jobs=1, cache=cache_dir)
+        assert rerun.stats.executed == 0, rerun.stats
+        assert rerun.stats.cache_hits == rerun.stats.total == len(cells), (
+            rerun.stats
+        )
+        assert json.dumps(rerun.rows) == json.dumps(serial.rows)
+        print(
+            f"cache       : populate {populate_seconds:.2f}s, "
+            f"rerun {rerun_seconds:.2f}s "
+            f"({rerun.stats.cache_hits}/{rerun.stats.total} cells skipped)"
+        )
+    print("cache-hit rerun skips all completed cells: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,10 +8,19 @@ are experiments, not microbenchmarks), writes the reproduced series under
 Run with::
 
     pytest benchmarks/ --benchmark-only
+
+The figure drivers run through the scenario engine (``repro.scenarios``),
+whose output is byte-identical at any worker count; set
+``REPRO_FIGURE_JOBS=4`` to fan the figure cells out across processes and
+``REPRO_FIGURE_CACHE=DIR`` to skip cells already completed by an earlier
+(possibly interrupted) bench run.  Both knobs only apply to drivers that
+accept them — the ablation benches keep their bespoke drivers.
 """
 
 from __future__ import annotations
 
+import inspect
+import os
 from pathlib import Path
 
 import pytest
@@ -27,8 +36,22 @@ def results_dir() -> Path:
     return RESULTS_DIR
 
 
+def _engine_kwargs(driver) -> dict:
+    """jobs/cache for scenario-engine drivers, from the environment."""
+    parameters = inspect.signature(driver).parameters
+    kwargs: dict = {}
+    jobs = int(os.environ.get("REPRO_FIGURE_JOBS", "1"))
+    if jobs > 1 and "jobs" in parameters:
+        kwargs["jobs"] = jobs
+    cache = os.environ.get("REPRO_FIGURE_CACHE")
+    if cache and "cache" in parameters:
+        kwargs["cache"] = cache
+    return kwargs
+
+
 def run_figure(benchmark, driver, results_dir: Path, **kwargs) -> FigureResult:
     """Run a figure driver once under the benchmark timer and persist it."""
+    kwargs = {**_engine_kwargs(driver), **kwargs}
     result = benchmark.pedantic(
         lambda: driver(**kwargs), rounds=1, iterations=1
     )

@@ -6,6 +6,7 @@
 """
 
 from repro.analysis.figures import (
+    FIGURE_SCENARIOS,
     fig1_frequency_skew,
     fig4_parameter_impact,
     fig5_vary_auxiliary,
@@ -24,12 +25,15 @@ from repro.analysis.workloads import (
     fsl_series,
     scaled_segmentation,
     series_by_name,
+    series_chunking,
+    series_length,
     storage_fsl_series,
     synthetic_series,
     vm_series,
 )
 
 __all__ = [
+    "FIGURE_SCENARIOS",
     "fig1_frequency_skew",
     "fig4_parameter_impact",
     "fig5_vary_auxiliary",
@@ -48,6 +52,8 @@ __all__ = [
     "fsl_series",
     "scaled_segmentation",
     "series_by_name",
+    "series_chunking",
+    "series_length",
     "storage_fsl_series",
     "synthetic_series",
     "vm_series",

@@ -18,8 +18,8 @@ from functools import lru_cache
 from repro.common.units import KiB, MiB
 from repro.datasets.fsl import FSLConfig, FSLDatasetGenerator
 from repro.datasets.model import BackupSeries
-from repro.datasets.synthetic import SyntheticDatasetGenerator
-from repro.datasets.vm import VMDatasetGenerator
+from repro.datasets.synthetic import SyntheticConfig, SyntheticDatasetGenerator
+from repro.datasets.vm import VMConfig, VMDatasetGenerator
 from repro.defenses.pipeline import DefensePipeline, DefenseScheme, EncryptedSeries
 from repro.defenses.segmentation import SegmentationSpec
 
@@ -97,6 +97,45 @@ def series_by_name(name: str) -> BackupSeries:
     except KeyError:
         raise KeyError(
             f"unknown dataset {name!r}; choose from {sorted(_SERIES_FACTORIES)}"
+        ) from None
+
+
+# Backup counts and chunking styles of the canonical series, derivable from
+# the generator configs without generating anything.  Scenario expansion
+# (repro.scenarios.spec) resolves anchor ranges through these, so a parent
+# process can plan a parallel run without paying dataset generation;
+# tests/unit/test_workloads_analysis.py pins them to the generated truth.
+_SERIES_LENGTHS = {
+    "fsl": lambda: FSLConfig().num_backups,
+    "vm": lambda: VMConfig().num_backups,
+    "synthetic": lambda: SyntheticConfig().num_snapshots + 1,
+    "storage-fsl": lambda: FSLConfig().num_backups,
+}
+_SERIES_CHUNKING = {
+    "fsl": "variable",
+    "vm": "fixed",
+    "synthetic": "variable",
+    "storage-fsl": "variable",
+}
+
+
+def series_length(name: str) -> int:
+    """Number of backups in a canonical series, without generating it."""
+    try:
+        return _SERIES_LENGTHS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; choose from {sorted(_SERIES_LENGTHS)}"
+        ) from None
+
+
+def series_chunking(name: str) -> str:
+    """Chunking style (``"fixed"``/``"variable"``) of a canonical series."""
+    try:
+        return _SERIES_CHUNKING[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; choose from {sorted(_SERIES_CHUNKING)}"
         ) from None
 
 

@@ -5,7 +5,11 @@ Subcommands:
 * ``generate`` — build a canonical dataset and save its trace.
 * ``stats`` — workload statistics (dedup ratio, frequency skew, locality).
 * ``attack`` — run one inference attack against one dataset/scheme.
-* ``figure`` — regenerate a paper figure's series and print the table.
+* ``figure`` — regenerate a paper figure (or ``all``), optionally in
+  parallel (``--jobs``) and against an on-disk cell cache (``--cache``).
+* ``sweep`` — run a user-defined scenario grid (any dataset × scheme ×
+  attack × (u, v, w) × anchor × leakage-rate combination) through the
+  scenario engine — including cells the paper never plotted.
 * ``storage`` — run the DDFS metadata-access experiment.
 """
 
@@ -30,6 +34,7 @@ from repro.attacks import (
     PersistentAdvancedAttack,
     PersistentLocalityAttack,
 )
+from repro.common.errors import ConfigurationError
 from repro.common.units import format_size
 from repro.datasets.stats import (
     adjacency_preservation,
@@ -55,6 +60,13 @@ _FIGURES = {
     "13": figure_drivers.fig13_metadata_small_cache,
     "14": figure_drivers.fig14_metadata_large_cache,
 }
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -90,6 +102,12 @@ def _build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--auxiliary", type=int, default=-2)
     attack.add_argument("--target", type=int, default=-1)
     attack.add_argument("--leakage-rate", type=float, default=0.0)
+    attack.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for the known-plaintext leakage sample (default 0)",
+    )
     attack.add_argument("-u", type=int, default=1)
     attack.add_argument("-v", type=int, default=15)
     attack.add_argument("-w", type=int, default=200_000)
@@ -118,9 +136,76 @@ def _build_parser() -> argparse.ArgumentParser:
         help="shard count for --backend sharded (default 4)",
     )
 
-    figure = sub.add_parser("figure", help="regenerate a paper figure")
-    figure.add_argument("number", choices=sorted(_FIGURES, key=int))
+    figure = sub.add_parser(
+        "figure", help="regenerate a paper figure (or 'all')"
+    )
+    figure.add_argument(
+        "number", choices=sorted(_FIGURES, key=int) + ["all"]
+    )
     figure.add_argument("--save", metavar="DIR", help="also save under DIR")
+    figure.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes (output is identical at any job count)",
+    )
+    figure.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="on-disk cell cache; reruns skip completed cells",
+    )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a user-defined scenario grid through the engine",
+        description=(
+            "Cross dataset × scheme × attack × (u, v, w) × anchor pair × "
+            "leakage rate, run every cell (optionally in parallel and "
+            "cached), and print one row per cell — scenarios well beyond "
+            "the paper's plotted grid."
+        ),
+    )
+    sweep.add_argument(
+        "--datasets", default="fsl", metavar="A,B", help="comma-separated"
+    )
+    sweep.add_argument(
+        "--schemes",
+        default="mle",
+        metavar="A,B",
+        help=f"comma-separated from {[s.value for s in DefenseScheme]}",
+    )
+    sweep.add_argument(
+        "--attacks",
+        default="locality",
+        metavar="A,B",
+        help="comma-separated from basic,locality,advanced",
+    )
+    sweep.add_argument("--u", default="1", metavar="N,..", help="u values")
+    sweep.add_argument("--v", default="15", metavar="N,..", help="v values")
+    sweep.add_argument(
+        "--w", default="200000", metavar="N,..", help="w values"
+    )
+    sweep.add_argument(
+        "--pairs",
+        default="-2:-1",
+        metavar="AUX:TGT,..",
+        help=(
+            "auxiliary:target backup index pairs; negatives count from the "
+            "end (use the = form for those, e.g. --pairs=-2:-1,0:-1)"
+        ),
+    )
+    sweep.add_argument(
+        "--leakage-rates", default="0", metavar="R,..", help="leakage rates"
+    )
+    sweep.add_argument(
+        "--seed", type=int, default=0, help="leakage-sample seed"
+    )
+    sweep.add_argument("--jobs", type=_positive_int, default=1, metavar="N")
+    sweep.add_argument("--cache", metavar="DIR")
+    sweep.add_argument(
+        "--json", metavar="FILE", help="also write rows as JSON to FILE"
+    )
 
     storage = sub.add_parser(
         "storage", help="run the DDFS metadata-access experiment"
@@ -212,17 +297,154 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         auxiliary=args.auxiliary,
         target=args.target,
         leakage_rate=args.leakage_rate,
+        seed=args.seed,
     )
     print(report)
     return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    result = _FIGURES[args.number]()
+    numbers = (
+        sorted(_FIGURES, key=int) if args.number == "all" else [args.number]
+    )
+    for index, number in enumerate(numbers):
+        if index:
+            print()
+        result = _FIGURES[number](jobs=args.jobs, cache=args.cache)
+        print(render_table(result))
+        if args.save:
+            path = save_result(result, args.save)
+            print(f"saved -> {path}")
+    return 0
+
+
+def _split(text: str, convert) -> tuple:
+    return tuple(convert(part) for part in text.split(",") if part)
+
+
+def _parse_pairs(text: str) -> tuple:
+    from repro.scenarios.spec import PAIR, Anchor
+
+    anchors = []
+    for part in _split(text, str):
+        auxiliary, _, target = part.partition(":")
+        try:
+            anchor = Anchor(
+                mode=PAIR, auxiliary=int(auxiliary), target=int(target)
+            )
+        except ValueError:
+            raise SystemExit(
+                f"bad --pairs entry {part!r}; expected AUX:TGT (e.g. -2:-1)"
+            ) from None
+        anchors.append(anchor)
+    return tuple(anchors)
+
+
+def _validate_sweep_axes(datasets, schemes, attacks) -> None:
+    """Reject bad axis values up front, before any worker starts."""
+    for dataset in datasets:
+        if dataset not in _DATASETS:
+            raise SystemExit(
+                f"unknown dataset {dataset!r}; choose from {sorted(_DATASETS)}"
+            )
+    valid_schemes = {scheme.value for scheme in DefenseScheme}
+    for scheme in schemes:
+        if scheme not in valid_schemes:
+            raise SystemExit(
+                f"unknown scheme {scheme!r}; choose from {sorted(valid_schemes)}"
+            )
+    from repro.scenarios.cells import KNOWN_ATTACKS
+
+    for attack_name in attacks:
+        if attack_name not in KNOWN_ATTACKS:
+            raise SystemExit(
+                f"unknown attack {attack_name!r}; choose from "
+                f"{sorted(KNOWN_ATTACKS)}"
+            )
+
+
+def _validate_leakage_rates(rates) -> None:
+    for rate in rates:
+        if not 0.0 <= rate <= 1.0:
+            raise SystemExit(f"leakage rate {rate} must be in [0, 1]")
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.analysis.reporting import FigureResult
+    from repro.scenarios.runner import rows_from, Runner
+    from repro.scenarios.spec import AttackParams, ScenarioSpec
+
+    columns = (
+        "dataset",
+        "scheme",
+        "attack",
+        "u",
+        "v",
+        "w",
+        "auxiliary",
+        "target",
+        "leakage_rate",
+        "inference_rate",
+        "precision",
+    )
+    params = tuple(
+        AttackParams(u=u, v=v, w=w)
+        for u in _split(args.u, int)
+        for v in _split(args.v, int)
+        for w in _split(args.w, int)
+    )
+    datasets = _split(args.datasets, str)
+    schemes = _split(args.schemes, str)
+    attacks = _split(args.attacks, str)
+    _validate_sweep_axes(datasets, schemes, attacks)
+    leakage_rates = _split(args.leakage_rates, float)
+    _validate_leakage_rates(leakage_rates)
+    cells = []
+    for anchor in _parse_pairs(args.pairs):
+        spec = ScenarioSpec(
+            name="sweep",
+            datasets=datasets,
+            schemes=schemes,
+            attacks=attacks,
+            params=params,
+            anchor=anchor,
+            leakage_rates=leakage_rates,
+            seed=args.seed,
+        )
+        try:
+            cells.extend(spec.expand())
+        except ConfigurationError as error:
+            # e.g. a --pairs index outside the series: same clean exit
+            # style as the other axis validations.
+            raise SystemExit(str(error)) from None
+    runner = Runner(jobs=args.jobs, cache=args.cache)
+    results = runner.run_cells(cells)
+    result = FigureResult(
+        figure="Sweep",
+        title=f"{len(cells)} cells (seed {args.seed})",
+        columns=list(columns),
+    )
+    result.rows = rows_from(results, columns)
     print(render_table(result))
-    if args.save:
-        path = save_result(result, args.save)
-        print(f"saved -> {path}")
+    executed = sum(1 for r in results if r.source == "executed")
+    cached = sum(1 for r in results if r.source == "cache")
+    duplicates = sum(1 for r in results if r.source == "duplicate")
+    print(
+        f"cells: {len(results)} total, {executed} executed, "
+        f"{cached} cached, {duplicates} duplicate",
+        file=sys.stderr,
+    )
+    if args.json:
+        payload = {
+            "columns": list(columns),
+            "rows": result.rows,
+            "seed": args.seed,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(payload, handle, indent=2)
+        print(f"wrote -> {args.json}", file=sys.stderr)
     return 0
 
 
@@ -250,6 +472,7 @@ _HANDLERS = {
     "stats": _cmd_stats,
     "attack": _cmd_attack,
     "figure": _cmd_figure,
+    "sweep": _cmd_sweep,
     "storage": _cmd_storage,
     "report": _cmd_report,
 }

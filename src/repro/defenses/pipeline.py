@@ -166,6 +166,12 @@ class DefensePipeline:
                 cipher_fp = self._mle_fingerprint(
                     plaintext_fp, self._output_length(plaintext_fp)
                 )
+                existing = truth.get(cipher_fp)
+                if existing is not None and existing != plaintext_fp:
+                    raise ConfigurationError(
+                        "ciphertext fingerprint collision; increase "
+                        "fingerprint_bytes"
+                    )
                 cache[plaintext_fp] = cipher_fp
                 truth[cipher_fp] = plaintext_fp
             ciphertext.append(cipher_fp, padded_size(size))

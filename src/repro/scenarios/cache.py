@@ -1,0 +1,119 @@
+"""On-disk result cache: cells are content-addressed by what they compute.
+
+A cell's cache key hashes its kind, its full parameter set and a format
+version — everything that determines the computed rows, and nothing that
+doesn't (row-label tags are excluded, so the same computation reached from
+two different figures shares one entry).  Bump :data:`CACHE_VERSION`
+whenever an executor's output format or semantics change; stale entries
+then miss instead of serving wrong rows.
+
+Entries are one JSON file per cell, written atomically (temp file +
+``os.replace``) so concurrent runners and interrupted runs can never leave
+a half-written entry that later loads: a torn or corrupt file is treated
+as a miss and recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.scenarios.spec import Cell, Tags
+
+CACHE_VERSION = 1
+
+_PRIMITIVES = (str, int, float, bool, type(None))
+
+
+def cell_key(cell: Cell) -> str:
+    """Content hash of a cell's computation (hex, stable across processes)."""
+    for _, value in cell.params:
+        if not isinstance(value, _PRIMITIVES):
+            raise TypeError(
+                f"cell params must be JSON primitives, got {value!r}"
+            )
+    payload = json.dumps(
+        {
+            "version": CACHE_VERSION,
+            "kind": cell.kind,
+            "params": [[key, value] for key, value in cell.params],
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _freeze_rows(rows: object) -> tuple[Tags, ...]:
+    return tuple(
+        tuple((str(key), value) for key, value in row) for row in rows
+    )
+
+
+class ResultCache:
+    """A directory of completed cell results, keyed by :func:`cell_key`."""
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def load(self, cell: Cell, key: str | None = None) -> tuple[Tags, ...] | None:
+        """Return the cell's cached field rows, or ``None`` on any miss
+        (absent, torn, corrupt, or belonging to a different cell).
+
+        ``key`` is the cell's precomputed :func:`cell_key`, if the caller
+        already has it."""
+        path = self._path(key or cell_key(cell))
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("kind") != cell.kind
+            or payload.get("params") != [list(pair) for pair in cell.params]
+        ):
+            return None
+        try:
+            return _freeze_rows(payload["rows"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def store(
+        self, cell: Cell, rows: tuple[Tags, ...], key: str | None = None
+    ) -> Path:
+        """Persist a completed cell's rows atomically; returns the path."""
+        path = self._path(key or cell_key(cell))
+        payload = json.dumps(
+            {
+                "kind": cell.kind,
+                "params": [[key, value] for key, value in cell.params],
+                "rows": [[[key, value] for key, value in row] for row in rows],
+            },
+            separators=(",", ":"),
+        )
+        # ".tmp" suffix: never matches the "*.json" glob in __len__, so a
+        # killed writer can't inflate the completed-cell count.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".partial-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))

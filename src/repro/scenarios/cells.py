@@ -1,0 +1,191 @@
+"""Cell executors: one function per cell kind, runnable in any process.
+
+``execute_cell`` is the single entry point the runner fans out (it is a
+top-level function, so it pickles cleanly into ``ProcessPoolExecutor``
+workers).  Each kind's executor resolves its workload through the memoised
+canonical registry (:mod:`repro.analysis.workloads`) — a worker generates a
+dataset at most once, no matter how many of its cells it executes — and
+returns rows of plain ``(field, value)`` pairs, which survive the JSON
+round-trip through the on-disk result cache bit-for-bit.
+
+Rounding happens here (5 decimals for inference rates, 4 for storage and
+metadata figures, matching the pre-engine figure drivers) so cached and
+freshly-computed rows are byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import MiB
+from repro.scenarios.spec import (
+    ATTACK,
+    FREQUENCY,
+    METADATA,
+    STORAGE_SAVING,
+    Cell,
+    Tags,
+)
+
+FieldRows = tuple[Tags, ...]
+CellExecutor = Callable[[dict], FieldRows]
+
+# The attacks build_attack knows; CLI validation derives from this.
+KNOWN_ATTACKS = ("basic", "locality", "advanced")
+
+
+def build_attack(name: str, u: int, v: int, w: int):
+    """Instantiate a paper attack by CLI-friendly name."""
+    from repro.attacks.advanced import AdvancedLocalityAttack
+    from repro.attacks.basic import BasicAttack
+    from repro.attacks.locality import LocalityAttack
+
+    if name == "basic":
+        return BasicAttack()
+    if name == "locality":
+        return LocalityAttack(u=u, v=v, w=w)
+    if name == "advanced":
+        return AdvancedLocalityAttack(u=u, v=v, w=w)
+    raise ConfigurationError(
+        f"unknown attack {name!r}; choose from {sorted(KNOWN_ATTACKS)}"
+    )
+
+
+def _encrypted(dataset: str, scheme: str):
+    from repro.analysis.workloads import encrypted_series
+    from repro.defenses.pipeline import DefenseScheme
+
+    return encrypted_series(dataset, DefenseScheme(scheme))
+
+
+def _run_attack(params: dict) -> FieldRows:
+    from repro.attacks.evaluation import AttackEvaluator
+
+    evaluator = AttackEvaluator(_encrypted(params["dataset"], params["scheme"]))
+    attack = build_attack(
+        params["attack"], params["u"], params["v"], params["w"]
+    )
+    report = evaluator.run(
+        attack,
+        auxiliary=params["auxiliary"],
+        target=params["target"],
+        leakage_rate=params["leakage_rate"],
+        seed=params.get("seed", 0),
+    )
+    return (
+        (
+            ("auxiliary", report.auxiliary_label),
+            ("target", report.target_label),
+            ("inference_rate", round(report.inference_rate, 5)),
+            ("precision", round(report.precision, 5)),
+            ("correct_pairs", report.correct_pairs),
+            ("inferred_pairs", report.inferred_pairs),
+            ("unique_ciphertext_chunks", report.unique_ciphertext_chunks),
+            ("leaked_pairs", report.leaked_pairs),
+            ("iterations", report.iterations),
+        ),
+    )
+
+
+def _run_frequency(params: dict) -> FieldRows:
+    from repro.analysis.workloads import series_by_name
+    from repro.datasets.stats import frequency_cdf, series_frequencies
+
+    series = series_by_name(params["dataset"])
+    cdf = frequency_cdf(series_frequencies(series))
+    p99 = cdf.frequencies[int(0.99 * (len(cdf.frequencies) - 1))]
+    return (
+        (
+            ("unique_chunks", len(cdf.frequencies)),
+            ("frac_below_10", round(cdf.fraction_below(10), 4)),
+            ("frac_below_100", round(cdf.fraction_below(100), 4)),
+            ("p50_freq", cdf.median_frequency),
+            ("p99_freq", p99),
+            ("max_freq", cdf.max_frequency),
+        ),
+    )
+
+
+def _run_storage_saving(params: dict) -> FieldRows:
+    from repro.datasets.stats import storage_savings
+
+    encrypted = _encrypted(params["dataset"], params["scheme"])
+    savings = storage_savings(
+        [backup.ciphertext for backup in encrypted.backups]
+    )
+    return tuple(
+        (("backup", backup.label), ("storage_saving", round(saving, 4)))
+        for backup, saving in zip(encrypted.backups, savings)
+    )
+
+
+def _run_metadata(params: dict) -> FieldRows:
+    from repro.storage.ddfs import DDFSEngine
+
+    encrypted = _encrypted(params["dataset"], params["scheme"])
+    # All engine knobs must come through cell params (specs attach them
+    # via `extra`) so they are part of the cache identity — no silent
+    # defaults here that could diverge from the spec side.
+    engine = DDFSEngine(
+        cache_budget_bytes=params["cache_budget_bytes"],
+        bloom_capacity=params["bloom_capacity"],
+        container_size=params["container_size"],
+    )
+    rows = []
+    for backup in encrypted.backups:
+        meta = engine.process_backup(backup.ciphertext).metadata
+        rows.append(
+            (
+                ("backup", backup.label),
+                ("update_MiB", round(meta.update_bytes / MiB, 4)),
+                ("index_MiB", round(meta.index_bytes / MiB, 4)),
+                ("loading_MiB", round(meta.loading_bytes / MiB, 4)),
+                ("total_MiB", round(meta.total_bytes / MiB, 4)),
+            )
+        )
+    return tuple(rows)
+
+
+CELL_EXECUTORS: dict[str, CellExecutor] = {
+    ATTACK: _run_attack,
+    FREQUENCY: _run_frequency,
+    STORAGE_SAVING: _run_storage_saving,
+    METADATA: _run_metadata,
+}
+
+
+def register_cell_kind(kind: str, executor: CellExecutor) -> None:
+    """Register an additional cell kind (tests and future subsystems)."""
+    CELL_EXECUTORS[kind] = executor
+
+
+def warm_workloads(cells) -> None:
+    """Materialize every workload the cells touch, in the calling process.
+
+    The runner calls this before forking workers: with the fork start
+    method the children inherit the parent's memoised series, so no worker
+    pays dataset generation or encryption for work the parent already did.
+    Unknown kinds (no ``dataset`` param) are skipped.
+    """
+    from repro.analysis.workloads import series_by_name
+
+    for cell in cells:
+        params = dict(cell.params)
+        dataset = params.get("dataset")
+        if not isinstance(dataset, str):
+            continue
+        scheme = params.get("scheme")
+        if isinstance(scheme, str):
+            _encrypted(dataset, scheme)
+        else:
+            series_by_name(dataset)
+
+
+def execute_cell(cell: Cell) -> FieldRows:
+    """Run one cell in the current process and return its field rows."""
+    try:
+        executor = CELL_EXECUTORS[cell.kind]
+    except KeyError:
+        raise ConfigurationError(f"unknown cell kind {cell.kind!r}") from None
+    return executor(dict(cell.params))

@@ -1,0 +1,240 @@
+"""Cache-aware scenario runner: serial baseline + process-pool fan-out.
+
+The runner takes the cells a :class:`~repro.scenarios.spec.Scenario`
+expands to and produces their rows **in spec order**, whatever executes
+where: results are merged back positionally, so the output is
+byte-identical at ``jobs=1`` and ``jobs=N`` (the figure benches assert
+this).  Three layers of work avoidance stack:
+
+1. **Result cache** — cells whose content hash is already on disk
+   (:class:`~repro.scenarios.cache.ResultCache`) are never executed;
+   completed cells are persisted as they finish, so an interrupted run
+   resumes where it stopped.
+2. **In-run deduplication** — identical cells appearing in several specs
+   (figures share anchor pairs) execute once per run.
+3. **Per-process workload memoisation** — executors resolve datasets and
+   encrypted series through :mod:`repro.analysis.workloads`' ``lru_cache``,
+   so each worker process regenerates a given workload at most once.
+
+Determinism does not depend on scheduling: every cell carries its own
+explicit seed (specs thread it through), and leakage sampling already
+derives an independent stream per (seed, target, rate) via
+:func:`repro.common.rng.rng_from` — there is no shared RNG state to race.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.scenarios.cache import ResultCache, cell_key
+from repro.scenarios.cells import execute_cell, warm_workloads
+from repro.scenarios.spec import Cell, Scenario, Tags
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One cell's computed rows plus where they came from."""
+
+    cell: Cell
+    rows: tuple[Tags, ...]
+    source: str = "executed"  # "executed" | "cache" | "duplicate"
+
+
+@dataclass
+class RunStats:
+    """Execution accounting for one ``run_cells`` call."""
+
+    total: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    duplicates: int = 0
+
+    def note(self, source: str) -> None:
+        self.total += 1
+        if source == "executed":
+            self.executed += 1
+        elif source == "cache":
+            self.cache_hits += 1
+        else:
+            self.duplicates += 1
+
+
+@dataclass
+class ScenarioRun:
+    """The outcome of :func:`run_scenario`: assembled rows + provenance."""
+
+    scenario: Scenario
+    rows: list[list[object]] = field(default_factory=list)
+    results: list[CellResult] = field(default_factory=list)
+    stats: RunStats = field(default_factory=RunStats)
+
+
+def rows_from(
+    results: Iterable[CellResult], columns: Sequence[str]
+) -> list[list[object]]:
+    """Assemble output rows: computed fields first, cell tags as fallback."""
+    rows: list[list[object]] = []
+    for result in results:
+        tag_map = dict(result.cell.tags)
+        for fields in result.rows:
+            field_map = dict(fields)
+            row: list[object] = []
+            for column in columns:
+                if column in field_map:
+                    row.append(field_map[column])
+                elif column in tag_map:
+                    row.append(tag_map[column])
+                else:
+                    raise KeyError(
+                        f"column {column!r} is neither computed by "
+                        f"{result.cell.kind!r} cells nor tagged on the spec"
+                    )
+            rows.append(row)
+    return rows
+
+
+class Runner:
+    """Executes cells through a pluggable executor and merges in order.
+
+    Args:
+        jobs: worker processes; ``1`` (default) runs serially in-process,
+            sharing the caller's memoised workloads.
+        cache: a :class:`ResultCache`, a directory path to open one in, or
+            ``None`` to disable on-disk caching.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: ResultCache | str | os.PathLike | None = None,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+
+    def run_cells(
+        self, cells: Sequence[Cell], stats: RunStats | None = None
+    ) -> list[CellResult]:
+        """Run ``cells``, returning one result per cell in input order."""
+        stats = stats if stats is not None else RunStats()
+        results: list[CellResult | None] = [None] * len(cells)
+
+        # Layer 1+2: satisfy from the on-disk cache, dedupe the remainder.
+        # The content hash is computed once per cell and threaded through
+        # cache lookup, dedup, and persistence.
+        pending: dict[str, list[int]] = {}
+        pending_cells: dict[str, Cell] = {}
+        for index, cell in enumerate(cells):
+            key = cell_key(cell)
+            if self.cache is not None:
+                rows = self.cache.load(cell, key=key)
+                if rows is not None:
+                    results[index] = CellResult(cell, rows, source="cache")
+                    stats.note("cache")
+                    continue
+            siblings = pending.setdefault(key, [])
+            if siblings:
+                stats.note("duplicate")
+            else:
+                pending_cells[key] = cell
+                stats.note("executed")
+            siblings.append(index)
+
+        if pending:
+            computed = self._execute(pending_cells)
+            for key, rows in computed.items():
+                first, *rest = pending[key]
+                results[first] = CellResult(cells[first], rows)
+                for index in rest:
+                    results[index] = CellResult(
+                        cells[index], rows, source="duplicate"
+                    )
+        return [result for result in results if result is not None]
+
+    # -- executors ----------------------------------------------------------
+
+    def _execute(
+        self, keyed_cells: dict[str, Cell]
+    ) -> dict[str, tuple[Tags, ...]]:
+        if self.jobs == 1 or len(keyed_cells) == 1:
+            computed = {}
+            for key, cell in keyed_cells.items():
+                rows = execute_cell(cell)
+                computed[key] = rows
+                self._persist(cell, rows, key=key)
+            return computed
+        return self._execute_processes(keyed_cells)
+
+    def _execute_processes(
+        self, keyed_cells: dict[str, Cell]
+    ) -> dict[str, tuple[Tags, ...]]:
+        # The engine's worker-side economics (parent-warmed workloads,
+        # kinds registered at runtime) rely on fork semantics; pin the
+        # start method rather than trusting the platform default, which
+        # is spawn on macOS and forkserver on new Python versions.  Where
+        # fork does not exist (Windows) workers fall back to the default
+        # and simply regenerate workloads themselves.
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+            warm_workloads(keyed_cells.values())
+        else:
+            context = None
+        computed: dict[str, tuple[Tags, ...]] = {}
+        workers = min(self.jobs, len(keyed_cells))
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        ) as executor:
+            futures = {
+                executor.submit(execute_cell, cell): key
+                for key, cell in keyed_cells.items()
+            }
+            remaining = set(futures)
+            first_error: BaseException | None = None
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    key = futures[future]
+                    try:
+                        rows = future.result()
+                    except BaseException as error:  # noqa: BLE001
+                        # Keep persisting the cells that did complete —
+                        # the retry then resumes instead of recomputing
+                        # them — and re-raise after the pool drains.
+                        if first_error is None:
+                            first_error = error
+                        continue
+                    computed[key] = rows
+                    # Persist as results arrive, not at the end: an
+                    # interrupted run keeps every completed cell.
+                    self._persist(keyed_cells[key], rows, key=key)
+            if first_error is not None:
+                raise first_error
+        return computed
+
+    def _persist(
+        self, cell: Cell, rows: tuple[Tags, ...], key: str | None = None
+    ) -> None:
+        if self.cache is not None:
+            self.cache.store(cell, rows, key=key)
+
+
+def run_scenario(
+    scenario: Scenario,
+    jobs: int = 1,
+    cache: ResultCache | str | os.PathLike | None = None,
+    lengths: Mapping[str, int] | None = None,
+) -> ScenarioRun:
+    """Expand, execute and assemble one scenario."""
+    runner = Runner(jobs=jobs, cache=cache)
+    run = ScenarioRun(scenario=scenario)
+    cells = scenario.cells(lengths)
+    run.results = runner.run_cells(cells, stats=run.stats)
+    run.rows = rows_from(run.results, scenario.columns)
+    return run

@@ -112,6 +112,24 @@ class TestSampleLeakage:
         with pytest.raises(ConfigurationError):
             sample_leakage(encrypted[1], 1.5)
 
+    def test_negative_rate_rejected(self):
+        encrypted = encrypted_pair([["a"], ["a"]])
+        with pytest.raises(ConfigurationError):
+            sample_leakage(encrypted[1], -0.1)
+
+    def test_full_rate_leaks_every_unique_pair(self):
+        tokens = [f"t{i}" for i in range(40)] + ["t0", "t1"]  # with repeats
+        encrypted = encrypted_pair([tokens, tokens])
+        leaked = sample_leakage(encrypted[1], 1.0, seed=9)
+        assert len(leaked) == encrypted[1].unique_ciphertext_chunks
+        assert leaked == encrypted[1].truth
+
+    def test_rate_rounding_to_zero_pairs_is_empty(self):
+        # 20 unique chunks at 0.1% rounds to zero sampled pairs.
+        tokens = [f"t{i}" for i in range(20)]
+        encrypted = encrypted_pair([tokens, tokens])
+        assert sample_leakage(encrypted[1], 0.001, seed=3) == {}
+
 
 class TestAttackEvaluator:
     def test_perfect_inference_on_identical_unambiguous_streams(self):

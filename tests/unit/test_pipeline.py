@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.common.errors import ConfigurationError
 from repro.datasets.model import Backup
 from repro.defenses.pipeline import (
     DefensePipeline,
@@ -159,3 +160,40 @@ class TestCombinedPipeline:
         assert encrypted.scheme is DefenseScheme.COMBINED
         ct_series = encrypted.ciphertext_series()
         assert len(ct_series.backups) == len(tiny_fsl_series)
+
+
+def _colliding_tokens(pipeline: DefensePipeline) -> list[str]:
+    """Two tokens whose truncated MLE fingerprints collide."""
+    seen: dict[bytes, str] = {}
+    for index in range(10_000):
+        token = f"t{index}"
+        cipher_fp = pipeline._mle_fingerprint(token.encode(), 1)
+        if cipher_fp in seen:
+            return [seen[cipher_fp], token]
+        seen[cipher_fp] = token
+    raise AssertionError("no 1-byte collision in 10k tokens")
+
+
+class TestCollisionDetection:
+    """Both encryption paths must reject truth-map collisions, not
+    silently mis-score attacks against a corrupted ground truth."""
+
+    def test_mle_path_raises_on_collision(self):
+        pipeline = DefensePipeline(DefenseScheme.MLE, fingerprint_bytes=1)
+        tokens = _colliding_tokens(pipeline)
+        with pytest.raises(ConfigurationError, match="collision"):
+            pipeline.encrypt_backup(backup(tokens))
+
+    def test_segmented_path_raises_on_collision(self):
+        pipeline = DefensePipeline(
+            DefenseScheme.SCRAMBLE, segmentation=SPEC, fingerprint_bytes=1
+        )
+        tokens = _colliding_tokens(pipeline)
+        with pytest.raises(ConfigurationError, match="collision"):
+            pipeline.encrypt_backup(backup(tokens))
+
+    def test_mle_path_accepts_repeats(self):
+        # Repeated chunks are not collisions: same plaintext, same cipher.
+        pipeline = DefensePipeline(DefenseScheme.MLE, fingerprint_bytes=8)
+        encrypted = pipeline.encrypt_backup(backup(["a", "b", "a", "a"]))
+        assert len(encrypted.truth) == 2

@@ -8,6 +8,8 @@ from repro.analysis.workloads import (
     fsl_series,
     scaled_segmentation,
     series_by_name,
+    series_chunking,
+    series_length,
     storage_fsl_series,
     synthetic_series,
     vm_series,
@@ -29,6 +31,26 @@ class TestCanonicalWorkloads:
     def test_unknown_name(self):
         with pytest.raises(KeyError):
             series_by_name("nope")
+
+    def test_unknown_name_message_lists_valid_datasets(self):
+        with pytest.raises(KeyError) as excinfo:
+            series_by_name("nope")
+        message = str(excinfo.value)
+        assert "'nope'" in message
+        for name in ("fsl", "vm", "synthetic", "storage-fsl"):
+            assert name in message, message
+
+    def test_series_length_matches_generated_series(self):
+        for name in ("fsl", "vm", "synthetic", "storage-fsl"):
+            assert series_length(name) == len(series_by_name(name)), name
+        with pytest.raises(KeyError):
+            series_length("nope")
+
+    def test_series_chunking_matches_generated_series(self):
+        for name in ("fsl", "vm", "synthetic", "storage-fsl"):
+            assert series_chunking(name) == series_by_name(name).chunking, name
+        with pytest.raises(KeyError):
+            series_chunking("nope")
 
     def test_expected_structure(self):
         assert len(fsl_series()) == 5
