@@ -1,0 +1,164 @@
+"""Multi-tenant service throughput bench: requests/sec per index backend.
+
+Synthesizes a tenant population sized to roughly ``--uploads`` upload
+chunk records (10^4 by default, 10^5 with ``--full``), serves the whole
+request stream through the :class:`~repro.service.server.DedupService`
+over each index backend, and reports ingest throughput.  Three
+assertions mirror ``bench_scenario_runner.py``'s engine contract:
+
+1. **jobs identity** — the full ``service_report`` JSON is byte-identical
+   at ``jobs=1`` and ``--jobs N`` (the attack pairs fan out through the
+   scenario runner; the spec-order merge makes scheduling invisible);
+2. **rerun identity** — re-simulating the same config from scratch
+   produces the identical report (the whole pipeline is seed-driven);
+3. **backend identity** — memory, SQLite and sharded backends produce
+   identical reports apart from the backend name in the config (the
+   index backend may change *where* fingerprints live, never any dedup
+   decision or metered byte).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py --full --jobs 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.common.units import MiB
+from repro.service.simulate import ServiceConfig, service_report, simulate
+
+BACKENDS = ("memory", "sqlite", "sharded:4")
+
+# Per-upload chunk records at the bench's population shape; tenant count
+# is derived from the requested upload volume.
+ROUNDS = 2
+FILES_PER_TENANT = 8
+MEAN_FILE_CHUNKS = 16
+CHUNKS_PER_UPLOAD = FILES_PER_TENANT * MEAN_FILE_CHUNKS
+
+
+def make_config(uploads: int, backend: str, path: str | None) -> ServiceConfig:
+    tenants = max(2, uploads // (ROUNDS * CHUNKS_PER_UPLOAD))
+    return ServiceConfig(
+        tenants=tenants,
+        rounds=ROUNDS,
+        files_per_tenant=FILES_PER_TENANT,
+        mean_file_chunks=MEAN_FILE_CHUNKS,
+        backend=backend,
+        backend_path=path,
+        attack_targets=4,
+        seed=11,
+    )
+
+
+def strip_config(report: dict) -> dict:
+    """The report minus its config (backends must agree on the rest)."""
+    return {key: value for key, value in report.items() if key != "config"}
+
+
+def run_backend(
+    config: ServiceConfig, rerun_config: ServiceConfig, jobs: int
+) -> tuple[dict, float, dict[str, float]]:
+    """Simulate fresh, then build reports at jobs=1 and jobs=N.
+
+    ``rerun_config`` is the same experiment against a fresh backend path
+    (a file-backed index persists, so re-ingesting into the *same* path
+    would dedup against the previous run's leftovers).
+    """
+    simulate.cache_clear()
+    start = time.perf_counter()
+    trace = simulate(config)
+    ingest_seconds = time.perf_counter() - start
+
+    uploads = [
+        record
+        for record in trace.meter.observables
+        if record.kind == "upload"
+    ]
+    records = sum(record.total_chunks for record in uploads)
+    logical = sum(record.logical_bytes for record in uploads)
+    stats = {
+        "uploads": len(uploads),
+        "records": records,
+        "uploads_per_s": len(uploads) / ingest_seconds,
+        "records_per_s": records / ingest_seconds,
+        "mib_per_s": logical / MiB / ingest_seconds,
+    }
+
+    serial = service_report(config, jobs=1)
+    parallel = service_report(config, jobs=jobs)
+    assert json.dumps(parallel, sort_keys=True) == json.dumps(
+        serial, sort_keys=True
+    ), f"jobs={jobs} report differs from serial ({config.backend})"
+
+    simulate.cache_clear()
+    rerun = service_report(rerun_config, jobs=1)
+    assert json.dumps(strip_config(rerun), sort_keys=True) == json.dumps(
+        strip_config(serial), sort_keys=True
+    ), f"fresh rerun differs ({config.backend})"
+    return serial, ingest_seconds, stats
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--uploads",
+        type=int,
+        default=10_000,
+        help="approximate total upload chunk records (default 10^4)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="bench at 10^5 upload chunk records",
+    )
+    parser.add_argument("--jobs", type=int, default=4)
+    args = parser.parse_args(argv)
+    uploads = 100_000 if args.full else args.uploads
+
+    reports: dict[str, dict] = {}
+    with tempfile.TemporaryDirectory(prefix="service-bench-") as workdir:
+        for backend in BACKENDS:
+            if backend == "memory":
+                path = rerun_path = None
+            else:
+                stem = backend.replace(":", "-")
+                path = str(Path(workdir) / stem)
+                rerun_path = str(Path(workdir) / f"{stem}-rerun")
+            config = make_config(uploads, backend, path)
+            rerun_config = make_config(uploads, backend, rerun_path)
+            report, seconds, stats = run_backend(
+                config, rerun_config, jobs=args.jobs
+            )
+            reports[backend] = report
+            print(
+                f"{backend:10s}: {stats['uploads']:5d} uploads "
+                f"({stats['records']:7d} records) in {seconds:6.2f}s  "
+                f"{stats['uploads_per_s']:8.1f} req/s  "
+                f"{stats['records_per_s']:9.0f} records/s  "
+                f"{stats['mib_per_s']:7.1f} MiB/s"
+            )
+    print(f"jobs={args.jobs} report byte-identical to serial: ok")
+    print("fresh-rerun report byte-identical: ok")
+
+    baseline = strip_config(reports["memory"])
+    for backend in BACKENDS[1:]:
+        # Everything but the backend name must agree: the index backend
+        # never changes a dedup decision or a metered byte.
+        stripped = strip_config(reports[backend])
+        assert json.dumps(stripped, sort_keys=True) == json.dumps(
+            baseline, sort_keys=True
+        ), f"{backend} report differs from memory backend"
+    print("reports byte-identical across backends (config aside): ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

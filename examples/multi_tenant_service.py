@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Multi-tenant service demo: shared dedup, bandwidth leaks, inference.
+
+The paper's adversary lives in a *shared* encrypted dedup store. This
+example builds exactly that setting:
+
+1. synthesize 16 tenants whose files overlap through Zipf-popular shared
+   content (`TrafficModel`);
+2. serve their interleaved upload/restore traffic through one shared
+   dedup engine with per-tenant namespaces (`DedupService`);
+3. meter what an adversary on the wire sees — upload bandwidth shrinks
+   exactly by what *other* tenants already stored (`SideChannelMeter`);
+4. run the paper's advanced frequency attack cross-tenant: the provider
+   (population auxiliary) infers a sizeable fraction of a tenant's
+   chunks, and the signal collapses when cross-user duplication does.
+
+Run:  PYTHONPATH=src python examples/multi_tenant_service.py
+"""
+
+from repro.service import (
+    DedupService,
+    ServiceConfig,
+    SideChannelMeter,
+    TrafficConfig,
+    TrafficModel,
+    service_report,
+)
+
+
+def main() -> None:
+    # 1. + 2. Synthesize the population and serve its traffic.
+    config = TrafficConfig(tenants=16, rounds=2, duplication_factor=0.6)
+    model = TrafficModel(seed=42, config=config)
+    service = DedupService()
+    meter = SideChannelMeter()
+    print("serving 16 tenants' interleaved traffic...")
+    for request in model.requests():
+        if request.kind == "upload":
+            meter.observe_upload(
+                request,
+                service.upload(request.tenant, request.backup, request.label),
+            )
+        else:
+            observables, _ = service.restore(
+                request.tenant, request.restore_label
+            )
+            meter.observe_restore(observables)
+
+    # 3. The bandwidth side channel: each upload transfers only what the
+    #    shared store lacks, so round-0 savings are all cross-user.
+    print("\nper-upload bandwidth signal (first 5 round-0 uploads):")
+    rows = [row for row in meter.bandwidth_signal() if row["round"] == 0]
+    for row in rows[:5]:
+        print(
+            f"  {row['label']}: {row['logical_bytes']:>9,} B logical, "
+            f"{row['transferred_bytes']:>9,} B on the wire "
+            f"({row['dedup_fraction']:.0%} already stored by others)"
+        )
+    overlap = meter.overlap_summary()
+    print(
+        f"cross-tenant chunk overlap: mean {overlap['mean']:.1%}, "
+        f"max {overlap['max']:.1%}"
+    )
+
+    # 4. Cross-tenant inference: the curious provider attacks tenant 3.
+    from repro.attacks import AdvancedLocalityAttack
+
+    report = meter.evaluate(
+        AdvancedLocalityAttack(u=1, v=15, w=200_000),
+        auxiliary_tenant=None,  # population auxiliary
+        target_tenant=3,
+    )
+    print(
+        f"\nadvanced attack vs tenant 3 (population auxiliary): "
+        f"{report.inference_rate:.1%} of its unique chunks inferred "
+        f"({report.correct_pairs}/{report.unique_ciphertext_chunks})"
+    )
+
+    # The one-call version, with the duplication-factor ablation: less
+    # cross-user duplication, less leakage.
+    for factor in (0.6, 0.1):
+        summary = service_report(
+            ServiceConfig(tenants=16, duplication_factor=factor, seed=42)
+        )
+        print(
+            f"duplication factor {factor}: mean cross-tenant inference "
+            f"rate {summary['attack']['mean_inference_rate']:.1%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,8 @@ Subcommands:
 * ``sweep`` — run a user-defined scenario grid (any dataset × scheme ×
   attack × (u, v, w) × anchor × leakage-rate combination) through the
   scenario engine — including cells the paper never plotted.
+* ``serve-sim`` — simulate a multi-tenant dedup service over synthesized
+  population traffic and meter its cross-user side channels.
 * ``storage`` — run the DDFS metadata-access experiment.
 """
 
@@ -35,7 +37,7 @@ from repro.attacks import (
     PersistentLocalityAttack,
 )
 from repro.common.errors import ConfigurationError
-from repro.common.units import format_size
+from repro.common.units import MiB, format_size
 from repro.datasets.stats import (
     adjacency_preservation,
     content_overlap,
@@ -86,6 +88,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     stats = sub.add_parser("stats", help="print workload statistics")
     stats.add_argument("dataset", choices=_DATASETS)
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the statistics as JSON (stable key order, scriptable)",
+    )
 
     attack = sub.add_parser("attack", help="run an inference attack")
     attack.add_argument("dataset", choices=_DATASETS)
@@ -207,6 +214,107 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", metavar="FILE", help="also write rows as JSON to FILE"
     )
 
+    serve = sub.add_parser(
+        "serve-sim",
+        help="simulate a multi-tenant dedup service and meter side channels",
+        description=(
+            "Synthesize population traffic (Zipf-popular shared files, "
+            "per-tenant churn), serve it through a shared dedup engine "
+            "with per-tenant namespaces and quotas, and report the "
+            "adversary's view: per-upload bandwidth, cross-tenant "
+            "overlap, and cross-tenant inference rates. Deterministic: "
+            "the same --seed produces a byte-identical JSON report at "
+            "any --jobs value."
+        ),
+    )
+    serve.add_argument("--tenants", type=_positive_int, default=20)
+    serve.add_argument(
+        "--requests",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "total upload requests; rounds = max(1, N // tenants) "
+            "(default: 2 rounds)"
+        ),
+    )
+    serve.add_argument(
+        "--duplication-factor",
+        type=float,
+        default=0.5,
+        metavar="F",
+        help="probability a tenant file copies a shared popular file",
+    )
+    serve.add_argument(
+        "--popularity-exponent",
+        type=float,
+        default=1.5,
+        metavar="S",
+        help="Zipf skew over the shared file popularity ranks",
+    )
+    serve.add_argument(
+        "--scheme",
+        choices=[scheme.value for scheme in DefenseScheme],
+        default="mle",
+    )
+    serve.add_argument(
+        "--attack",
+        choices=("basic", "locality", "advanced"),
+        default="advanced",
+    )
+    serve.add_argument(
+        "--auxiliary-tenant",
+        type=int,
+        default=-1,
+        metavar="T",
+        help=(
+            "adversary's prior knowledge: a tenant id (curious tenant) "
+            "or -1 for the population auxiliary (curious provider)"
+        ),
+    )
+    serve.add_argument(
+        "--attack-targets",
+        type=_positive_int,
+        default=4,
+        metavar="N",
+        help="number of victim tenants evaluated",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=("memory", "kvstore", "sqlite", "sharded"),
+        default="memory",
+        help="fingerprint-index backend of the shared store",
+    )
+    serve.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=4,
+        help="shard count for --backend sharded (default 4)",
+    )
+    serve.add_argument(
+        "--workdir",
+        metavar="DIR",
+        help="persist a file-backed index backend under DIR",
+    )
+    serve.add_argument(
+        "--quota-mib",
+        type=float,
+        default=None,
+        metavar="M",
+        help="per-tenant logical-byte quota (default: unlimited)",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes for the attack pairs (output identical)",
+    )
+    serve.add_argument(
+        "--json", metavar="FILE", help="write the full JSON report to FILE"
+    )
+
     storage = sub.add_parser(
         "storage", help="run the DDFS metadata-access experiment"
     )
@@ -219,6 +327,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument(
         "--results", default="results", help="results directory"
+    )
+    report.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the summary as JSON (stable key order, scriptable)",
     )
     return parser
 
@@ -234,8 +347,32 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    import json as json_module
+
     series = series_by_name(args.dataset)
     cdf = frequency_cdf(series_frequencies(series))
+    if args.json:
+        payload = {
+            "dataset": series.name,
+            "chunking": series.chunking,
+            "backups": len(series),
+            "labels": series.labels(),
+            "logical_bytes": series.logical_bytes,
+            "dedup_ratio": round(series.dedup_ratio(), 4),
+            "unique_chunks": len(cdf.frequencies),
+            "frac_below_100": round(cdf.fraction_below(100), 6),
+            "max_frequency": cdf.max_frequency,
+        }
+        if len(series) >= 2:
+            aux, target = series.backups[-2], series.backups[-1]
+            payload["last_pair_overlap"] = round(
+                content_overlap(aux, target), 6
+            )
+            payload["adjacency_preservation"] = round(
+                adjacency_preservation(aux, target), 6
+            )
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(f"dataset: {series.name} ({series.chunking} chunking)")
     print(f"backups: {len(series)}  labels: {', '.join(series.labels())}")
     print(
@@ -460,10 +597,131 @@ def _cmd_storage(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_sim(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.analysis.reporting import FigureResult
+    from repro.service.simulate import (
+        ATTACK_COLUMNS,
+        ServiceConfig,
+        service_report,
+    )
+
+    rounds = 2
+    if args.requests is not None:
+        rounds = max(1, args.requests // args.tenants)
+    if not 0.0 <= args.duplication_factor <= 1.0:
+        raise SystemExit(
+            f"duplication factor {args.duplication_factor} must be in [0, 1]"
+        )
+    if not -1 <= args.auxiliary_tenant < args.tenants:
+        raise SystemExit(
+            f"auxiliary tenant {args.auxiliary_tenant} is outside the "
+            f"population (use -1 for the population auxiliary, or a "
+            f"tenant id below {args.tenants})"
+        )
+    backend = args.backend
+    if backend == "sharded":
+        backend = f"sharded:{args.shards}"
+    backend_path = None
+    if args.workdir is not None:
+        from pathlib import Path
+
+        if args.backend == "memory":
+            raise SystemExit("--workdir requires a persistent --backend")
+        workdir = Path(args.workdir)
+        if workdir.is_file() or (
+            workdir.is_dir() and any(workdir.iterdir())
+        ):
+            # A persisted index would dedup this run against a previous
+            # run's chunks, silently breaking the same-seed determinism
+            # guarantee the report makes.
+            raise SystemExit(
+                f"refusing to reuse non-empty --workdir {args.workdir!r}: "
+                "a persisted index changes dedup results; use a fresh "
+                "directory"
+            )
+        # The index persists *under* the directory, like attack
+        # --workdir: a database file for sqlite/kvstore, a shard
+        # directory for sharded.
+        if args.backend == "sharded":
+            backend_path = str(workdir / "index-shards")
+        else:
+            backend_path = str(workdir / "index.db")
+    quota_bytes = (
+        int(args.quota_mib * MiB) if args.quota_mib is not None else None
+    )
+    config = ServiceConfig(
+        tenants=args.tenants,
+        rounds=rounds,
+        duplication_factor=args.duplication_factor,
+        popularity_exponent=args.popularity_exponent,
+        scheme=args.scheme,
+        backend=backend,
+        backend_path=backend_path,
+        quota_bytes=quota_bytes,
+        attack=args.attack,
+        auxiliary_tenant=args.auxiliary_tenant,
+        attack_targets=args.attack_targets,
+        seed=args.seed,
+    )
+    report = service_report(config, jobs=args.jobs)
+    traffic = report["traffic"]
+    service = report["service"]
+    overlap = report["side_channel"]["overlap"]
+    print(
+        f"tenants: {args.tenants}  rounds: {rounds}  scheme: {args.scheme}  "
+        f"backend: {backend}  seed: {args.seed}"
+    )
+    print(
+        f"requests: {traffic['requests']} "
+        f"({traffic['uploads']} uploads, {traffic['restores']} restores, "
+        f"{traffic['rejected_uploads']} rejected)"
+    )
+    print(
+        f"logical {format_size(service['logical_bytes'])}  "
+        f"transferred {format_size(service['transferred_bytes'])}  "
+        f"dedup ratio {service['dedup_ratio']:.2f}x  "
+        f"cross-user dedup rate {service['cross_user_dedup_rate']:.2%}"
+    )
+    print(
+        f"cross-tenant overlap: mean {overlap['mean']:.2%} "
+        f"max {overlap['max']:.2%}"
+    )
+    attack = report["attack"]
+    result = FigureResult(
+        figure="Serve-sim",
+        title=(
+            f"{attack['name']} attack, "
+            f"mean inference rate {attack['mean_inference_rate']:.2%}"
+        ),
+        columns=list(ATTACK_COLUMNS),
+    )
+    result.rows = [list(row) for row in attack["pairs"]]
+    print(render_table(result))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote -> {args.json}", file=sys.stderr)
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
+    import json as json_module
+    from dataclasses import asdict
+
     from repro.analysis.summary import render_summary, summarize_results
 
-    print(render_summary(summarize_results(args.results)))
+    lines = summarize_results(args.results)
+    if args.json:
+        print(
+            json_module.dumps(
+                [asdict(line) for line in lines], indent=2, sort_keys=True
+            )
+        )
+        return 0
+    print(render_summary(lines))
     return 0
 
 
@@ -473,6 +731,7 @@ _HANDLERS = {
     "attack": _cmd_attack,
     "figure": _cmd_figure,
     "sweep": _cmd_sweep,
+    "serve-sim": _cmd_serve_sim,
     "storage": _cmd_storage,
     "report": _cmd_report,
 }

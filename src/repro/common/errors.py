@@ -24,3 +24,8 @@ class RateLimitExceeded(ReproError):
 
 class StorageError(ReproError):
     """The deduplicated storage prototype hit an unrecoverable condition."""
+
+
+class QuotaExceededError(ReproError):
+    """A tenant's upload would exceed its logical-byte quota in the
+    multi-tenant dedup service."""

@@ -10,7 +10,6 @@ per (seed, path), plus duplicated "asset" files shared across directories.
 from __future__ import annotations
 
 import hashlib
-import random
 from dataclasses import dataclass, field
 
 from repro.common.errors import ConfigurationError

@@ -10,9 +10,12 @@ the ``freqdedup sweep`` CLI are built on this package.
 from repro.scenarios.cache import CACHE_VERSION, ResultCache, cell_key
 from repro.scenarios.cells import (
     CELL_EXECUTORS,
+    CELL_WARMERS,
     KNOWN_ATTACKS,
     build_attack,
+    ensure_cell_kind,
     execute_cell,
+    known_cell_kinds,
     register_cell_kind,
     warm_workloads,
 )
@@ -37,6 +40,7 @@ __all__ = [
     "AttackParams",
     "CACHE_VERSION",
     "CELL_EXECUTORS",
+    "CELL_WARMERS",
     "Cell",
     "CellResult",
     "KNOWN_ATTACKS",
@@ -48,7 +52,9 @@ __all__ = [
     "ScenarioSpec",
     "build_attack",
     "cell_key",
+    "ensure_cell_kind",
     "execute_cell",
+    "known_cell_kinds",
     "register_cell_kind",
     "rows_from",
     "run_scenario",

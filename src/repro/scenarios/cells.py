@@ -15,6 +15,7 @@ freshly-computed rows are byte-identical.
 
 from __future__ import annotations
 
+import importlib
 from typing import Callable
 
 from repro.common.errors import ConfigurationError
@@ -154,10 +155,49 @@ CELL_EXECUTORS: dict[str, CellExecutor] = {
     METADATA: _run_metadata,
 }
 
+# Per-kind warmers: called by warm_workloads in the parent process before
+# workers fork, for kinds whose cells share expensive state (the service
+# attack cells share one simulated trace, for example).
+CELL_WARMERS: dict[str, Callable[[dict], None]] = {}
 
-def register_cell_kind(kind: str, executor: CellExecutor) -> None:
-    """Register an additional cell kind (tests and future subsystems)."""
+# Kinds registered by subsystems on import.  ensure_cell_kind imports the
+# owning module on first use, so specs and cached cells can name these
+# kinds without the caller importing the subsystem — including inside
+# spawned worker processes, which start from a fresh interpreter.
+_LAZY_KIND_MODULES = {
+    "service": "repro.service.cells",
+    "service_attack": "repro.service.cells",
+}
+
+
+def register_cell_kind(
+    kind: str,
+    executor: CellExecutor,
+    warmer: Callable[[dict], None] | None = None,
+) -> None:
+    """Register an additional cell kind (tests and other subsystems).
+
+    ``warmer`` optionally pre-materializes state shared by cells of this
+    kind, in the parent process, before workers fork (see
+    :func:`warm_workloads`).
+    """
     CELL_EXECUTORS[kind] = executor
+    if warmer is not None:
+        CELL_WARMERS[kind] = warmer
+
+
+def ensure_cell_kind(kind: str) -> bool:
+    """Whether ``kind`` is executable, importing its module if deferred."""
+    if kind not in CELL_EXECUTORS:
+        module_name = _LAZY_KIND_MODULES.get(kind)
+        if module_name is not None:
+            importlib.import_module(module_name)
+    return kind in CELL_EXECUTORS
+
+
+def known_cell_kinds() -> list[str]:
+    """Every nameable kind: registered executors plus deferred kinds."""
+    return sorted(set(CELL_EXECUTORS) | set(_LAZY_KIND_MODULES))
 
 
 def warm_workloads(cells) -> None:
@@ -166,12 +206,19 @@ def warm_workloads(cells) -> None:
     The runner calls this before forking workers: with the fork start
     method the children inherit the parent's memoised series, so no worker
     pays dataset generation or encryption for work the parent already did.
-    Unknown kinds (no ``dataset`` param) are skipped.
+    Kinds with a registered warmer (see :func:`register_cell_kind`) warm
+    through it instead; kinds with neither a ``dataset`` param nor a
+    warmer are skipped.
     """
     from repro.analysis.workloads import series_by_name
 
     for cell in cells:
         params = dict(cell.params)
+        ensure_cell_kind(cell.kind)
+        warmer = CELL_WARMERS.get(cell.kind)
+        if warmer is not None:
+            warmer(params)
+            continue
         dataset = params.get("dataset")
         if not isinstance(dataset, str):
             continue
@@ -184,8 +231,6 @@ def warm_workloads(cells) -> None:
 
 def execute_cell(cell: Cell) -> FieldRows:
     """Run one cell in the current process and return its field rows."""
-    try:
-        executor = CELL_EXECUTORS[cell.kind]
-    except KeyError:
-        raise ConfigurationError(f"unknown cell kind {cell.kind!r}") from None
-    return executor(dict(cell.params))
+    if not ensure_cell_kind(cell.kind):
+        raise ConfigurationError(f"unknown cell kind {cell.kind!r}")
+    return CELL_EXECUTORS[cell.kind](dict(cell.params))

@@ -175,12 +175,12 @@ class ScenarioSpec:
     tags: Tags = ()
 
     def __post_init__(self) -> None:
-        from repro.scenarios.cells import CELL_EXECUTORS
+        from repro.scenarios.cells import ensure_cell_kind, known_cell_kinds
 
-        if self.kind not in CELL_EXECUTORS:
+        if not ensure_cell_kind(self.kind):
             raise ConfigurationError(
                 f"unknown cell kind {self.kind!r}; choose from "
-                f"{sorted(CELL_EXECUTORS)} (see register_cell_kind)"
+                f"{known_cell_kinds()} (see register_cell_kind)"
             )
         if self.param_tags is not None and len(self.param_tags) != len(self.params):
             raise ConfigurationError(

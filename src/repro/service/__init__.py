@@ -1,0 +1,65 @@
+"""Multi-tenant dedup service layer: traffic synthesis, serving, metering.
+
+The paper's adversary observes a *shared* encrypted deduplication store,
+but the trace path replays single-client backup series.  This package
+provides the multi-tenant setting those attacks actually live in:
+
+* :mod:`repro.service.traffic` — ``TrafficModel`` synthesizes a population
+  of tenants (Zipf-popular shared content, configurable cross-user
+  duplication, per-tenant churn) and emits a deterministic interleaved
+  request stream;
+* :mod:`repro.service.server` — ``DedupService`` serves per-tenant
+  upload/restore sessions over a shared :class:`~repro.storage.ddfs.DDFSEngine`
+  with batched fingerprint lookups, namespaces and quotas, recording
+  per-request observables;
+* :mod:`repro.service.meter` — ``SideChannelMeter`` turns those
+  observables into the adversary's view (per-upload bandwidth signal,
+  cross-tenant overlap matrix) and feeds service-generated traces to
+  :class:`~repro.attacks.evaluation.AttackEvaluator`;
+* :mod:`repro.service.simulate` — ``ServiceConfig`` + ``service_report``
+  glue it all into the ``freqdedup serve-sim`` CLI command and the
+  scenario engine's ``service`` / ``service_attack`` cell kinds
+  (:mod:`repro.service.cells`).
+"""
+
+from repro.service.meter import SideChannelMeter
+from repro.service.server import (
+    DedupService,
+    RequestObservables,
+    UploadResult,
+)
+from repro.service.simulate import (
+    SERVICE_GRID_COLUMNS,
+    ServiceConfig,
+    ServiceTrace,
+    attack_cells,
+    service_grid_cells,
+    service_report,
+    simulate,
+)
+from repro.service.traffic import (
+    RESTORE,
+    UPLOAD,
+    Request,
+    TrafficConfig,
+    TrafficModel,
+)
+
+__all__ = [
+    "DedupService",
+    "RESTORE",
+    "Request",
+    "RequestObservables",
+    "SERVICE_GRID_COLUMNS",
+    "ServiceConfig",
+    "ServiceTrace",
+    "SideChannelMeter",
+    "TrafficConfig",
+    "TrafficModel",
+    "UPLOAD",
+    "UploadResult",
+    "attack_cells",
+    "service_grid_cells",
+    "service_report",
+    "simulate",
+]

@@ -1,0 +1,70 @@
+"""Scenario-engine cell kinds for the service layer.
+
+Importing this module registers two cell kinds with
+:mod:`repro.scenarios.cells` (the engine lazy-loads it on first use, so
+specs and cells can name these kinds without importing the service):
+
+* ``service_attack`` — one cross-tenant attack pair over one simulated
+  trace.  All pairs of a report share one config, so the registered
+  *warmer* runs the simulation in the parent before workers fork; each
+  forked worker then inherits the memoised trace and only pays for its
+  own attack runs.
+* ``service`` — one full simulation per cell, reduced to the headline
+  metrics row (:data:`repro.service.simulate.SERVICE_GRID_COLUMNS`).
+  These cells fan a (tenants × popularity-skew × duplication-factor)
+  grid across processes, so they deliberately have **no** warmer: each
+  worker simulating its own cell's config *is* the parallel work.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.cells import register_cell_kind
+from repro.service.simulate import (
+    attack_pairs,
+    config_from_params,
+    evaluate_pair,
+    headline_metrics,
+    simulate,
+)
+
+
+def _run_service_attack(params: dict) -> tuple:
+    config = config_from_params(params)
+    trace = simulate(config)
+    row = evaluate_pair(
+        trace, params["auxiliary_tenant"], params["target_tenant"]
+    )
+    return (tuple(row.items()),)
+
+
+def _warm_service_attack(params: dict) -> None:
+    simulate(config_from_params(params))
+
+
+def _run_service_grid(params: dict) -> tuple:
+    config = config_from_params(params)
+    trace = simulate(config)
+    metrics = headline_metrics(trace)
+    rates = [
+        evaluate_pair(trace, auxiliary, target)["inference_rate"]
+        for auxiliary, target in attack_pairs(config)
+    ]
+    row = (
+        ("tenants", config.tenants),
+        ("popularity_exponent", config.popularity_exponent),
+        ("duplication_factor", config.duplication_factor),
+        ("cross_user_dedup_rate", metrics["cross_user_dedup_rate"]),
+        ("dedup_ratio", metrics["dedup_ratio"]),
+        ("mean_overlap", trace.meter.overlap_summary()["mean"]),
+        (
+            "mean_inference_rate",
+            round(sum(rates) / len(rates), 5) if rates else 0.0,
+        ),
+    )
+    return (row,)
+
+
+register_cell_kind(
+    "service_attack", _run_service_attack, warmer=_warm_service_attack
+)
+register_cell_kind("service", _run_service_grid)

@@ -1,0 +1,232 @@
+"""Cross-user side-channel metering: the adversary's view of the service.
+
+The multi-tenant threat model gives the adversary two vantage points the
+single-client trace path cannot express:
+
+* **the wire** — per-upload transferred bytes.  With client-assisted
+  deduplication an upload's bandwidth reveals how much of the tenant's
+  data the shared store already held, including *other tenants'* data;
+  :meth:`SideChannelMeter.bandwidth_signal` is that series.
+* **the store** — cross-tenant chunk overlap.  A curious provider (or an
+  attacker with store access) sees which ciphertext chunks tenants
+  share; :meth:`SideChannelMeter.overlap_matrix` quantifies it, and
+  :meth:`SideChannelMeter.evaluate` replays the paper's frequency/
+  locality attacks with one tenant's *plaintext* as auxiliary knowledge
+  against another tenant's *ciphertext* upload, through the standard
+  :class:`~repro.attacks.evaluation.AttackEvaluator`.
+
+The meter is evaluation harness, not server code: it also retains the
+plaintext streams (ground truth) so inference rates can be scored, which
+a real adversary of course lacks.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack
+from repro.attacks.evaluation import AttackEvaluator, InferenceReport
+from repro.datasets.model import Backup, BackupSeries
+from repro.common.errors import ConfigurationError
+from repro.defenses.pipeline import (
+    DefenseScheme,
+    EncryptedBackup,
+    EncryptedSeries,
+)
+from repro.service.server import RequestObservables, UploadResult
+from repro.service.traffic import RESTORE, UPLOAD, Request
+
+
+class SideChannelMeter:
+    """Accumulates request observables into the adversary's view."""
+
+    def __init__(self, scheme: DefenseScheme = DefenseScheme.MLE):
+        self.scheme = DefenseScheme(scheme)
+        self.observables: list[RequestObservables] = []
+        self._upload_rounds: list[int] = []
+        self._plaintexts: list[Backup] = []
+        self._ciphertexts: list[EncryptedBackup] = []
+        self._upload_positions: dict[int, list[int]] = {}
+        self._tenant_fingerprints: dict[int, set[bytes]] = {}
+
+    # -- recording ----------------------------------------------------------
+
+    def observe_upload(self, request: Request, result: UploadResult) -> None:
+        """Record one served upload (request carries the plaintext)."""
+        if request.kind != UPLOAD or request.backup is None:
+            raise ConfigurationError("observe_upload needs an upload request")
+        position = len(self._plaintexts)
+        self.observables.append(result.observables)
+        self._upload_rounds.append(request.round)
+        self._plaintexts.append(request.backup)
+        self._ciphertexts.append(result.encrypted)
+        self._upload_positions.setdefault(request.tenant, []).append(position)
+        self._tenant_fingerprints.setdefault(request.tenant, set()).update(
+            result.encrypted.ciphertext.fingerprints
+        )
+
+    def observe_restore(self, observables: RequestObservables) -> None:
+        """Record one served restore (bandwidth only; no dedup signal)."""
+        if observables.kind != RESTORE:
+            raise ConfigurationError("observe_restore needs a restore record")
+        self.observables.append(observables)
+
+    # -- the bandwidth side channel -----------------------------------------
+
+    def upload_records(self) -> list[tuple[int, RequestObservables]]:
+        """Served uploads as ``(traffic round, observables)``, in service
+        order (the round is client-side context the meter captured from
+        each request; observables only carry the service sequence)."""
+        uploads = [
+            record for record in self.observables if record.kind == UPLOAD
+        ]
+        return list(zip(self._upload_rounds, uploads))
+
+    def bandwidth_signal(self) -> list[dict[str, object]]:
+        """Per-upload wire observables, in service order."""
+        return [
+            {
+                "tenant": record.tenant,
+                "round": round_index,
+                "label": record.label,
+                "logical_bytes": record.logical_bytes,
+                "transferred_bytes": record.transferred_bytes,
+                "dedup_fraction": round(record.dedup_fraction, 4),
+            }
+            for round_index, record in self.upload_records()
+        ]
+
+    # -- the store-view side channel ------------------------------------------
+
+    def tenants(self) -> list[int]:
+        return sorted(self._upload_positions)
+
+    def overlap(
+        self, auxiliary_tenant: int | None, target_tenant: int
+    ) -> float:
+        """Fraction of the target tenant's unique ciphertext chunks also
+        uploaded by the auxiliary tenant (directional, like
+        :func:`repro.datasets.stats.content_overlap`).  ``None`` measures
+        against the rest of the population — the upper bound on any
+        population-auxiliary attack's inference rate."""
+        target = self._tenant_fingerprints.get(target_tenant, set())
+        if not target:
+            return 0.0
+        if auxiliary_tenant is None:
+            auxiliary = set()
+            for tenant, fingerprints in self._tenant_fingerprints.items():
+                if tenant != target_tenant:
+                    auxiliary |= fingerprints
+        else:
+            auxiliary = self._tenant_fingerprints.get(auxiliary_tenant, set())
+        return len(target & auxiliary) / len(target)
+
+    def overlap_matrix(self) -> dict[int, dict[int, float]]:
+        """Full cross-tenant overlap: ``matrix[a][b]`` = fraction of b's
+        chunks that a also holds."""
+        tenants = self.tenants()
+        return {
+            a: {b: round(self.overlap(a, b), 4) for b in tenants}
+            for a in tenants
+        }
+
+    def overlap_summary(self) -> dict[str, float]:
+        """Mean/min/max of the off-diagonal overlap entries."""
+        tenants = self.tenants()
+        values = [
+            self.overlap(a, b) for a in tenants for b in tenants if a != b
+        ]
+        if not values:
+            return {"mean": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "mean": round(sum(values) / len(values), 4),
+            "min": round(min(values), 4),
+            "max": round(max(values), 4),
+        }
+
+    # -- feeding the attack harness -------------------------------------------
+
+    def upload_position(self, tenant: int, occurrence: int = -1) -> int:
+        """Global trace position of a tenant's n-th upload (default last)."""
+        positions = self._upload_positions.get(tenant)
+        if not positions:
+            raise ConfigurationError(f"tenant {tenant} has no uploads")
+        return positions[occurrence]
+
+    def population_auxiliary(self, excluding_tenant: int) -> Backup:
+        """The population's plaintext stream, minus one tenant.
+
+        This is the journal extension's strongest multi-tenant adversary:
+        a provider-side observer (or colluding tenant coalition) who knows
+        what everyone *except* the target uploaded.  Uploads concatenate
+        in service order, so within-upload chunk adjacency — what the
+        locality-based attack traverses — is preserved.
+        """
+        population = Backup(label=f"population-minus-t{excluding_tenant:04d}")
+        excluded = set(
+            self._upload_positions.get(excluding_tenant, ())
+        )
+        for position, backup in enumerate(self._plaintexts):
+            if position in excluded:
+                continue
+            population.fingerprints.extend(backup.fingerprints)
+            population.sizes.extend(backup.sizes)
+        return population
+
+    def encrypted_trace(
+        self, extra_plaintexts: list[Backup] | None = None
+    ) -> EncryptedSeries:
+        """The service-generated trace as an :class:`EncryptedSeries`.
+
+        Backups appear in service order (the interleaved upload stream),
+        so any (auxiliary, target) index pair — same tenant or cross-
+        tenant — runs through the unchanged
+        :class:`~repro.attacks.evaluation.AttackEvaluator`.
+        ``extra_plaintexts`` are appended to the *plaintext* side only
+        (auxiliary-information streams, e.g. the population auxiliary,
+        are never uploads themselves).
+        """
+        plaintext = BackupSeries(
+            name="service",
+            backups=list(self._plaintexts) + list(extra_plaintexts or ()),
+            chunking="variable",
+        )
+        return EncryptedSeries(
+            name="service",
+            scheme=self.scheme,
+            plaintext=plaintext,
+            backups=list(self._ciphertexts),
+        )
+
+    def evaluate(
+        self,
+        attack: Attack,
+        auxiliary_tenant: int | None,
+        target_tenant: int,
+        auxiliary_occurrence: int = -1,
+        target_occurrence: int = -1,
+        leakage_rate: float = 0.0,
+        seed: int = 0,
+    ) -> InferenceReport:
+        """Run a cross-tenant attack against ``target_tenant``'s
+        ciphertext upload.
+
+        ``auxiliary_tenant`` selects the adversary's prior knowledge: a
+        specific tenant's plaintext upload (the curious-tenant model), or
+        ``None`` for the population auxiliary — everything every *other*
+        tenant uploaded (the curious-provider model, see
+        :meth:`population_auxiliary`)."""
+        if auxiliary_tenant is None:
+            extra = [self.population_auxiliary(target_tenant)]
+            evaluator = AttackEvaluator(self.encrypted_trace(extra))
+            auxiliary = len(self._plaintexts)
+        else:
+            evaluator = AttackEvaluator(self.encrypted_trace())
+            auxiliary = self.upload_position(
+                auxiliary_tenant, auxiliary_occurrence
+            )
+        return evaluator.run(
+            attack,
+            auxiliary=auxiliary,
+            target=self.upload_position(target_tenant, target_occurrence),
+            leakage_rate=leakage_rate,
+            seed=seed,
+        )

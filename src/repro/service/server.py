@@ -1,0 +1,352 @@
+"""Multi-tenant front-end over the shared deduplication engine.
+
+:class:`DedupService` serves per-tenant upload/restore sessions against
+one shared :class:`~repro.storage.ddfs.DDFSEngine` — the setting where
+cross-user deduplication (and its side channels) exists at all.
+
+The upload session runs the client-assisted dedup protocol of
+source-based deduplication systems:
+
+1. the client chunks and encrypts locally (the configured
+   :class:`~repro.defenses.pipeline.DefenseScheme`) and sends the upload's
+   ciphertext *fingerprint list*;
+2. the server resolves duplicates — first against its in-memory state
+   (fingerprint cache, open container buffer), then one **batched**
+   lookup against the on-disk fingerprint index
+   (:meth:`~repro.storage.fingerprint_index.OnDiskFingerprintIndex.lookup_batch`,
+   i.e. through whatever :class:`~repro.index.backends.KVBackend` the
+   index runs on);
+3. the server responds with the needed-set; the client transfers only
+   those chunk payloads, which flow through the engine's S1–S4 path and
+   into shared containers.
+
+Step 3 is the side channel the meter taps: an upload's *transferred
+bytes* reveal how much of the tenant's data the store already held —
+including other tenants' data (Zuo et al., arXiv:1703.05126).  Every
+request yields a :class:`RequestObservables` record with the bandwidth
+signal and a latency proxy in metadata bytes
+(:class:`~repro.storage.metrics.MetadataAccessStats` deltas).
+
+Namespaces are enforced at the recipe layer: tenants share physical
+chunks but can only restore uploads recorded under their own namespace,
+and per-tenant quotas bound *logical* (pre-dedup) bytes — the quantity a
+provider bills.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import (
+    ConfigurationError,
+    QuotaExceededError,
+    StorageError,
+)
+from repro.common.units import KiB, MiB
+from repro.datasets.model import Backup
+from repro.defenses.pipeline import (
+    DefensePipeline,
+    DefenseScheme,
+    EncryptedBackup,
+)
+from repro.defenses.segmentation import SegmentationSpec
+from repro.storage.ddfs import DDFSEngine
+from repro.service.traffic import RESTORE, UPLOAD
+
+
+@dataclass(frozen=True)
+class RequestObservables:
+    """What the wire adversary sees of one request.
+
+    For uploads, ``transferred_bytes`` counts only the chunk payloads the
+    server actually requested (the dedup response's needed-set) — the
+    bandwidth side channel.  Restores always transfer the full logical
+    stream, so they carry no dedup signal.  ``metadata_bytes`` is the
+    response-latency proxy: index/update/loading bytes the request moved.
+    ``request_index`` is the service-order sequence number (the traffic
+    round is a client-side notion; the meter tracks it per request).
+    """
+
+    kind: str
+    tenant: int
+    request_index: int
+    label: str
+    logical_bytes: int
+    transferred_bytes: int
+    metadata_bytes: int
+    total_chunks: int
+    unique_chunks: int
+    unique_bytes: int
+    stored_chunks: int
+
+    @property
+    def deduped_bytes(self) -> int:
+        """Bytes the dedup response saved (0 for restores)."""
+        return self.logical_bytes - self.transferred_bytes
+
+    @property
+    def dedup_fraction(self) -> float:
+        """Fraction of the logical bytes not transferred."""
+        if self.logical_bytes == 0:
+            return 0.0
+        return self.deduped_bytes / self.logical_bytes
+
+
+@dataclass(frozen=True)
+class UploadResult:
+    """Outcome of one upload session."""
+
+    observables: RequestObservables
+    encrypted: EncryptedBackup
+
+
+@dataclass
+class _Tenant:
+    """Server-side tenant namespace state."""
+
+    quota_bytes: int | None
+    logical_bytes: int = 0
+    transferred_bytes: int = 0
+    uploads: int = 0
+    restores: int = 0
+    recipes: dict[str, Backup] = field(default_factory=dict)
+
+
+class DedupService:
+    """A multi-tenant encrypted-dedup service over one shared engine.
+
+    Args:
+        scheme: encryption scheme tenants upload under.  Cross-user
+            deduplication requires content-derived (deterministic)
+            encryption, which every :class:`DefenseScheme` satisfies.
+        index_backend: fingerprint-index backend — a
+            :class:`~repro.index.backends.KVBackend` instance or a spec
+            string (``"memory"``, ``"sqlite"``, ``"sharded[:N]"``, …).
+        index_path: where a spec-string backend persists.
+        default_quota_bytes: logical-byte quota applied to tenants that
+            are auto-registered on first upload (``None`` = unlimited).
+        segmentation: defense segmentation (scaled default).
+        seed: determinises the scrambling defenses.
+        cache_budget_bytes / bloom_capacity / container_size /
+        entry_bytes: shared engine knobs (service-scale defaults).
+    """
+
+    def __init__(
+        self,
+        scheme: DefenseScheme = DefenseScheme.MLE,
+        index_backend=None,
+        index_path=None,
+        default_quota_bytes: int | None = None,
+        segmentation: SegmentationSpec | None = None,
+        seed: int = 0,
+        cache_budget_bytes: int = 256 * KiB,
+        bloom_capacity: int = 1_000_000,
+        container_size: int = 1 * MiB,
+        entry_bytes: int = 32,
+    ):
+        self.scheme = DefenseScheme(scheme)
+        self.pipeline = DefensePipeline(
+            self.scheme,
+            segmentation=segmentation or SegmentationSpec.scaled(),
+            seed=seed,
+        )
+        self.engine = DDFSEngine(
+            cache_budget_bytes=cache_budget_bytes,
+            bloom_capacity=bloom_capacity,
+            container_size=container_size,
+            entry_bytes=entry_bytes,
+            index_backend=index_backend,
+            index_path=index_path,
+        )
+        self.default_quota_bytes = default_quota_bytes
+        self._tenants: dict[int, _Tenant] = {}
+        self._request_counter = 0
+
+    # -- tenant management --------------------------------------------------
+
+    def register_tenant(
+        self, tenant: int, quota_bytes: int | None = None
+    ) -> None:
+        """Create a tenant namespace with an explicit quota."""
+        if tenant in self._tenants:
+            raise ConfigurationError(f"tenant {tenant} already registered")
+        self._tenants[tenant] = _Tenant(quota_bytes=quota_bytes)
+
+    def _tenant(self, tenant: int) -> _Tenant:
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = _Tenant(quota_bytes=self.default_quota_bytes)
+            self._tenants[tenant] = state
+        return state
+
+    def tenants(self) -> list[int]:
+        return sorted(self._tenants)
+
+    def tenant_usage(self, tenant: int) -> dict[str, object]:
+        """Billing-grade usage for one tenant namespace."""
+        state = self._tenants[tenant]
+        return {
+            "tenant": tenant,
+            "uploads": state.uploads,
+            "restores": state.restores,
+            "logical_bytes": state.logical_bytes,
+            "transferred_bytes": state.transferred_bytes,
+            "quota_bytes": state.quota_bytes,
+        }
+
+    def has_upload(self, tenant: int, label: str) -> bool:
+        state = self._tenants.get(tenant)
+        return state is not None and label in state.recipes
+
+    # -- upload session -----------------------------------------------------
+
+    def upload(
+        self, tenant: int, backup: Backup, label: str | None = None
+    ) -> UploadResult:
+        """Serve one upload session; returns observables + the ciphertext.
+
+        Raises:
+            QuotaExceededError: the upload would push the tenant's
+                logical bytes past its quota (nothing is stored).
+            ConfigurationError: the label is already taken in this
+                tenant's namespace.
+        """
+        state = self._tenant(tenant)
+        label = label if label is not None else backup.label
+        if label in state.recipes:
+            raise ConfigurationError(
+                f"tenant {tenant} already stored an upload labelled {label!r}"
+            )
+        encrypted = self.pipeline.encrypt_backup(backup, self._request_counter)
+        stream = encrypted.ciphertext
+        logical_bytes = stream.logical_bytes
+        if (
+            state.quota_bytes is not None
+            and state.logical_bytes + logical_bytes > state.quota_bytes
+        ):
+            raise QuotaExceededError(
+                f"tenant {tenant} quota {state.quota_bytes} B exceeded by "
+                f"upload {label!r} ({logical_bytes} B logical)"
+            )
+
+        index = self.engine.index
+        metadata_before = index.stats.total_bytes
+
+        # Dedup response: resolve the upload's unique fingerprints against
+        # in-memory state first, then one batched probe of the on-disk
+        # index for the rest (amortized through the KV backend).
+        unique: dict[bytes, int] = {}
+        for fingerprint, size in zip(stream.fingerprints, stream.sizes):
+            if fingerprint not in unique:
+                unique[fingerprint] = size
+        candidates = []
+        for fingerprint in unique:
+            if self.engine.cache.lookup(fingerprint) is not None:
+                continue
+            if self.engine.containers.in_open_buffer(fingerprint):
+                continue
+            candidates.append(fingerprint)
+        known = index.lookup_batch(candidates)
+        needed = {fp for fp in candidates if fp not in known}
+
+        # Confirmed duplicates mirror step S4: prefetch each hit
+        # container's fingerprints into the cache (first-occurrence
+        # order), so later uploads of co-located chunks resolve at S1
+        # without re-probing the index — chunk locality, cross-tenant.
+        prefetched: set[int] = set()
+        for fingerprint in candidates:
+            container_id = known.get(fingerprint)
+            if container_id is not None and container_id not in prefetched:
+                prefetched.add(container_id)
+                self.engine.prefetch_container(container_id)
+
+        # Transfer: only the needed chunks cross the wire and enter the
+        # engine's S1-S4 path (first occurrence of each).
+        transferred_bytes = 0
+        stored_chunks = 0
+        for fingerprint in unique:
+            if fingerprint not in needed:
+                continue
+            size = unique[fingerprint]
+            transferred_bytes += size
+            self.engine.process_chunk(fingerprint, size)
+            stored_chunks += 1
+
+        metadata_bytes = index.stats.total_bytes - metadata_before
+        state.recipes[label] = stream
+        state.logical_bytes += logical_bytes
+        state.transferred_bytes += transferred_bytes
+        state.uploads += 1
+        request_index = self._request_counter
+        self._request_counter += 1
+        observables = RequestObservables(
+            kind=UPLOAD,
+            tenant=tenant,
+            request_index=request_index,
+            label=label,
+            logical_bytes=logical_bytes,
+            transferred_bytes=transferred_bytes,
+            metadata_bytes=metadata_bytes,
+            total_chunks=len(stream),
+            unique_chunks=len(unique),
+            unique_bytes=sum(unique.values()),
+            stored_chunks=stored_chunks,
+        )
+        return UploadResult(observables=observables, encrypted=encrypted)
+
+    # -- restore session ----------------------------------------------------
+
+    def restore(
+        self, tenant: int, label: str
+    ) -> tuple[RequestObservables, Backup]:
+        """Serve one restore session from a tenant's own namespace.
+
+        Raises:
+            StorageError: the label is not in this tenant's namespace
+                (including labels stored by *other* tenants — namespaces
+                share chunks, never recipes).
+        """
+        state = self._tenants.get(tenant)
+        recipe = state.recipes.get(label) if state is not None else None
+        if recipe is None:
+            raise StorageError(
+                f"tenant {tenant} has no upload labelled {label!r}"
+            )
+        state.restores += 1
+        logical_bytes = recipe.logical_bytes
+        unique_sizes: dict[bytes, int] = {}
+        for fingerprint, size in zip(recipe.fingerprints, recipe.sizes):
+            unique_sizes.setdefault(fingerprint, size)
+        observables = RequestObservables(
+            kind=RESTORE,
+            tenant=tenant,
+            request_index=self._request_counter,
+            label=label,
+            logical_bytes=logical_bytes,
+            # Restores serve the full stream regardless of deduplication —
+            # restore bandwidth leaks nothing about cross-user overlap.
+            transferred_bytes=logical_bytes,
+            metadata_bytes=self.engine.index.entry_bytes * len(recipe),
+            total_chunks=len(recipe),
+            unique_chunks=len(unique_sizes),
+            unique_bytes=sum(unique_sizes.values()),
+            stored_chunks=0,
+        )
+        self._request_counter += 1
+        return observables, recipe
+
+    # -- bookkeeping --------------------------------------------------------
+
+    @property
+    def stored_bytes(self) -> int:
+        """Physical bytes in sealed containers plus the open buffer."""
+        return self.engine.containers.stored_bytes()
+
+    def unique_chunks_stored(self) -> int:
+        """Unique chunks the shared store holds (sealed + open)."""
+        return len(self.engine.index) + self.engine.containers.open_chunks
+
+    def close(self) -> None:
+        """Seal the open container and release index-backend resources."""
+        self.engine.finish_backup()
+        self.engine.index.close()

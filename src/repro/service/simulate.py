@@ -1,0 +1,458 @@
+"""End-to-end service simulation: traffic → service → meter → report.
+
+:func:`simulate` drives one :class:`~repro.service.traffic.TrafficModel`
+stream through a :class:`~repro.service.server.DedupService` under a
+:class:`~repro.service.meter.SideChannelMeter` and memoises the resulting
+:class:`ServiceTrace` per process — the same economics as the canonical
+workload registry (:mod:`repro.analysis.workloads`): the parent process
+(or each forked worker) pays for a given configuration at most once.
+
+:func:`service_report` is what ``freqdedup serve-sim`` and the throughput
+benchmark share: it assembles a fully deterministic, JSON-serializable
+report and runs the cross-tenant attack pairs through the scenario
+engine's :class:`~repro.scenarios.runner.Runner` (cells of kind
+``service_attack``, see :mod:`repro.service.cells`), so ``--jobs N``
+fans the attacks out across processes with byte-identical output.
+
+:func:`service_grid_cells` is the grid axis for scenario sweeps: one
+``service`` cell per (tenants × popularity-skew × duplication-factor)
+combination, each returning the simulation's headline metrics as a row.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+
+from repro.common.errors import QuotaExceededError
+from repro.defenses.pipeline import DefenseScheme
+from repro.scenarios.spec import Cell, Tags
+from repro.service.meter import SideChannelMeter
+from repro.service.server import DedupService
+from repro.service.traffic import (
+    RESTORE,
+    UPLOAD,
+    TrafficConfig,
+    TrafficModel,
+)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """One full service experiment: population, service, and attack knobs.
+
+    Frozen and built from primitives only, so a config is hashable (the
+    :func:`simulate` memoisation key) and its fields embed directly into
+    scenario-cell params (the cache identity).
+    """
+
+    tenants: int = 20
+    rounds: int = 2
+    files_per_tenant: int = 12
+    mean_file_chunks: int = 16
+    duplication_factor: float = 0.5
+    popularity_exponent: float = 1.5
+    num_templates: int = 40
+    modify_fraction: float = 0.25
+    churn: float = 0.2
+    restore_probability: float = 0.1
+    popular_rate: float = 0.08
+    scheme: str = "mle"
+    backend: str = "memory"
+    backend_path: str | None = None
+    quota_bytes: int | None = None
+    attack: str = "advanced"
+    u: int = 1
+    v: int = 15
+    w: int = 200_000
+    # The adversary's prior knowledge: -1 evaluates the curious-provider
+    # model (population auxiliary: everything every other tenant uploaded,
+    # the journal extension's strongest multi-tenant adversary); a tenant
+    # id evaluates the curious-tenant model (that tenant's last upload).
+    auxiliary_tenant: int = -1
+    attack_targets: int = 4
+    seed: int = 0
+
+
+CONFIG_FIELDS = tuple(
+    field.name for field in dataclasses.fields(ServiceConfig)
+)
+
+
+def config_params(config: ServiceConfig) -> Tags:
+    """The config as sorted ``(field, value)`` pairs (cell params)."""
+    return tuple(sorted(dataclasses.asdict(config).items()))
+
+
+def config_from_params(params: dict) -> ServiceConfig:
+    """Rebuild a config from cell params (extra keys are ignored)."""
+    return ServiceConfig(
+        **{name: params[name] for name in CONFIG_FIELDS if name in params}
+    )
+
+
+@dataclass
+class ServiceTrace:
+    """Everything one simulated service run produced."""
+
+    config: ServiceConfig
+    service: DedupService
+    meter: SideChannelMeter
+    rejected_uploads: int = 0
+    skipped_restores: int = 0
+
+
+def _traffic_config(config: ServiceConfig) -> TrafficConfig:
+    return TrafficConfig(
+        tenants=config.tenants,
+        rounds=config.rounds,
+        files_per_tenant=config.files_per_tenant,
+        mean_file_chunks=config.mean_file_chunks,
+        duplication_factor=config.duplication_factor,
+        popularity_exponent=config.popularity_exponent,
+        num_templates=config.num_templates,
+        modify_fraction=config.modify_fraction,
+        churn=config.churn,
+        restore_probability=config.restore_probability,
+        popular_rate=config.popular_rate,
+    )
+
+
+# Per-process trace memo.  A plain lru_cache would evict traces without
+# releasing their index backends (an open file/connection for sqlite and
+# sharded stores), so eviction closes the evicted trace's service.
+_TRACE_CACHE: OrderedDict[ServiceConfig, ServiceTrace] = OrderedDict()
+_TRACE_CACHE_SIZE = 4
+
+
+def _evict_trace(trace: ServiceTrace) -> None:
+    trace.service.close()
+
+
+def simulate(config: ServiceConfig) -> ServiceTrace:
+    """Run the full simulation for ``config`` (memoised per process).
+
+    At most :data:`_TRACE_CACHE_SIZE` traces stay resident; the least-
+    recently-used one is closed (open container sealed, index backend
+    released) on eviction, so grid sweeps over many configs don't leak
+    backend handles.
+    """
+    trace = _TRACE_CACHE.get(config)
+    if trace is not None:
+        _TRACE_CACHE.move_to_end(config)
+        return trace
+    trace = _simulate(config)
+    _TRACE_CACHE[config] = trace
+    while len(_TRACE_CACHE) > _TRACE_CACHE_SIZE:
+        _, evicted = _TRACE_CACHE.popitem(last=False)
+        _evict_trace(evicted)
+    return trace
+
+
+def _clear_trace_cache() -> None:
+    """Close and drop every memoised trace (bench/test hook)."""
+    while _TRACE_CACHE:
+        _, evicted = _TRACE_CACHE.popitem(last=False)
+        _evict_trace(evicted)
+
+
+# Keep the lru_cache-style hook the throughput bench uses.
+simulate.cache_clear = _clear_trace_cache
+
+
+def _simulate(config: ServiceConfig) -> ServiceTrace:
+    model = TrafficModel(seed=config.seed, config=_traffic_config(config))
+    service = DedupService(
+        scheme=DefenseScheme(config.scheme),
+        index_backend=config.backend,
+        index_path=config.backend_path,
+        default_quota_bytes=config.quota_bytes,
+        seed=config.seed,
+    )
+    meter = SideChannelMeter(scheme=service.scheme)
+    trace = ServiceTrace(config=config, service=service, meter=meter)
+    for request in model.requests():
+        if request.kind == UPLOAD:
+            try:
+                result = service.upload(
+                    request.tenant, request.backup, label=request.label
+                )
+            except QuotaExceededError:
+                trace.rejected_uploads += 1
+                continue
+            meter.observe_upload(request, result)
+        else:
+            # A quota-rejected upload leaves no recipe to restore from.
+            if not service.has_upload(request.tenant, request.restore_label):
+                trace.skipped_restores += 1
+                continue
+            observables, _ = service.restore(
+                request.tenant, request.restore_label
+            )
+            meter.observe_restore(observables)
+    return trace
+
+
+# -- cross-tenant attack pairs ---------------------------------------------
+
+ATTACK_COLUMNS = (
+    "auxiliary_tenant",
+    "target_tenant",
+    "auxiliary",
+    "target",
+    "overlap",
+    "inference_rate",
+    "precision",
+)
+
+
+def attack_pairs(config: ServiceConfig) -> tuple[tuple[int, int], ...]:
+    """The evaluated (auxiliary tenant, target tenant) pairs.
+
+    Population mode (``auxiliary_tenant == -1``): the first
+    ``attack_targets`` tenants are victims of the curious provider.
+    Tenant mode: the configured tenant is the curious insider, the first
+    ``attack_targets`` *other* tenants are victims.
+    """
+    auxiliary = config.auxiliary_tenant
+    if auxiliary < 0:
+        victims = range(min(config.tenants, config.attack_targets))
+        return tuple((-1, target) for target in victims)
+    victims = [
+        tenant for tenant in range(config.tenants) if tenant != auxiliary
+    ]
+    return tuple(
+        (auxiliary, target)
+        for target in victims[: config.attack_targets]
+    )
+
+
+def evaluate_pair(
+    trace: ServiceTrace, auxiliary_tenant: int, target_tenant: int
+) -> dict[str, object]:
+    """Score one cross-tenant attack on a simulated trace
+    (``auxiliary_tenant == -1`` selects the population auxiliary).
+
+    A pair whose tenants never completed an upload (e.g. everything was
+    quota-rejected) scores a zero row instead of failing, so reports
+    over throttled populations stay deterministic and comparable.
+    """
+    from repro.scenarios.cells import build_attack
+
+    config = trace.config
+    meter = trace.meter
+    auxiliary = None if auxiliary_tenant < 0 else auxiliary_tenant
+    served = set(meter.tenants())
+    if target_tenant not in served or (
+        auxiliary is not None and auxiliary not in served
+    ):
+        return {
+            "auxiliary_tenant": auxiliary_tenant,
+            "target_tenant": target_tenant,
+            "auxiliary": "-",
+            "target": "-",
+            "overlap": 0.0,
+            "inference_rate": 0.0,
+            "precision": 0.0,
+            "correct_pairs": 0,
+            "inferred_pairs": 0,
+            "unique_ciphertext_chunks": 0,
+        }
+    attack = build_attack(config.attack, config.u, config.v, config.w)
+    report = meter.evaluate(attack, auxiliary, target_tenant)
+    return {
+        "auxiliary_tenant": auxiliary_tenant,
+        "target_tenant": target_tenant,
+        "auxiliary": report.auxiliary_label,
+        "target": report.target_label,
+        "overlap": round(trace.meter.overlap(auxiliary, target_tenant), 4),
+        "inference_rate": round(report.inference_rate, 5),
+        "precision": round(report.precision, 5),
+        "correct_pairs": report.correct_pairs,
+        "inferred_pairs": report.inferred_pairs,
+        "unique_ciphertext_chunks": report.unique_ciphertext_chunks,
+    }
+
+
+def attack_cells(config: ServiceConfig) -> tuple[Cell, ...]:
+    """One ``service_attack`` cell per cross-tenant pair."""
+    base = dict(config_params(config))
+    cells = []
+    for auxiliary_tenant, target_tenant in attack_pairs(config):
+        params = dict(base)
+        params["auxiliary_tenant"] = auxiliary_tenant
+        params["target_tenant"] = target_tenant
+        cells.append(
+            Cell(
+                kind="service_attack",
+                params=tuple(sorted(params.items())),
+                tags=(
+                    ("auxiliary_tenant", auxiliary_tenant),
+                    ("target_tenant", target_tenant),
+                ),
+            )
+        )
+    return tuple(cells)
+
+
+# -- headline metrics and the JSON report -----------------------------------
+
+
+def headline_metrics(trace: ServiceTrace) -> dict[str, object]:
+    """Service-wide totals plus the side-channel headline numbers.
+
+    ``cross_user_dedup_rate`` measures leakage-relevant deduplication:
+    over round-0 uploads (each tenant's first, so the store holds no own
+    history), the fraction of *unique-chunk* bytes the server already
+    had.  Using unique bytes excludes intra-upload self-duplicates — a
+    tenant's own repeated content — which are deduplicated too but leak
+    nothing across users; a single-tenant population scores 0.
+    """
+    uploads = [
+        record
+        for record in trace.meter.observables
+        if record.kind == UPLOAD
+    ]
+    restores = [
+        record
+        for record in trace.meter.observables
+        if record.kind == RESTORE
+    ]
+    logical = sum(record.logical_bytes for record in uploads)
+    transferred = sum(record.transferred_bytes for record in uploads)
+    metadata = sum(record.metadata_bytes for record in trace.meter.observables)
+    round0 = [
+        record
+        for round_index, record in trace.meter.upload_records()
+        if round_index == 0
+    ]
+    round0_unique = sum(record.unique_bytes for record in round0)
+    round0_transferred = sum(record.transferred_bytes for record in round0)
+    return {
+        "uploads": len(uploads),
+        "restores": len(restores),
+        "logical_bytes": logical,
+        "transferred_bytes": transferred,
+        "deduped_bytes": logical - transferred,
+        "metadata_bytes": metadata,
+        "dedup_ratio": round(logical / transferred, 4) if transferred else 0.0,
+        "cross_user_dedup_rate": round(
+            1.0 - round0_transferred / round0_unique, 4
+        )
+        if round0_unique
+        else 0.0,
+        "unique_chunks_stored": trace.service.unique_chunks_stored(),
+    }
+
+
+def service_report(
+    config: ServiceConfig, jobs: int = 1, cache=None
+) -> dict[str, object]:
+    """The full deterministic report behind ``freqdedup serve-sim``.
+
+    The simulation itself runs (memoised) in the calling process; the
+    cross-tenant attack pairs run as ``service_attack`` cells through the
+    scenario :class:`~repro.scenarios.runner.Runner`, whose spec-order
+    merge makes the report byte-identical at any ``jobs`` value (forked
+    workers inherit the memoised trace and only pay for their attacks).
+    """
+    from repro.scenarios.runner import Runner, rows_from
+
+    trace = simulate(config)
+    meter = trace.meter
+    results = Runner(jobs=jobs, cache=cache).run_cells(
+        list(attack_cells(config))
+    )
+    rows = rows_from(results, ATTACK_COLUMNS)
+    rate_index = ATTACK_COLUMNS.index("inference_rate")
+    rates = [row[rate_index] for row in rows]
+    service_totals = headline_metrics(trace)
+    return {
+        "config": dict(config_params(config)),
+        "traffic": {
+            "requests": len(meter.observables)
+            + trace.rejected_uploads
+            + trace.skipped_restores,
+            "uploads": service_totals.pop("uploads"),
+            "restores": service_totals.pop("restores"),
+            "rejected_uploads": trace.rejected_uploads,
+            "skipped_restores": trace.skipped_restores,
+        },
+        "service": service_totals,
+        "tenants": [
+            trace.service.tenant_usage(tenant)
+            for tenant in trace.service.tenants()
+        ],
+        "side_channel": {
+            "bandwidth_signal": meter.bandwidth_signal(),
+            "overlap": meter.overlap_summary(),
+        },
+        "attack": {
+            "name": config.attack,
+            "columns": list(ATTACK_COLUMNS),
+            "pairs": rows,
+            "mean_inference_rate": round(sum(rates) / len(rates), 5)
+            if rates
+            else 0.0,
+        },
+    }
+
+
+# -- scenario grid axis ------------------------------------------------------
+
+SERVICE_GRID_COLUMNS = (
+    "tenants",
+    "popularity_exponent",
+    "duplication_factor",
+    "cross_user_dedup_rate",
+    "dedup_ratio",
+    "mean_overlap",
+    "mean_inference_rate",
+)
+
+
+def service_grid_cells(
+    base: ServiceConfig | None = None,
+    tenants: tuple[int, ...] | None = None,
+    popularity_exponents: tuple[float, ...] | None = None,
+    duplication_factors: tuple[float, ...] | None = None,
+) -> tuple[Cell, ...]:
+    """Expand a tenants × popularity-skew × duplication-factor grid into
+    ``service`` cells (one full simulation each; row columns are
+    :data:`SERVICE_GRID_COLUMNS`).  Run them with the scenario
+    :class:`~repro.scenarios.runner.Runner` like any other cells."""
+    base = base if base is not None else ServiceConfig()
+    tenants = tenants if tenants is not None else (base.tenants,)
+    popularity_exponents = (
+        popularity_exponents
+        if popularity_exponents is not None
+        else (base.popularity_exponent,)
+    )
+    duplication_factors = (
+        duplication_factors
+        if duplication_factors is not None
+        else (base.duplication_factor,)
+    )
+    cells = []
+    for num_tenants in tenants:
+        for exponent in popularity_exponents:
+            for factor in duplication_factors:
+                config = replace(
+                    base,
+                    tenants=num_tenants,
+                    popularity_exponent=exponent,
+                    duplication_factor=factor,
+                )
+                cells.append(
+                    Cell(
+                        kind="service",
+                        params=config_params(config),
+                        tags=(
+                            ("tenants", num_tenants),
+                            ("popularity_exponent", exponent),
+                            ("duplication_factor", factor),
+                        ),
+                    )
+                )
+    return tuple(cells)

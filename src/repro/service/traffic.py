@@ -1,0 +1,269 @@
+"""Population-scale traffic synthesis for the multi-tenant service.
+
+A :class:`TrafficModel` synthesizes ``tenants`` users over one *shared*
+chunk identity space (:mod:`repro.datasets.chunkspace`): cross-user
+duplicate content is real duplicate content, so a shared dedup store
+deduplicates it across tenants exactly as a real provider would.
+
+Cross-user duplication has two sources, mirroring how the synthetic
+dataset models intra-image redundancy (:mod:`repro.datasets.synthetic`):
+
+* **shared templates** — a Zipf-popular whole-file template library
+  (:class:`~repro.datasets.filesim.TemplateLibrary`); each tenant file is
+  a template copy with probability ``duplication_factor``, so popular
+  files (OS images, packages, media) recur across many tenants with
+  ``popularity_exponent`` skew;
+* **popular chunk runs** — a shared
+  :class:`~repro.datasets.filesim.FileMutator` pool seeds high-frequency
+  chunk runs into otherwise-private files at ``popular_rate``.
+
+Between rounds each tenant's filesystem evolves with clustered,
+locality-preserving edits (``modify_fraction`` of files, ``churn`` of
+each edited file's chunks), the same mutation model the single-client
+generators use.  The emitted request stream interleaves tenants within
+each round in a seeded shuffled order, so the server observes realistic
+mixed traffic while two models built from the same seed emit
+byte-identical streams.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import rng_from
+from repro.datasets.chunkspace import ChunkSpace, PopularPool, SizeModel
+from repro.datasets.filesim import (
+    FileMutator,
+    SimFileSystem,
+    TemplateLibrary,
+    snapshot,
+)
+from repro.datasets.model import Backup
+
+UPLOAD = "upload"
+RESTORE = "restore"
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Knobs for the tenant population and its request stream.
+
+    Attributes:
+        tenants: number of tenants in the population.
+        rounds: upload rounds; every tenant uploads once per round.
+        files_per_tenant: files in each tenant's initial filesystem.
+        mean_file_chunks: mean file length in chunks (heavy-tailed).
+        duplication_factor: probability a tenant file is a copy of a
+            shared template (the cross-user duplication axis).
+        popularity_exponent: Zipf exponent over shared-template ranks
+            (the popularity-skew axis; larger → few templates dominate).
+        num_templates: size of the shared template library.
+        modify_fraction: fraction of each tenant's files edited per round.
+        churn: fraction of an edited file's chunks rewritten.
+        restore_probability: per tenant and round (>0), probability of a
+            restore request for that tenant's previous-round upload.
+        popular_rate: rate at which new content reuses shared popular
+            chunk runs (intra-stream frequency skew, cross-user too).
+        popular_pool_size: number of shared popular runs.
+        fingerprint_bytes: fingerprint width of the shared chunk space.
+    """
+
+    tenants: int = 20
+    rounds: int = 2
+    files_per_tenant: int = 12
+    mean_file_chunks: int = 16
+    duplication_factor: float = 0.5
+    popularity_exponent: float = 1.5
+    num_templates: int = 40
+    modify_fraction: float = 0.25
+    churn: float = 0.2
+    restore_probability: float = 0.1
+    popular_rate: float = 0.08
+    popular_pool_size: int = 24
+    fingerprint_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.tenants < 1 or self.rounds < 1:
+            raise ConfigurationError("tenants and rounds must be >= 1")
+        if self.files_per_tenant < 1 or self.mean_file_chunks < 1:
+            raise ConfigurationError(
+                "files_per_tenant and mean_file_chunks must be >= 1"
+            )
+        for name in (
+            "duplication_factor",
+            "modify_fraction",
+            "churn",
+            "restore_probability",
+            "popular_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One service request in the interleaved stream.
+
+    ``backup`` carries the plaintext chunk stream of an upload (the
+    client encrypts before transfer; the service applies the configured
+    scheme).  A restore instead names the stored upload to read via
+    ``restore_label``.
+    """
+
+    kind: str
+    tenant: int
+    round: int
+    label: str
+    backup: Backup | None = None
+    restore_label: str | None = None
+
+
+def upload_label(tenant: int, round_index: int) -> str:
+    """Canonical label of a tenant's upload in a given round."""
+    return f"t{tenant:04d}/r{round_index:02d}"
+
+
+class TrafficModel:
+    """Synthesizes a tenant population and its request stream.
+
+    Everything derives from ``seed`` through labelled child streams
+    (:func:`repro.common.rng.rng_from`), so the stream is deterministic:
+    same seed and config, byte-identical requests.  :meth:`requests`
+    materializes the stream once and returns the same list thereafter
+    (generation mutates the tenant filesystems, so it must not re-run).
+    """
+
+    def __init__(self, seed: int = 0, config: TrafficConfig | None = None):
+        self.seed = seed
+        self.config = config or TrafficConfig()
+        cfg = self.config
+        self.chunk_space = ChunkSpace(
+            namespace=f"service-{seed}",
+            fingerprint_bytes=cfg.fingerprint_bytes,
+            size_model=SizeModel(kind="variable"),
+        )
+        if cfg.popular_rate > 0.0:
+            # Strong skew: the attacks seed from top global frequency
+            # ranks, which are only stable across *different* tenants'
+            # streams when a few popular chunks clearly dominate (§4.2).
+            pool = PopularPool.build(
+                self.chunk_space,
+                rng_from(seed, "service-pool"),
+                num_runs=cfg.popular_pool_size,
+                exponent=1.6,
+            )
+        else:
+            pool = None
+        self.mutator = FileMutator(self.chunk_space, pool, cfg.popular_rate)
+        # Moderate length spread (sigma 0.5): with the library default the
+        # most popular template can degenerate to a 2-chunk file, and the
+        # cross-user duplication the grid axis sweeps would be dominated
+        # by template-length luck instead of duplication_factor.
+        self.library = TemplateLibrary(
+            self.mutator,
+            rng_from(seed, "service-templates"),
+            num_templates=cfg.num_templates,
+            mean_chunks=cfg.mean_file_chunks,
+            exponent=cfg.popularity_exponent,
+            length_sigma=0.5,
+        )
+        # Tenants are populated in index order from one shared chunk
+        # space, so chunk-id allocation (hence every fingerprint) is
+        # deterministic across runs.
+        self._filesystems = [
+            self._populate_tenant(tenant) for tenant in range(cfg.tenants)
+        ]
+        self._requests: list[Request] | None = None
+
+    # -- population ---------------------------------------------------------
+
+    def _file_length(self, rng: random.Random) -> int:
+        mean = self.config.mean_file_chunks
+        length = int(rng.lognormvariate(0.0, 0.7) * mean * 0.8)
+        return max(2, min(length, mean * 6))
+
+    def _populate_tenant(self, tenant: int) -> SimFileSystem:
+        cfg = self.config
+        rng = rng_from(self.seed, "service-tenant", tenant)
+        filesystem = SimFileSystem()
+        for index in range(cfg.files_per_tenant):
+            path = f"t{tenant:04d}/f{index:04d}"
+            if rng.random() < cfg.duplication_factor:
+                filesystem.add(self.library.instantiate(path, rng))
+            else:
+                filesystem.add(
+                    self.mutator.create_file(path, rng, self._file_length(rng))
+                )
+        return filesystem
+
+    def _evolve_tenant(self, tenant: int, round_index: int) -> None:
+        cfg = self.config
+        if cfg.modify_fraction == 0.0 or cfg.churn == 0.0:
+            return
+        rng = rng_from(self.seed, "service-evolve", tenant, round_index)
+        filesystem = self._filesystems[tenant]
+        paths = filesystem.paths()
+        num_modified = max(1, int(len(paths) * cfg.modify_fraction))
+        for path in rng.sample(paths, num_modified):
+            self.mutator.modify_file(filesystem.get(path), rng, churn=cfg.churn)
+
+    # -- the stream ---------------------------------------------------------
+
+    def requests(self) -> list[Request]:
+        """The full interleaved request stream (materialized once)."""
+        if self._requests is None:
+            self._requests = self._generate()
+        return self._requests
+
+    def _generate(self) -> list[Request]:
+        cfg = self.config
+        stream: list[Request] = []
+        for round_index in range(cfg.rounds):
+            # Evolution runs in fixed tenant order (chunk allocation must
+            # not depend on the interleaving); only the *serving* order
+            # within the round is shuffled.
+            if round_index > 0:
+                for tenant in range(cfg.tenants):
+                    self._evolve_tenant(tenant, round_index)
+            round_requests: list[Request] = []
+            for tenant in range(cfg.tenants):
+                label = upload_label(tenant, round_index)
+                backup = snapshot(
+                    self._filesystems[tenant], self.chunk_space, label=label
+                )
+                round_requests.append(
+                    Request(
+                        kind=UPLOAD,
+                        tenant=tenant,
+                        round=round_index,
+                        label=label,
+                        backup=backup,
+                    )
+                )
+                if round_index > 0 and cfg.restore_probability > 0.0:
+                    rng = rng_from(
+                        self.seed, "service-restore", tenant, round_index
+                    )
+                    if rng.random() < cfg.restore_probability:
+                        # Restores read the previous round's upload, which
+                        # is guaranteed to have been served already no
+                        # matter how this round is interleaved.
+                        round_requests.append(
+                            Request(
+                                kind=RESTORE,
+                                tenant=tenant,
+                                round=round_index,
+                                label=f"{label}/restore",
+                                restore_label=upload_label(
+                                    tenant, round_index - 1
+                                ),
+                            )
+                        )
+            rng_from(self.seed, "service-interleave", round_index).shuffle(
+                round_requests
+            )
+            stream.extend(round_requests)
+        return stream

@@ -129,6 +129,11 @@ class ContainerStore:
     def num_containers(self) -> int:
         return len(self.containers)
 
+    @property
+    def open_chunks(self) -> int:
+        """Chunks buffered in the open (unsealed) container."""
+        return len(self._open_entries)
+
     def stored_bytes(self) -> int:
         sealed = sum(c.data_bytes for c in self.containers.values())
         return sealed + self._open_bytes

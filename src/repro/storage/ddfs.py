@@ -144,6 +144,12 @@ class DDFSEngine:
         for entry in container.entries:
             self.cache.insert(entry.fingerprint, container_id)
 
+    def prefetch_container(self, container_id: int) -> None:
+        """Step S4 for front-ends that confirm duplicates themselves (the
+        multi-tenant service's batched dedup response): load the whole
+        container's fingerprints into the cache, charging loading access."""
+        self._load_container(container_id)
+
     # -- backup path ----------------------------------------------------------
 
     def finish_backup(self, report: BackupWriteReport | None = None) -> None:

@@ -69,6 +69,21 @@ class OnDiskFingerprintIndex:
             return None
         return _CONTAINER_ID.unpack(raw)[0]
 
+    def lookup_batch(self, fingerprints) -> dict[bytes, int]:
+        """Batched index probe: one metered access per fingerprint, one
+        round through the backend (the dedup-response path of the
+        multi-tenant service).  Returns only the fingerprints found."""
+        store_get = self._store.get
+        found: dict[bytes, int] = {}
+        probed = 0
+        for fingerprint in fingerprints:
+            probed += 1
+            raw = store_get(fingerprint)
+            if raw is not None:
+                found[fingerprint] = _CONTAINER_ID.unpack(raw)[0]
+        self.stats.index_bytes += self.entry_bytes * probed
+        return found
+
     def update_batch(self, fingerprints: list[bytes], container_id: int) -> None:
         """Record a sealed container's chunks (update access, steps S2/S3)."""
         packed = _CONTAINER_ID.pack(container_id)
@@ -97,3 +112,7 @@ class OnDiskFingerprintIndex:
         stats = self.stats
         self.stats = MetadataAccessStats()
         return stats
+
+    def close(self) -> None:
+        """Flush and release the underlying backend (idempotent)."""
+        self._store.close()

@@ -181,3 +181,91 @@ class TestAttackEvaluator:
             target=len(tiny_encrypted_mle) - 1,
         )
         assert by_negative.inference_rate == by_positive.inference_rate
+
+
+class TestCrossTenantEvaluation:
+    """Auxiliary and target populations from *different tenants* of the
+    multi-tenant service (cross-user leakage edge cases)."""
+
+    @staticmethod
+    def trace(**overrides):
+        from repro.service import ServiceConfig, simulate
+
+        defaults = dict(
+            tenants=3,
+            rounds=1,
+            files_per_tenant=5,
+            mean_file_chunks=8,
+            restore_probability=0.0,
+        )
+        defaults.update(overrides)
+        return simulate(ServiceConfig(**defaults))
+
+    def disjoint_trace(self):
+        # No shared templates, no shared popular pool: tenants are fully
+        # private, so any cross-tenant pair has empty overlap.
+        return self.trace(duplication_factor=0.0, popular_rate=0.0)
+
+    def identical_trace(self):
+        # One template, always drawn: every tenant's filesystem is the
+        # same file repeated, so cross-tenant overlap is total.
+        return self.trace(
+            duplication_factor=1.0, num_templates=1, popular_rate=0.0
+        )
+
+    def test_empty_overlap_infers_nothing(self):
+        trace = self.disjoint_trace()
+        meter = trace.meter
+        assert meter.overlap(0, 1) == 0.0
+        report = meter.evaluate(LocalityAttack(u=1, v=15, w=1000), 0, 1)
+        assert report.correct_pairs == 0
+        assert report.inference_rate == 0.0
+
+    def test_full_overlap_infers_nearly_everything(self):
+        from repro.attacks.frequency import INSERTION
+
+        trace = self.identical_trace()
+        meter = trace.meter
+        assert meter.overlap(0, 1) == 1.0
+        # Identical streams align rank-for-rank under insertion-order
+        # ties, so the locality attack recovers the whole stream.
+        attack = LocalityAttack(
+            u=1, v=15, w=1000, seed_tie_break=INSERTION
+        )
+        report = meter.evaluate(attack, 0, 1)
+        assert report.inference_rate > 0.9
+
+    def test_cross_tenant_leakage_sample_is_target_truth(self):
+        trace = self.disjoint_trace()
+        encrypted = trace.meter.encrypted_trace()
+        target = encrypted[trace.meter.upload_position(1)]
+        leaked = sample_leakage(target, 0.5, seed=3)
+        assert leaked  # half the unique chunks
+        for cipher_fp, plain_fp in leaked.items():
+            assert target.truth[cipher_fp] == plain_fp
+        assert sample_leakage(target, 0.5, seed=3) == leaked
+        assert sample_leakage(target, 0.5, seed=4) != leaked
+
+    def test_full_leakage_dominates_even_with_empty_overlap(self):
+        # Known-plaintext mode: with the whole target leaked the rate is
+        # 1.0 even though the cross-tenant auxiliary shares nothing.
+        trace = self.disjoint_trace()
+        report = trace.meter.evaluate(
+            LocalityAttack(u=1, v=15, w=1000),
+            auxiliary_tenant=0,
+            target_tenant=1,
+            leakage_rate=1.0,
+        )
+        assert report.leaked_pairs == report.unique_ciphertext_chunks
+        assert report.inference_rate == 1.0
+
+    def test_population_auxiliary_contains_all_other_tenants(self):
+        trace = self.identical_trace()
+        meter = trace.meter
+        population = meter.population_auxiliary(excluding_tenant=0)
+        own = set(
+            meter.encrypted_trace()
+            .plaintext[meter.upload_position(1)]
+            .fingerprints
+        )
+        assert own <= set(population.fingerprints)

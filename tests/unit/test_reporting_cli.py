@@ -64,6 +64,31 @@ class TestCLI:
         assert "dedup ratio" in out
         assert "fsl" in out
 
+    def test_stats_json_is_scriptable(self, capsys):
+        assert main(["stats", "fsl", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["dataset"] == "fsl"
+        assert payload["backups"] == len(payload["labels"])
+        assert payload["dedup_ratio"] > 1.0
+        assert 0.0 <= payload["frac_below_100"] <= 1.0
+        assert 0.0 <= payload["last_pair_overlap"] <= 1.0
+
+    def test_stats_json_deterministic(self, capsys):
+        assert main(["stats", "synthetic", "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["stats", "synthetic", "--json"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_report_json(self, tmp_path, capsys):
+        assert main(["figure", "1", "--save", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["report", "--results", str(tmp_path), "--json"]) == 0
+        lines = json.loads(capsys.readouterr().out)
+        assert lines and all(
+            set(line) == {"figure", "metric", "paper", "measured"}
+            for line in lines
+        )
+
     def test_generate_roundtrip(self, tmp_path, capsys):
         path = tmp_path / "out.trace"
         assert main(["generate", "synthetic", str(path)]) == 0
