@@ -1,0 +1,22 @@
+"""Hot-path micro-benchmarks: chunking, COUNT, and service ingest.
+
+Thin wrapper over :mod:`repro.analysis.hotpaths` (the logic lives in the
+package so ``freqdedup bench`` shares it). Times each optimized hot path
+against its byte-at-a-time reference on pinned seeded workloads, asserts
+byte-identical output, and writes ``BENCH_hotpaths.json`` — the committed
+perf baseline future PRs diff against.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py --quick --compare BENCH_hotpaths.json
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.hotpaths import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,13 @@ from repro.attacks.frequency import (
     rank_by_frequency,
     sized_freq_analysis,
 )
+from repro.attacks.interning import (
+    ChunkVocabulary,
+    InternedArrayStats,
+    InternedChunkStats,
+    InternedCount,
+    interned_count,
+)
 from repro.attacks.locality import LocalityAttack
 from repro.attacks.persistent import (
     PersistentAdvancedAttack,
@@ -61,9 +68,14 @@ __all__ = [
     "InferenceReport",
     "sample_leakage",
     "ChunkStats",
+    "ChunkVocabulary",
+    "InternedArrayStats",
+    "InternedChunkStats",
+    "InternedCount",
     "classify_by_blocks",
     "count_frequencies",
     "count_with_neighbors",
+    "interned_count",
     "freq_analysis",
     "rank_by_frequency",
     "sized_freq_analysis",

@@ -24,16 +24,19 @@ are broken matters (the paper discusses this in §4.1):
 
 Both orders are deterministic, so every experiment is exactly reproducible.
 
-COUNT exists in two forms sharing one hot loop (:func:`accumulate_counts`):
-the dict-only :func:`count_with_neighbors` used by default, and the
-batch-ingesting :class:`repro.attacks.streaming.StreamingCount`, which
-flushes per-batch deltas through a pluggable
+COUNT exists in three forms with byte-identical output: the dict-only
+:func:`count_with_neighbors` (this module) is the *reference oracle* the
+property tests pin everything against; the interned fast path
+(:func:`repro.attacks.interning.interned_count`) is what the attacks run;
+and the batch-ingesting :class:`repro.attacks.streaming.StreamingCount`
+flushes interned per-batch deltas through a pluggable
 :class:`~repro.index.backends.KVBackend` so the tables can spill to disk
 (the paper's LevelDB mode, §5.2).
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.datasets.model import Backup
@@ -54,11 +57,12 @@ class ChunkStats:
 
 
 def count_frequencies(backup: Backup) -> dict[bytes, int]:
-    """The basic attack's COUNT: frequency of each unique chunk."""
-    frequencies: dict[bytes, int] = {}
-    for fingerprint in backup.fingerprints:
-        frequencies[fingerprint] = frequencies.get(fingerprint, 0) + 1
-    return frequencies
+    """The basic attack's COUNT: frequency of each unique chunk.
+
+    ``Counter`` counts at C speed and, like the hand-rolled dict loop it
+    replaced, preserves first-occurrence key order (it is a dict).
+    """
+    return Counter(backup.fingerprints)
 
 
 def accumulate_counts(
@@ -69,9 +73,9 @@ def accumulate_counts(
 ) -> bytes | None:
     """One COUNT pass over a (sub-)stream, accumulated into ``stats``.
 
-    This is the hot loop shared by :func:`count_with_neighbors` (one pass
-    over a whole backup) and the batch-ingesting streaming COUNT
-    (:class:`repro.attacks.streaming.StreamingCount`, one pass per batch).
+    This is the reference COUNT loop behind :func:`count_with_neighbors`
+    — the equivalence oracle the interned fast path
+    (:mod:`repro.attacks.interning`) is property-tested against.
     ``previous`` carries the adjacency across batch boundaries: pass the
     return value of one call as the ``previous`` of the next and the
     accumulated tables are identical to a single whole-stream pass.
@@ -105,10 +109,12 @@ def count_with_neighbors(backup: Backup) -> ChunkStats:
     """The locality-based attack's COUNT: frequencies plus left/right
     neighbor co-occurrence tables and per-chunk sizes (Algorithm 2).
 
-    Everything stays in plain dicts — the allocation-light path used by
-    the figure benches. For traces whose tables exceed RAM, use the
-    backend-flushing :class:`repro.attacks.streaming.StreamingCount`,
-    which produces byte-identical output.
+    Everything stays in plain bytes-keyed dicts — this is the reference
+    implementation kept as the equivalence oracle. The attacks run the
+    interned fast path (:func:`repro.attacks.interning.interned_count`);
+    for traces whose tables exceed RAM there is the backend-flushing
+    :class:`repro.attacks.streaming.StreamingCount`. All three produce
+    byte-identical output.
     """
     stats = ChunkStats()
     accumulate_counts(stats, backup.fingerprints, backup.sizes)

@@ -30,9 +30,9 @@ from repro.attacks.frequency import (
     FINGERPRINT,
     INSERTION,
     ChunkStats,
-    count_with_neighbors,
     freq_analysis,
 )
+from repro.attacks.interning import interned_count
 from repro.common.errors import ConfigurationError
 from repro.datasets.model import Backup
 
@@ -68,7 +68,9 @@ class LocalityAttack(Attack):
     # Subclass hooks ---------------------------------------------------------
 
     def _count(self, backup: Backup) -> ChunkStats:
-        return count_with_neighbors(backup)
+        # Interned fast path; byte-identical to count_with_neighbors (the
+        # reference COUNT) through the ChunkStats-compatible lazy views.
+        return interned_count(backup)  # type: ignore[return-value]
 
     def _seed_analyse(
         self,

@@ -11,10 +11,11 @@ module reproduces that design on top of the pluggable
   neighbor tables), built from a backend spec or supplied directly;
 * :class:`NeighborStore` — serialized, insertion-ordered neighbor tables
   loaded lazily per chunk (the paper's sequential LevelDB lists);
-* :class:`StreamingCount` — batch-ingesting COUNT: each batch is
-  accumulated into plain dict deltas with the same hot loop as the
-  in-memory COUNT (:func:`~repro.attacks.frequency.accumulate_counts`),
-  then merged through the backend with batched writes;
+* :class:`StreamingCount` — batch-ingesting COUNT: each batch runs the
+  interned hot loop (:class:`~repro.attacks.interning.InternedCount`,
+  one shared :class:`~repro.attacks.interning.ChunkVocabulary` across
+  all batches), whose pair deltas are decoded back to fingerprint bytes
+  and merged through the backend with batched writes;
 * :class:`BackendChunkStats` — the result object the locality/advanced
   attacks consume in place of :class:`~repro.attacks.frequency.ChunkStats`.
 
@@ -31,7 +32,7 @@ import os
 import struct
 from pathlib import Path
 
-from repro.attacks.frequency import ChunkStats, accumulate_counts
+from repro.attacks.interning import InternedCount, group_pairs
 from repro.common.errors import ConfigurationError
 from repro.datasets.model import Backup
 from repro.index.backends import KVBackend, open_backend
@@ -245,13 +246,13 @@ class StreamingCount:
     """Batch-ingesting COUNT that flushes dict deltas through a backend.
 
     Feed the logical chunk stream through :meth:`ingest` (any number of
-    calls, any batch alignment); each internal batch is accumulated into
-    plain dicts with the same hot loop as the in-memory COUNT and then
-    merged:
+    calls, any batch alignment); each internal batch runs the interned
+    COUNT hot loop (:class:`~repro.attacks.interning.InternedCount`) and
+    is then merged:
 
-    * frequencies/sizes merge into RAM dicts (they are needed in full for
-      the global ranking anyway) and are written to the ``meta`` store
-      once, at :meth:`finalize`, in first-occurrence order;
+    * frequencies/sizes accumulate interned in RAM (they are needed in
+      full for the global ranking anyway) and are written to the ``meta``
+      store once, at :meth:`finalize`, in first-occurrence order;
     * ``left``/``right``: the existing serialized table is decoded, delta
       counts added, new neighbors appended in delta order — which equals
       global first-occurrence order, so the merge is associative across
@@ -274,19 +275,17 @@ class StreamingCount:
             raise ConfigurationError("batch_size must be >= 1")
         self.stores = stores if stores is not None else CountStores.in_memory()
         self.batch_size = batch_size
-        self._previous: bytes | None = None
         self._neighbors: tuple[NeighborStore, NeighborStore] | None = None
         self._total_chunks = 0
         # The ranking tables are needed in full at finalize anyway, so they
-        # accumulate in RAM (seeded from any pre-existing meta records) and
-        # hit the backend once, instead of a point read per fingerprint per
-        # batch. Only the much larger neighbor tables round-trip per batch.
-        self._frequencies: dict[bytes, int] = {}
-        self._sizes: dict[bytes, int] = {}
+        # accumulate in RAM — interned through one shared vocabulary
+        # (seeded from any pre-existing meta records) — and hit the
+        # backend once, instead of a point read per fingerprint per batch.
+        # Only the much larger neighbor tables round-trip per batch.
+        self._counter = InternedCount()
         for fingerprint, raw in self.stores.meta.insertion_items():
             size, frequency = _META.unpack(raw)
-            self._frequencies[fingerprint] = frequency
-            self._sizes[fingerprint] = size
+            self._counter.seed(fingerprint, size, frequency)
 
     @property
     def total_chunks(self) -> int:
@@ -315,19 +314,20 @@ class StreamingCount:
         self._total_chunks += len(fingerprints)
 
     def _flush_batch(self, fingerprints: list[bytes], sizes: list[int]) -> None:
-        delta = ChunkStats()
-        self._previous = accumulate_counts(
-            delta, fingerprints, sizes, self._previous
+        counter = self._counter
+        counter.ingest(fingerprints, sizes)
+        # Regroup the batch's packed pair deltas into the two directed
+        # delta tables, decoded back to fingerprint bytes. The shared
+        # first-occurrence-ordered grouping reproduces exactly the
+        # insertion order the old dict-based delta COUNT produced, so the
+        # backend merge stays byte-identical.
+        delta_left, delta_right = group_pairs(
+            counter.take_pairs(),
+            decode=counter.vocabulary._fingerprints.__getitem__,
         )
-        frequencies = self._frequencies
-        known_sizes = self._sizes
-        for fingerprint, frequency in delta.frequencies.items():
-            frequencies[fingerprint] = frequencies.get(fingerprint, 0) + frequency
-            if fingerprint not in known_sizes:
-                known_sizes[fingerprint] = delta.sizes[fingerprint]
         assert self._neighbors is not None
         for neighbor_store, delta_tables in zip(
-            self._neighbors, (delta.left, delta.right)
+            self._neighbors, (delta_left, delta_right)
         ):
             merged: dict[bytes, dict[bytes, int]] = {}
             for fingerprint, delta_table in delta_tables.items():
@@ -347,9 +347,12 @@ class StreamingCount:
         :func:`~repro.attacks.frequency.count_with_neighbors` on an empty
         backup.
         """
+        stats = self._counter.stats()
+        frequencies = stats.frequencies
+        sizes = stats.sizes
         self.stores.meta.put_batch(
-            (fingerprint, _META.pack(self._sizes[fingerprint], frequency))
-            for fingerprint, frequency in self._frequencies.items()
+            (fingerprint, _META.pack(sizes[fingerprint], frequency))
+            for fingerprint, frequency in frequencies.items()
         )
         self.stores.flush()
         if self._neighbors is None:  # nothing ingested
@@ -361,7 +364,7 @@ class StreamingCount:
                 NeighborStore(self.stores.right, placeholder),
             )
         left, right = self._neighbors
-        return BackendChunkStats(self._frequencies, self._sizes, left, right)
+        return BackendChunkStats(frequencies, sizes, left, right)
 
 
 def streaming_count(

@@ -42,6 +42,19 @@ class ChunkerSpec:
     ``min_size`` and ``max_size`` bound the produced chunk sizes. The paper's
     FSL dataset uses an 8 KB average; the segmentation scheme of §7.1 reuses
     the same mechanism at 512 KB / 1 MB / 2 MB granularity.
+
+    Invariants every chunker honours (and the fast paths rely on):
+
+    * no boundary test fires before ``min_size`` bytes have accumulated,
+      so boundary-hash state covering the trailing bytes at the first
+      eligible position is independent of the chunk start;
+    * a cut is **forced** at exactly ``max_size`` bytes when no content
+      boundary fired earlier, so no chunk ever exceeds ``max_size`` and
+      cut decisions never depend on bytes more than ``max_size`` back —
+      which is what lets :class:`~repro.chunking.stream.StreamChunker`
+      emit all-but-the-last chunk of a bounded window as final;
+    * the final chunk of a buffer may be shorter than ``min_size`` (the
+      stream simply ended).
     """
 
     min_size: int

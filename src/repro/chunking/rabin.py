@@ -10,10 +10,30 @@ local content and therefore robust to insertions and deletions elsewhere.
 The implementation is a faithful polynomial-arithmetic version (table-driven,
 as in LBFS) rather than an approximation; :class:`RabinRolling` exposes the
 raw rolling fingerprint so tests can check it against a naive recomputation.
+
+:meth:`RabinChunker.cut_points` is a fast path that exploits two facts the
+byte-at-a-time loop ignores:
+
+* no boundary may fall inside the ``min_size`` prefix of a chunk, so after
+  each cut the scan can *skip ahead* to ``min_size - window`` and warm the
+  rolling state over exactly one window;
+* once the window is full, the fingerprint at position ``i`` depends only on
+  ``data[i - window + 1 : i + 1]`` — not on the chunk start — so the
+  boundary test for *every* position can be evaluated in one vectorized
+  pass (GF(2) linearity turns it into XORs of byte-pair table gathers),
+  after which cut selection is a walk over the sparse candidate list.
+
+Both fast paths produce boundaries byte-identical to
+:meth:`RabinChunker.cut_points_reference`, which stays as the equivalence
+oracle for the property tests.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
+from functools import lru_cache
+
+from repro.chunking import fastscan
 from repro.chunking.base import Chunker, ChunkerSpec
 from repro.common.errors import ConfigurationError
 
@@ -80,6 +100,39 @@ class RabinRolling:
         return poly_mod(value, self.polynomial)
 
 
+@lru_cache(maxsize=8)
+def _rabin_scan_tables(polynomial: int, window: int, mask: int):
+    """Byte-pair gather tables for the vectorized boundary scan.
+
+    The windowed fingerprint at position ``i`` is the GF(2) sum
+    ``XOR_m (data[i - m] << 8m) mod P`` over ``m in [0, window)``. Masked
+    to the boundary-test bits, consecutive byte positions pair into one
+    16-bit-keyed table each (key ``(data[j] << 8) | data[j - 1]``), so the
+    whole test stream needs only ``window // 2`` gathers (plus one 256-way
+    gather when the window is odd).
+    """
+    numpy = fastscan.numpy
+    dtype = fastscan.mask_dtype(mask)
+    byte_tables = [
+        numpy.array(
+            [poly_mod(b << (8 * m), polynomial) & mask for b in range(256)],
+            dtype=numpy.uint32,
+        )
+        for m in range(window)
+    ]
+    high = numpy.arange(65536, dtype=numpy.uint32) >> 8
+    low = numpy.arange(65536, dtype=numpy.uint32) & 255
+    pair_tables = [
+        # Key high byte = the later position (offset 2t), low = 2t + 1.
+        (byte_tables[2 * t][high] ^ byte_tables[2 * t + 1][low]).astype(dtype)
+        for t in range(window // 2)
+    ]
+    tail_table = (
+        byte_tables[window - 1].astype(dtype) if window % 2 else None
+    )
+    return pair_tables, tail_table
+
+
 class RabinChunker(Chunker):
     """Content-defined chunking driven by a rolling Rabin fingerprint.
 
@@ -106,6 +159,136 @@ class RabinChunker(Chunker):
             raise ConfigurationError("magic must fit within the average-size mask")
 
     def cut_points(self, data: bytes) -> list[int]:
+        length = len(data)
+        if not length:
+            return []
+        window = self.rolling.window
+        min_size = self.spec.min_size
+        # The skip-ahead warm-up replays exactly one full window before the
+        # first eligible boundary, which requires the window (plus the byte
+        # it evicts) to fit inside the min-size prefix.
+        if min_size <= window:
+            return self.cut_points_reference(data)
+        if length <= min_size:
+            # Single short chunk: the only possible cut is at the end.
+            return [length]
+        if fastscan.numpy is not None:
+            return self._cut_points_vectorized(data)
+        return self._cut_points_skip_ahead(data)
+
+    # -- fast paths -----------------------------------------------------------
+
+    def _cut_points_vectorized(self, data: bytes) -> list[int]:
+        """Whole-buffer candidate scan (numpy), then the cut walk."""
+        numpy = fastscan.numpy
+        rolling = self.rolling
+        window = rolling.window
+        spec = self.spec
+        mask = spec.mask
+        pair_tables, tail_table = _rabin_scan_tables(
+            rolling.polynomial, window, mask
+        )
+        length = len(data)
+        keys = fastscan.pair_key_stream(data)
+        # tested[k] = masked fingerprint at position i = k + window - 1
+        # (positions with a full window; earlier ones are never tested
+        # because min_size > window).
+        span = length - window + 1
+        tested = numpy.zeros(span, dtype=pair_tables[0].dtype)
+        for t, table in enumerate(pair_tables):
+            offset = window - 2 * t - 2
+            tested ^= table[keys[offset : offset + span]]
+        if tail_table is not None:
+            raw = numpy.frombuffer(data, dtype=numpy.uint8)
+            tested ^= tail_table[raw[:span]]
+        candidates = (
+            numpy.flatnonzero(tested == self.magic) + (window - 1)
+        ).tolist()
+
+        min_size = spec.min_size
+        max_size = spec.max_size
+        num_candidates = len(candidates)
+        cuts: list[int] = []
+        start = 0
+        while start < length:
+            if length - start <= min_size:
+                cuts.append(length)
+                break
+            limit = start + max_size
+            if limit > length:
+                limit = length
+            index = bisect_left(candidates, start + min_size - 1)
+            if index < num_candidates and candidates[index] < limit:
+                cut = candidates[index] + 1
+            else:
+                # No content boundary: forced cut at max_size, or the tail.
+                cut = limit
+            cuts.append(cut)
+            start = cut
+        return cuts
+
+    def _cut_points_skip_ahead(self, data: bytes) -> list[int]:
+        """Pure-Python fallback: per-chunk skip-ahead scan."""
+        spec = self.spec
+        rolling = self.rolling
+        window = rolling.window
+        min_size = spec.min_size
+        max_size = spec.max_size
+        mask = spec.mask
+        magic = self.magic
+        mod_table = rolling._mod_table
+        out_table = rolling._out_table
+        fp_mask = rolling._fp_mask
+        shift = rolling._shift
+
+        cuts: list[int] = []
+        length = len(data)
+        start = 0
+        while start < length:
+            if length - start <= min_size:
+                # Tail no longer than min_size: the only possible cut is
+                # at the end of the data either way.
+                cuts.append(length)
+                break
+            limit = start + max_size
+            if limit > length:
+                limit = length
+            # First eligible boundary position (cut after this byte gives a
+            # min_size chunk). The fingerprint there covers only the last
+            # `window` bytes, so warm the rolling state over exactly that
+            # window and skip the min-size prefix entirely.
+            first = start + min_size - 1
+            fingerprint = 0
+            for byte in data[first - window : first]:
+                fingerprint = (
+                    ((fingerprint << 8) | byte) & fp_mask
+                ) ^ mod_table[fingerprint >> shift]
+            cut = 0
+            pos = first
+            for byte, outgoing in zip(
+                data[first:limit], data[first - window : limit - window]
+            ):
+                fingerprint = (
+                    (((fingerprint << 8) | byte) & fp_mask)
+                    ^ mod_table[fingerprint >> shift]
+                    ^ out_table[outgoing]
+                )
+                pos += 1
+                if fingerprint & mask == magic:
+                    cut = pos
+                    break
+            if not cut:
+                cut = limit
+            cuts.append(cut)
+            start = cut
+        return cuts
+
+    # -- reference ------------------------------------------------------------
+
+    def cut_points_reference(self, data: bytes) -> list[int]:
+        """Byte-at-a-time reference implementation (the equivalence oracle
+        for :meth:`cut_points`, and the fallback when the rolling window
+        does not fit inside the min-size prefix)."""
         spec = self.spec
         rolling = self.rolling
         window = rolling.window
@@ -116,7 +299,6 @@ class RabinChunker(Chunker):
 
         cuts: list[int] = []
         length = len(data)
-        start = 0
         fingerprint = 0
         chunk_len = 0
         for pos in range(length):
@@ -126,15 +308,13 @@ class RabinChunker(Chunker):
             chunk_len += 1
             if chunk_len >= spec.min_size and (fingerprint & mask) == magic:
                 cuts.append(pos + 1)
-                start = pos + 1
                 fingerprint = 0
                 chunk_len = 0
             elif chunk_len >= spec.max_size:
                 cuts.append(pos + 1)
-                start = pos + 1
                 fingerprint = 0
                 chunk_len = 0
-        if start < length or (length and not cuts):
+        if length and (not cuts or cuts[-1] != length):
             cuts.append(length)
         return cuts
 

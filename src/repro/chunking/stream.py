@@ -44,31 +44,41 @@ class StreamChunker:
         self.read_size = read_size
 
     def iter_chunks(self, stream: BinaryIO) -> Iterator[Chunk]:
-        """Yield chunks of ``stream`` in order; offsets are stream-global."""
-        pending = b""
+        """Yield chunks of ``stream`` in order; offsets are stream-global.
+
+        The uncertain tail carried between reads is a zero-copy
+        ``memoryview`` of the previous window, so each carried byte is
+        copied once (into the next window) instead of twice, and a read
+        with no carried tail reuses the read buffer as the window
+        outright.
+        """
+        pending: memoryview | bytes = b""
         base_offset = 0
         while True:
             data = stream.read(self.read_size)
             at_eof = not data
-            window = pending + data
+            if pending:
+                # Single copy: the carried view and the fresh read land
+                # directly in the new window buffer.
+                window = b"".join((pending, data))
+            else:
+                window = data
             if not window:
                 return
             cuts = self.chunker.cut_points(window)
             if at_eof:
-                certain = cuts
-            else:
-                # The final cut may shift once more bytes arrive; keep it.
-                certain = cuts[:-1]
+                # Every cut is final; the last one always lands on
+                # len(window), so nothing is carried.
+                for start, end in zip([0, *cuts], cuts):
+                    yield Chunk(offset=base_offset + start, data=window[start:end])
+                return
+            # The final cut may shift once more bytes arrive; keep it.
             start = 0
-            for end in certain:
+            for end in cuts[:-1]:
                 yield Chunk(offset=base_offset + start, data=window[start:end])
                 start = end
-            pending = window[start:]
+            pending = memoryview(window)[start:]
             base_offset += start
-            if at_eof:
-                if pending:
-                    yield Chunk(offset=base_offset, data=pending)
-                return
 
     def split_stream(self, stream: BinaryIO) -> list[Chunk]:
         """Materialised :meth:`iter_chunks` (small inputs / tests)."""

@@ -13,6 +13,9 @@ Subcommands:
 * ``serve-sim`` — simulate a multi-tenant dedup service over synthesized
   population traffic and meter its cross-user side channels.
 * ``storage`` — run the DDFS metadata-access experiment.
+* ``bench`` — time the hot paths (chunking, COUNT, service ingest)
+  against their reference implementations and write the
+  ``BENCH_hotpaths.json`` perf baseline.
 """
 
 from __future__ import annotations
@@ -320,6 +323,37 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     storage.add_argument(
         "--cache", choices=("small", "large"), default="small"
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark the hot paths and write BENCH_hotpaths.json",
+        description=(
+            "Time content-defined chunking, the attacks' COUNT pass, and "
+            "multi-tenant service ingest on pinned workloads, assert the "
+            "fast paths are byte-identical to their references, and write "
+            "the perf baseline JSON."
+        ),
+    )
+    bench.add_argument(
+        "--quick", action="store_true", help="small workloads (CI smoke)"
+    )
+    bench.add_argument(
+        "--repeats",
+        type=_positive_int,
+        default=3,
+        help="best-of-N timing repeats (default 3)",
+    )
+    bench.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="output JSON path (default: BENCH_hotpaths.json in the cwd)",
+    )
+    bench.add_argument(
+        "--compare",
+        metavar="FILE",
+        help="soft-report deltas vs a committed baseline JSON",
     )
 
     report = sub.add_parser(
@@ -707,6 +741,17 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.analysis.hotpaths import DEFAULT_OUTPUT, run_and_report
+
+    return run_and_report(
+        quick=args.quick,
+        repeats=args.repeats,
+        output=args.output if args.output is not None else DEFAULT_OUTPUT,
+        compare=args.compare,
+    )
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     import json as json_module
     from dataclasses import asdict
@@ -733,6 +778,7 @@ _HANDLERS = {
     "sweep": _cmd_sweep,
     "serve-sim": _cmd_serve_sim,
     "storage": _cmd_storage,
+    "bench": _cmd_bench,
     "report": _cmd_report,
 }
 

@@ -1,0 +1,20 @@
+"""Gated optional-accelerator imports.
+
+NumPy is an *optional* accelerator throughout the repo: every vectorized
+fast path has a pure-Python fallback with byte-identical output (pinned by
+property tests), so the package runs — just slower — on interpreters
+without it. Import the gate from here so there is exactly one place that
+decides whether the accelerator exists.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - trivially environment-dependent
+    import numpy
+except ImportError:  # pragma: no cover
+    numpy = None  # type: ignore[assignment]
+
+
+def available() -> bool:
+    """Whether the numpy-backed fast paths can run."""
+    return numpy is not None

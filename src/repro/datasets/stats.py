@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
+from itertools import pairwise
 
 from repro.datasets.model import Backup, BackupSeries
 
@@ -105,11 +106,7 @@ def adjacency_preservation(auxiliary: Backup, target: Backup) -> float:
     High values are what the locality-based attack exploits (§4.2).
     """
     def ordered_pairs(backup: Backup) -> set[tuple[bytes, bytes]]:
-        fingerprints = backup.fingerprints
-        return {
-            (fingerprints[i], fingerprints[i + 1])
-            for i in range(len(fingerprints) - 1)
-        }
+        return set(pairwise(backup.fingerprints))
 
     target_pairs = ordered_pairs(target)
     if not target_pairs:

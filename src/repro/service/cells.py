@@ -14,6 +14,13 @@ specs and cells can name these kinds without importing the service):
   These cells fan a (tenants × popularity-skew × duplication-factor)
   grid across processes, so they deliberately have **no** warmer: each
   worker simulating its own cell's config *is* the parallel work.
+
+Both kinds sit on the per-process memo pair in
+:mod:`repro.service.simulate`: the trace memo (what the
+``service_attack`` warmer fills before workers fork) and the traffic
+memo, which lets cells whose configs differ only in service/backend/
+attack knobs — not in population — reuse one synthesized request
+stream instead of regenerating it per cell.
 """
 
 from __future__ import annotations

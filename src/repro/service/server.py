@@ -260,17 +260,22 @@ class DedupService:
                 prefetched.add(container_id)
                 self.engine.prefetch_container(container_id)
 
-        # Transfer: only the needed chunks cross the wire and enter the
-        # engine's S1-S4 path (first occurrence of each).
+        # Transfer: only the needed chunks cross the wire, as one batch
+        # (first occurrence of each, stream order). The dedup response
+        # already proved them unique — not cached, not buffered, not in
+        # the index — so they skip the per-chunk S1–S4 chain and take the
+        # engine's batched unique-ingest path, with identical dedup
+        # decisions and metered bytes.
+        needed_fingerprints: list[bytes] = []
+        needed_sizes: list[int] = []
         transferred_bytes = 0
-        stored_chunks = 0
-        for fingerprint in unique:
-            if fingerprint not in needed:
-                continue
-            size = unique[fingerprint]
-            transferred_bytes += size
-            self.engine.process_chunk(fingerprint, size)
-            stored_chunks += 1
+        for fingerprint, size in unique.items():
+            if fingerprint in needed:
+                needed_fingerprints.append(fingerprint)
+                needed_sizes.append(size)
+                transferred_bytes += size
+        self.engine.ingest_unique_batch(needed_fingerprints, needed_sizes)
+        stored_chunks = len(needed_fingerprints)
 
         metadata_bytes = index.stats.total_bytes - metadata_before
         state.recipes[label] = stream

@@ -102,6 +102,13 @@ class OnDiskFingerprintIndex:
         it was present."""
         return self._store.delete(fingerprint)
 
+    def charge_index_probes(self, num_probes: int) -> None:
+        """Meter ``num_probes`` index accesses whose outcome the caller
+        already knows (the batched unique-ingest path: a bloom false
+        positive still costs one on-disk probe, it just doesn't need the
+        answer round-tripped per chunk)."""
+        self.stats.index_bytes += self.entry_bytes * num_probes
+
     def charge_loading(self, num_fingerprints: int) -> None:
         """Meter a whole-container fingerprint prefetch (loading access,
         step S4)."""
