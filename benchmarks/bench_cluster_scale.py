@@ -1,0 +1,249 @@
+"""Cluster scaling bench: rebalance cost, placement skew, partial-view leakage.
+
+Three experiments over the multi-node storage tier
+(:mod:`repro.cluster`), each asserting its acceptance property:
+
+1. **Rebalance accounting** — store a pinned key stream on an N-node
+   cluster, add one node, and check moved keys against the theoretical
+   bound: consistent hashing moves ≈ ``K/(N+1)`` keys (asserted via
+   :meth:`~repro.cluster.cluster.RebalanceReport.within_bound`), the
+   modulo baseline moves ≈ ``N/(N+1)`` of everything.
+2. **Placement skew** — per-node load imbalance (max/mean) and
+   coefficient of variation for both routing policies.
+3. **Partial-view leakage sweep** — the ``cluster`` scenario cells over
+   1→16 nodes on a pinned seed grid: one compromised node's shard of
+   the target backup is attacked with the locality attack
+   (known-plaintext 0.2%, the journal setting that keeps the curve
+   informative), and the inference rate must be monotonically
+   non-increasing in cluster size (ring shards only shrink as the
+   cluster grows).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_cluster_scale.py [--quick]
+
+``--quick`` shrinks the key stream and swaps the FSL workload for the
+synthetic one (CI smoke); ``--json FILE`` writes the results for the
+README table.  Honors ``REPRO_FIGURE_JOBS`` for the sweep's cell fan-out.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import time
+
+from repro.cluster import DedupCluster
+from repro.cluster.cells import CLUSTER_GRID_COLUMNS, cluster_grid_cells
+from repro.scenarios.runner import Runner, rows_from
+
+DEFAULT_KEYS = 50_000
+QUICK_KEYS = 5_000
+NODE_SWEEP = (1, 2, 4, 8, 16)
+LEAKAGE_RATE = 0.002
+
+
+def pinned_stream(count: int, seed: int = 23) -> tuple[list[bytes], list[int]]:
+    """A pinned unique-key chunk stream (keys and sizes)."""
+    rng = random.Random(seed)
+    keys = [rng.randbytes(8) for _ in range(count)]
+    sizes = [rng.randrange(2048, 16384) for _ in keys]
+    return keys, sizes
+
+
+def run_rebalance(num_keys: int, nodes: int = 4) -> tuple[list[dict], bool]:
+    """Add one node to an N-node cluster under both routing policies."""
+    keys, sizes = pinned_stream(num_keys)
+    rows = []
+    ok = True
+    for routing in ("ring", "modulo"):
+        cluster = DedupCluster(nodes=nodes, routing=routing)
+        started = time.perf_counter()
+        cluster.store_stream(keys, sizes)
+        ingest_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        report = cluster.add_node()
+        rebalance_seconds = time.perf_counter() - started
+        within = report.within_bound() if routing == "ring" else True
+        ok = ok and within
+        rows.append(
+            {
+                "routing": routing,
+                "nodes_before": nodes,
+                "total_keys": report.total_keys,
+                "moved_keys": report.moved_keys,
+                "moved_fraction": round(report.moved_fraction, 4),
+                "theoretical_fraction": round(
+                    report.theoretical_fraction, 4
+                ),
+                "within_bound": within,
+                "ingest_seconds": round(ingest_seconds, 3),
+                "rebalance_seconds": round(rebalance_seconds, 3),
+            }
+        )
+        cluster.close()
+    return rows, ok
+
+
+def run_skew(num_keys: int, nodes: int = 8) -> list[dict]:
+    """Per-node placement skew for both routing policies."""
+    keys, sizes = pinned_stream(num_keys)
+    rows = []
+    for routing in ("ring", "modulo"):
+        cluster = DedupCluster(nodes=nodes, routing=routing)
+        cluster.store_stream(keys, sizes)
+        report = cluster.load_report()
+        rows.append(
+            {
+                "routing": routing,
+                "nodes": nodes,
+                "imbalance": report["skew"]["imbalance"],
+                "cv": report["skew"]["cv"],
+            }
+        )
+        cluster.close()
+    return rows
+
+
+def run_partial_view_sweep(
+    dataset: str, jobs: int, node_sweep=NODE_SWEEP
+) -> tuple[list[dict], bool]:
+    """The pinned-seed partial-view grid; checks monotonicity."""
+    cells = list(
+        cluster_grid_cells(
+            dataset=dataset,
+            attacks=("locality",),
+            nodes=tuple(node_sweep),
+            routings=("ring",),
+            leakage_rate=LEAKAGE_RATE,
+            seed=7,
+        )
+    )
+    cache = os.environ.get("REPRO_FIGURE_CACHE")
+    results = Runner(jobs=jobs, cache=cache).run_cells(cells)
+    table = rows_from(results, CLUSTER_GRID_COLUMNS)
+    rows = [dict(zip(CLUSTER_GRID_COLUMNS, row)) for row in table]
+    rates = [row["inference_rate"] for row in rows]
+    monotone = all(
+        later <= earlier for earlier, later in zip(rates, rates[1:])
+    )
+    return rows, monotone
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small key stream + synthetic workload (CI smoke)",
+    )
+    parser.add_argument(
+        "--keys", type=int, default=None, help="rebalance key-stream size"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=int(os.environ.get("REPRO_FIGURE_JOBS", "1")),
+        help="worker processes for the partial-view sweep",
+    )
+    parser.add_argument("--json", metavar="FILE", help="write results JSON")
+    args = parser.parse_args(argv)
+
+    num_keys = args.keys
+    if num_keys is None:
+        num_keys = QUICK_KEYS if args.quick else DEFAULT_KEYS
+    dataset = "synthetic" if args.quick else "fsl"
+
+    rebalance_rows, rebalance_ok = run_rebalance(num_keys)
+    print(
+        f"{'routing':<8} {'keys':>8} {'moved':>8} {'fraction':>9} "
+        f"{'theory':>7} {'bound':>6}"
+    )
+    for row in rebalance_rows:
+        print(
+            f"{row['routing']:<8} {row['total_keys']:>8,} "
+            f"{row['moved_keys']:>8,} {row['moved_fraction']:>9.4f} "
+            f"{row['theoretical_fraction']:>7.4f} "
+            f"{'ok' if row['within_bound'] else 'FAIL':>6}"
+        )
+
+    skew_rows = run_skew(num_keys)
+    for row in skew_rows:
+        print(
+            f"skew {row['routing']:<8} {row['nodes']} nodes: "
+            f"imbalance {row['imbalance']:.3f}x  cv {row['cv']:.3f}"
+        )
+
+    sweep_rows, monotone = run_partial_view_sweep(dataset, args.jobs)
+    print(
+        f"\npartial view ({dataset}, locality attack, "
+        f"{LEAKAGE_RATE:.1%} leakage, node 0 compromised):"
+    )
+    print(f"{'nodes':>6} {'shard %':>8} {'inference rate':>15}")
+    for row in sweep_rows:
+        print(
+            f"{row['nodes']:>6} {row['shard_fraction']:>8.2%} "
+            f"{row['inference_rate']:>15.5f}"
+        )
+
+    failures = []
+    if not rebalance_ok:
+        failures.append(
+            "FAIL: ring rebalance moved more keys than the 1/N bound"
+        )
+    if not monotone:
+        failures.append(
+            "FAIL: partial-view inference rate increased with cluster size"
+        )
+    for failure in failures:
+        print(failure)
+    if not failures:
+        print(
+            "rebalance within the 1/N bound; partial-view inference "
+            "monotonically non-increasing in cluster size"
+        )
+
+    if args.json:
+        payload = {
+            "keys": num_keys,
+            "dataset": dataset,
+            "leakage_rate": LEAKAGE_RATE,
+            "rebalance": rebalance_rows,
+            "skew": skew_rows,
+            "partial_view": sweep_rows,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote -> {args.json}")
+    return 1 if failures else 0
+
+
+# -- pytest-benchmark entry points -------------------------------------------
+
+
+def bench_cluster_rebalance(benchmark):
+    def run():
+        rows, ok = run_rebalance(QUICK_KEYS)
+        assert ok
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert rows[0]["moved_fraction"] < rows[1]["moved_fraction"]
+
+
+def bench_cluster_partial_view(benchmark):
+    def run():
+        rows, monotone = run_partial_view_sweep(
+            "synthetic", jobs=1, node_sweep=(1, 2, 4)
+        )
+        assert monotone
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert rows[0]["inference_rate"] > 0.0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

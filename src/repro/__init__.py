@@ -19,8 +19,15 @@ The package is organised around the paper's pipeline:
   Algorithms 4–5) and the defense pipelines of §7.1.
 * :mod:`repro.storage` — the DDFS-like deduplicated storage prototype with
   metadata-access accounting (§7.4).
+* :mod:`repro.scenarios` — the declarative experiment grids and the
+  process-parallel, cache-aware cell runner every driver fans out through.
+* :mod:`repro.service` — the multi-tenant service layer: population
+  traffic synthesis, per-tenant sessions and quotas, and cross-user
+  side-channel metering.
+* :mod:`repro.cluster` — the multi-node storage tier: consistent-hash
+  routing, elastic rebalancing, and partial-view (per-shard) attacks.
 * :mod:`repro.analysis` — experiment drivers that regenerate every
-  evaluation figure in the paper.
+  evaluation figure in the paper, plus reporting and docs tooling.
 
 Quickstart::
 

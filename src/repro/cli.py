@@ -145,6 +145,30 @@ def _build_parser() -> argparse.ArgumentParser:
         default=4,
         help="shard count for --backend sharded (default 4)",
     )
+    attack.add_argument(
+        "--nodes",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help=(
+            "cluster size for a partial-view attack: the target is "
+            "sharded over N storage nodes and the adversary observes "
+            "one compromised node's shard (default 1 = full view)"
+        ),
+    )
+    attack.add_argument(
+        "--routing",
+        choices=("ring", "modulo"),
+        default="ring",
+        help="cluster routing policy for --nodes > 1 (default ring)",
+    )
+    attack.add_argument(
+        "--compromised-node",
+        type=int,
+        default=0,
+        metavar="K",
+        help="which node's shard the adversary observes (default 0)",
+    )
 
     figure = sub.add_parser(
         "figure", help="regenerate a paper figure (or 'all')"
@@ -283,10 +307,27 @@ def _build_parser() -> argparse.ArgumentParser:
         help="number of victim tenants evaluated",
     )
     serve.add_argument(
+        "--nodes",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help=(
+            "storage-tier nodes: 1 (default) serves from one shared "
+            "engine, N > 1 from a consistent-hash cluster of N engines "
+            "with per-node load metering and partial-view attack rows"
+        ),
+    )
+    serve.add_argument(
+        "--routing",
+        choices=("ring", "modulo"),
+        default="ring",
+        help="cluster routing policy for --nodes > 1 (default ring)",
+    )
+    serve.add_argument(
         "--backend",
         choices=("memory", "kvstore", "sqlite", "sharded"),
         default="memory",
-        help="fingerprint-index backend of the shared store",
+        help="fingerprint-index backend of the shared store (per node)",
     )
     serve.add_argument(
         "--shards",
@@ -437,6 +478,18 @@ def _cmd_attack(args: argparse.Namespace) -> int:
             "warning: --workdir is ignored for the basic attack",
             file=sys.stderr,
         )
+    if not 0 <= args.compromised_node < args.nodes:
+        raise SystemExit(
+            f"compromised node {args.compromised_node} is outside the "
+            f"cluster (use 0 .. {args.nodes - 1})"
+        )
+    if args.nodes > 1 and args.workdir:
+        raise SystemExit(
+            "--workdir COUNT persistence is not supported for partial-view "
+            "(--nodes > 1) attacks; drop one of the two"
+        )
+    if args.nodes > 1:
+        return _run_partial_view_attack(args)
     scheme = DefenseScheme(args.scheme)
     evaluator = AttackEvaluator(encrypted_series(args.dataset, scheme))
     if args.attack == "basic":
@@ -471,6 +524,38 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     print(report)
+    return 0
+
+
+def _run_partial_view_attack(args: argparse.Namespace) -> int:
+    """``attack --nodes N``: the adversary sees one node's shard only."""
+    from repro.cluster import partial_view_report
+    from repro.scenarios.cells import build_attack
+    from repro.scenarios.spec import _resolve_index
+
+    scheme = DefenseScheme(args.scheme)
+    encrypted = encrypted_series(args.dataset, scheme)
+    length = len(encrypted)
+
+    def resolve(index: int) -> int:
+        try:
+            return _resolve_index(index, length)
+        except ConfigurationError as error:
+            raise SystemExit(str(error)) from None
+
+    attack = build_attack(args.attack, args.u, args.v, args.w)
+    view = partial_view_report(
+        attack,
+        encrypted[resolve(args.target)],
+        encrypted.plaintext[resolve(args.auxiliary)],
+        nodes=args.nodes,
+        routing=args.routing,
+        compromised_node=args.compromised_node,
+        scheme=scheme.value,
+        leakage_rate=args.leakage_rate,
+        seed=args.seed,
+    )
+    print(view)
     return 0
 
 
@@ -694,6 +779,8 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         backend=backend,
         backend_path=backend_path,
         quota_bytes=quota_bytes,
+        nodes=args.nodes,
+        routing=args.routing,
         attack=args.attack,
         auxiliary_tenant=args.auxiliary_tenant,
         attack_targets=args.attack_targets,
@@ -703,9 +790,14 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     traffic = report["traffic"]
     service = report["service"]
     overlap = report["side_channel"]["overlap"]
+    tier = (
+        f"nodes: {args.nodes} ({args.routing})  "
+        if args.nodes > 1
+        else ""
+    )
     print(
         f"tenants: {args.tenants}  rounds: {rounds}  scheme: {args.scheme}  "
-        f"backend: {backend}  seed: {args.seed}"
+        f"{tier}backend: {backend}  seed: {args.seed}"
     )
     print(
         f"requests: {traffic['requests']} "
@@ -733,6 +825,21 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     )
     result.rows = [list(row) for row in attack["pairs"]]
     print(render_table(result))
+    if args.nodes > 1:
+        cluster = report["cluster"]
+        skew = cluster["skew"]
+        partial = cluster["partial_view"]
+        print(
+            f"cluster: {cluster['total_chunks']} chunks over "
+            f"{cluster['nodes']} nodes  "
+            f"imbalance {skew['imbalance']:.2f}x  cv {skew['cv']:.2f}"
+        )
+        print(
+            f"partial view (node {partial['compromised_node']} "
+            f"compromised): mean inference rate "
+            f"{partial['mean_inference_rate']:.2%} "
+            f"vs {attack['mean_inference_rate']:.2%} full view"
+        )
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json_module.dump(report, handle, indent=2, sort_keys=True)

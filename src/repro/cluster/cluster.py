@@ -1,0 +1,457 @@
+"""Multi-node dedup storage tier: N engines behind one router.
+
+:class:`DedupCluster` fronts N independent :class:`~repro.storage.ddfs.DDFSEngine`
+nodes — each with its own fingerprint cache, Bloom filter, container
+store and on-disk index (any :class:`~repro.index.backends.KVBackend`) —
+behind a :class:`~repro.cluster.ring.Router`.  A chunk lives on exactly
+the node its ciphertext fingerprint routes to, so the node set *shards
+the fingerprint space*: compromising one node exposes one shard of the
+frequency distribution, the partial-view adversary of
+:mod:`repro.cluster.partial`.
+
+The cluster implements the same storage-tier operations
+:class:`~repro.service.server.DedupService` drives against a single
+engine (dedup response → batched per-node index probes → per-node
+unique-chunk ingest), plus what only a cluster has:
+
+* **per-node metering** — chunks/bytes stored, index probes served and
+  ingest bandwidth received per node (:meth:`load_report`), with the
+  skew summary (max/mean imbalance, coefficient of variation) that
+  shows consistent hashing's placement quality;
+* **elastic membership** — :meth:`add_node` / :meth:`remove_node` with
+  incremental rebalancing: only keys whose route changed move, and the
+  returned :class:`RebalanceReport` accounts every moved key and byte
+  against the theoretical bound (``K/N`` of ``K`` keys for a ring of N
+  nodes; nearly everything for modulo routing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import KiB, MiB
+from repro.storage.ddfs import DDFSEngine
+from repro.cluster.ring import DEFAULT_VNODES, Router, open_router
+
+
+@dataclass
+class ClusterNode:
+    """One storage node: an engine plus the shard it owns.
+
+    ``chunks`` is the node's authoritative shard content (fingerprint →
+    chunk size): it is what rebalancing enumerates and what the load
+    report measures.  ``received_bytes`` counts ingest bandwidth into
+    the node (client transfers plus rebalance traffic);
+    ``index_probes`` counts dedup-response probes served.
+    """
+
+    node_id: int
+    engine: DDFSEngine
+    chunks: dict[bytes, int] = field(default_factory=dict)
+    received_bytes: int = 0
+    rebalance_bytes: int = 0
+    index_probes: int = 0
+
+    @property
+    def stored_bytes(self) -> int:
+        return sum(self.chunks.values())
+
+
+@dataclass(frozen=True)
+class RebalanceReport:
+    """Moved-key accounting for one membership change.
+
+    ``theoretical_fraction`` is the expected moved fraction for the
+    routing policy: ``1/N`` (ring, N nodes after an add; the removed
+    node's share on a remove) versus ``(N-1)/N`` for modulo resizing.
+    """
+
+    action: str
+    node_id: int
+    routing: str
+    nodes_before: int
+    nodes_after: int
+    total_keys: int
+    moved_keys: int
+    moved_bytes: int
+    per_node_moves: tuple[tuple[int, int], ...]
+
+    @property
+    def moved_fraction(self) -> float:
+        if self.total_keys == 0:
+            return 0.0
+        return self.moved_keys / self.total_keys
+
+    @property
+    def theoretical_fraction(self) -> float:
+        if self.routing == "ring":
+            return 1.0 / self.nodes_after if self.action == "add" else (
+                1.0 / self.nodes_before
+            )
+        # Modulo resizing remaps everything that lands on a different
+        # residue — all but 1/max(N_before, N_after) in expectation.
+        return 1.0 - 1.0 / max(self.nodes_before, self.nodes_after)
+
+    def within_bound(self, slack: float = 1.5, absolute: int = 16) -> bool:
+        """Whether the move stayed within ``theoretical × slack + absolute``
+        keys — the acceptance check the cluster bench and tests assert
+        for ring routing (vnode placement has variance, hence the slack)."""
+        bound = self.theoretical_fraction * self.total_keys * slack + absolute
+        return self.moved_keys <= bound
+
+
+class DedupCluster:
+    """N dedup engines behind a consistent-hash (or modulo) router.
+
+    Args:
+        nodes: initial cluster size; node ids are ``range(nodes)``.
+        routing: placement policy — ``"ring"`` or ``"modulo"``
+            (:func:`~repro.cluster.ring.open_router`).
+        vnodes: virtual points per ring node.
+        index_backend: per-node index backend spec (``"memory"``,
+            ``"sqlite"``, ``"sharded[:N]"``, …) or ``None`` for the
+            default in-process store.
+        index_path: base path for file-backed node indexes; node *i*
+            persists under ``<index_path>/node-<i>``.
+        cache_budget_bytes / bloom_capacity / container_size /
+        entry_bytes: per-node engine knobs (service-scale defaults).
+    """
+
+    def __init__(
+        self,
+        nodes: int = 2,
+        routing: str = "ring",
+        vnodes: int = DEFAULT_VNODES,
+        index_backend=None,
+        index_path=None,
+        cache_budget_bytes: int = 256 * KiB,
+        bloom_capacity: int = 1_000_000,
+        container_size: int = 1 * MiB,
+        entry_bytes: int = 32,
+    ):
+        if nodes < 1:
+            raise ConfigurationError("a cluster needs at least one node")
+        if index_path is not None and index_backend is None:
+            raise ConfigurationError(
+                "index_path requires an index_backend spec string"
+            )
+        self.routing = routing
+        self.router: Router = open_router(routing, nodes, vnodes=vnodes)
+        self._engine_kwargs = dict(
+            cache_budget_bytes=cache_budget_bytes,
+            bloom_capacity=bloom_capacity,
+            container_size=container_size,
+            entry_bytes=entry_bytes,
+        )
+        self._index_backend = index_backend
+        self._index_path = index_path
+        self.entry_bytes = entry_bytes
+        self.nodes: dict[int, ClusterNode] = {
+            node_id: self._new_node(node_id) for node_id in range(nodes)
+        }
+        self.rebalances: list[RebalanceReport] = []
+
+    def _new_node(self, node_id: int) -> ClusterNode:
+        path = None
+        if self._index_path is not None:
+            from pathlib import Path
+
+            path = str(Path(self._index_path) / f"node-{node_id:02d}")
+        engine = DDFSEngine(
+            index_backend=self._index_backend,
+            index_path=path,
+            **self._engine_kwargs,
+        )
+        return ClusterNode(node_id=node_id, engine=engine)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def node_of(self, fingerprint: bytes) -> int:
+        """The node id owning ``fingerprint`` under the current routing."""
+        return self.router.node_of(fingerprint)
+
+    # -- the service storage-tier operations --------------------------------
+
+    def dedup_response(self, unique: dict[bytes, int]) -> set[bytes]:
+        """Resolve an upload's unique fingerprints to the needed-set.
+
+        Mirrors the single-engine dedup response per owning node: the
+        node's in-memory state first (fingerprint cache, open container
+        buffer), then one batched probe of the node's on-disk index, and
+        step-S4 container prefetch for confirmed duplicates.  Nodes are
+        probed in ascending id order, so the response is deterministic
+        regardless of dict iteration oddities upstream.
+        """
+        per_node: dict[int, list[bytes]] = {}
+        for fingerprint in unique:
+            node = self.nodes[self.router.node_of(fingerprint)]
+            if node.engine.cache.lookup(fingerprint) is not None:
+                continue
+            if node.engine.containers.in_open_buffer(fingerprint):
+                continue
+            per_node.setdefault(node.node_id, []).append(fingerprint)
+        needed: set[bytes] = set()
+        for node_id in sorted(per_node):
+            node = self.nodes[node_id]
+            candidates = per_node[node_id]
+            node.index_probes += len(candidates)
+            known = node.engine.index.lookup_batch(candidates)
+            needed.update(fp for fp in candidates if fp not in known)
+            prefetched: set[int] = set()
+            for fingerprint in candidates:
+                container_id = known.get(fingerprint)
+                if container_id is not None and container_id not in prefetched:
+                    prefetched.add(container_id)
+                    node.engine.prefetch_container(container_id)
+        return needed
+
+    def ingest(self, fingerprints: list[bytes], sizes: list[int]) -> None:
+        """Store a batch of resolved-unique chunks on their owning nodes.
+
+        The batch is split per node preserving stream order, so each
+        node's containers fill in the order its chunks arrived — chunk
+        locality survives sharding *within* a shard.
+        """
+        per_node: dict[int, tuple[list[bytes], list[int]]] = {}
+        for fingerprint, size in zip(fingerprints, sizes):
+            node_id = self.router.node_of(fingerprint)
+            batch = per_node.get(node_id)
+            if batch is None:
+                batch = per_node[node_id] = ([], [])
+            batch[0].append(fingerprint)
+            batch[1].append(size)
+        for node_id in sorted(per_node):
+            node = self.nodes[node_id]
+            node_fps, node_sizes = per_node[node_id]
+            node.engine.ingest_unique_batch(node_fps, node_sizes)
+            for fingerprint, size in zip(node_fps, node_sizes):
+                node.chunks[fingerprint] = size
+            node.received_bytes += sum(node_sizes)
+
+    def store_stream(self, fingerprints, sizes) -> int:
+        """Deduplicate-and-store a raw chunk stream (bench/test path).
+
+        Runs the full dedup response + ingest for the stream's unique
+        fingerprints; returns how many chunks were actually stored.
+        """
+        unique: dict[bytes, int] = {}
+        for fingerprint, size in zip(fingerprints, sizes):
+            if fingerprint not in unique:
+                unique[fingerprint] = size
+        needed = self.dedup_response(unique)
+        batch_fps = [fp for fp in unique if fp in needed]
+        batch_sizes = [unique[fp] for fp in batch_fps]
+        self.ingest(batch_fps, batch_sizes)
+        return len(batch_fps)
+
+    @property
+    def metadata_bytes(self) -> int:
+        """Metadata bytes moved across all node indexes (running total)."""
+        return sum(
+            node.engine.index.stats.total_bytes for node in self.nodes.values()
+        )
+
+    @property
+    def stored_bytes(self) -> int:
+        """Physical bytes across every node's shard contents.
+
+        Counted from the authoritative per-node chunk maps rather than
+        container stores: a rebalance re-homes a chunk logically without
+        rewriting the source node's sealed containers (space there is
+        reclaimed by GC, out of scope for the simulation's accounting).
+        """
+        return sum(node.stored_bytes for node in self.nodes.values())
+
+    def unique_chunks_stored(self) -> int:
+        """Unique chunks the cluster holds (shard contents summed)."""
+        return sum(len(node.chunks) for node in self.nodes.values())
+
+    def finish_backup(self) -> None:
+        """Seal every node's open container (backup boundary)."""
+        for node_id in sorted(self.nodes):
+            self.nodes[node_id].engine.finish_backup()
+
+    def close(self) -> None:
+        """Seal open containers and release every node's index backend."""
+        for node_id in sorted(self.nodes):
+            node = self.nodes[node_id]
+            node.engine.finish_backup()
+            node.engine.index.close()
+
+    # -- elastic membership --------------------------------------------------
+
+    def add_node(self, node_id: int | None = None) -> RebalanceReport:
+        """Join a new node and incrementally rebalance onto it.
+
+        Only keys whose route changed move — for ring routing that is
+        exactly the keys the new node's virtual points stole, an
+        expected ``K/N`` of ``K`` stored keys (asserted against
+        :meth:`RebalanceReport.within_bound` by the cluster bench).
+        """
+        if node_id is None:
+            node_id = max(self.nodes) + 1
+        if node_id in self.nodes:
+            raise ConfigurationError(f"node {node_id} already exists")
+        before = self.num_nodes
+        self.nodes[node_id] = self._new_node(node_id)
+        self.router.add_node(node_id)
+        report = self._rebalance("add", node_id, before)
+        self.rebalances.append(report)
+        return report
+
+    def remove_node(self, node_id: int) -> RebalanceReport:
+        """Drain a node and retire it.
+
+        The drained shard re-homes onto the survivors, and — like
+        :meth:`add_node` — *every* surviving key whose route changed
+        moves too: under ring routing that is nobody (the removed
+        node's ranges fall to its successors), but modulo routing
+        remaps residues across all nodes on resize, and placement must
+        stay consistent with the router either way.
+        """
+        if node_id not in self.nodes:
+            raise ConfigurationError(f"node {node_id} does not exist")
+        if self.num_nodes == 1:
+            raise ConfigurationError("cannot remove the last node")
+        before = self.num_nodes
+        self.router.remove_node(node_id)
+        drained = self.nodes.pop(node_id)
+        drained.engine.finish_backup()
+        drained.engine.index.close()
+        report = self._rebalance(
+            "remove", node_id, before, homeless=drained.chunks
+        )
+        self.rebalances.append(report)
+        return report
+
+    def _rebalance(
+        self,
+        action: str,
+        node_id: int,
+        nodes_before: int,
+        homeless: dict[bytes, int] | None = None,
+    ) -> RebalanceReport:
+        """Move every stored key whose route changed to its new owner.
+
+        ``homeless`` chunks (a just-drained node's shard) no longer have
+        an owner at all; each one moves by definition.
+        """
+        total_keys = self.unique_chunks_stored() + len(homeless or ())
+        moved: dict[int, tuple[list[bytes], list[int]]] = {}
+        moved_keys = 0
+        moved_bytes = 0
+        for fingerprint, size in (homeless or {}).items():
+            target = self.router.node_of(fingerprint)
+            batch = moved.setdefault(target, ([], []))
+            batch[0].append(fingerprint)
+            batch[1].append(size)
+            moved_keys += 1
+            moved_bytes += size
+        for source_id in sorted(self.nodes):
+            source = self.nodes[source_id]
+            relocating = [
+                (fingerprint, size)
+                for fingerprint, size in source.chunks.items()
+                if self.router.node_of(fingerprint) != source_id
+            ]
+            for fingerprint, size in relocating:
+                del source.chunks[fingerprint]
+                source.engine.index.remove(fingerprint)
+                target = self.router.node_of(fingerprint)
+                batch = moved.setdefault(target, ([], []))
+                batch[0].append(fingerprint)
+                batch[1].append(size)
+                moved_keys += 1
+                moved_bytes += size
+        per_node = self._apply_moves(moved)
+        return RebalanceReport(
+            action=action,
+            node_id=node_id,
+            routing=self.routing,
+            nodes_before=nodes_before,
+            nodes_after=self.num_nodes,
+            total_keys=total_keys,
+            moved_keys=moved_keys,
+            moved_bytes=moved_bytes,
+            per_node_moves=per_node,
+        )
+
+    def _apply_moves(
+        self, moved: dict[int, tuple[list[bytes], list[int]]]
+    ) -> tuple[tuple[int, int], ...]:
+        """Ingest relocated chunks on their new owners; returns
+        ``(node_id, keys_received)`` pairs in node order."""
+        per_node: list[tuple[int, int]] = []
+        for target_id in sorted(moved):
+            target = self.nodes[target_id]
+            batch_fps, batch_sizes = moved[target_id]
+            target.engine.ingest_unique_batch(batch_fps, batch_sizes)
+            for fingerprint, size in zip(batch_fps, batch_sizes):
+                target.chunks[fingerprint] = size
+            transferred = sum(batch_sizes)
+            target.received_bytes += transferred
+            target.rebalance_bytes += transferred
+            per_node.append((target_id, len(batch_fps)))
+        return tuple(per_node)
+
+    # -- metering ------------------------------------------------------------
+
+    def load_report(self) -> dict[str, object]:
+        """Per-node load plus the skew summary (JSON-serializable).
+
+        ``imbalance`` is max/mean chunks per node (1.0 = perfectly even);
+        ``cv`` is the coefficient of variation of per-node chunk counts.
+        """
+        per_node = [
+            {
+                "node": node_id,
+                "chunks": len(self.nodes[node_id].chunks),
+                "stored_bytes": self.nodes[node_id].stored_bytes,
+                "received_bytes": self.nodes[node_id].received_bytes,
+                "rebalance_bytes": self.nodes[node_id].rebalance_bytes,
+                "index_probes": self.nodes[node_id].index_probes,
+                "metadata_bytes": self.nodes[
+                    node_id
+                ].engine.index.stats.total_bytes,
+            }
+            for node_id in sorted(self.nodes)
+        ]
+        counts = [entry["chunks"] for entry in per_node]
+        mean = sum(counts) / len(counts) if counts else 0.0
+        if mean > 0:
+            variance = sum((count - mean) ** 2 for count in counts) / len(counts)
+            cv = (variance**0.5) / mean
+            imbalance = max(counts) / mean
+        else:
+            cv = 0.0
+            imbalance = 1.0
+        return {
+            "nodes": self.num_nodes,
+            "routing": self.routing,
+            "total_chunks": sum(counts),
+            "skew": {
+                "mean_chunks": round(mean, 2),
+                "max_chunks": max(counts) if counts else 0,
+                "min_chunks": min(counts) if counts else 0,
+                "imbalance": round(imbalance, 4),
+                "cv": round(cv, 4),
+            },
+            "per_node": per_node,
+            "rebalances": [
+                {
+                    "action": report.action,
+                    "node": report.node_id,
+                    "moved_keys": report.moved_keys,
+                    "moved_bytes": report.moved_bytes,
+                    "total_keys": report.total_keys,
+                    "moved_fraction": round(report.moved_fraction, 4),
+                    "theoretical_fraction": round(
+                        report.theoretical_fraction, 4
+                    ),
+                }
+                for report in self.rebalances
+            ],
+        }

@@ -37,7 +37,20 @@ KNOWN_ATTACKS = ("basic", "locality", "advanced")
 
 
 def build_attack(name: str, u: int, v: int, w: int):
-    """Instantiate a paper attack by CLI-friendly name."""
+    """Instantiate a paper attack by CLI-friendly name.
+
+    Args:
+        name: one of :data:`KNOWN_ATTACKS` (``"basic"`` ignores the
+            locality parameters).
+        u / v / w: the locality-attack knobs of §4 (seed pairs, accepted
+            co-occurrence pairs per neighbor analysis, queue bound).
+
+    Returns:
+        A ready-to-run :class:`~repro.attacks.base.Attack`.
+
+    Raises:
+        ConfigurationError: the name is not a known attack.
+    """
     from repro.attacks.advanced import AdvancedLocalityAttack
     from repro.attacks.basic import BasicAttack
     from repro.attacks.locality import LocalityAttack
@@ -61,6 +74,7 @@ def _encrypted(dataset: str, scheme: str):
 
 
 def _run_attack(params: dict) -> FieldRows:
+    """One evaluator run: the ``attack`` kind behind Figs. 4–10."""
     from repro.attacks.evaluation import AttackEvaluator
 
     evaluator = AttackEvaluator(_encrypted(params["dataset"], params["scheme"]))
@@ -90,6 +104,7 @@ def _run_attack(params: dict) -> FieldRows:
 
 
 def _run_frequency(params: dict) -> FieldRows:
+    """Frequency-skew statistics of one dataset (Fig. 1's row)."""
     from repro.analysis.workloads import series_by_name
     from repro.datasets.stats import frequency_cdf, series_frequencies
 
@@ -109,6 +124,8 @@ def _run_frequency(params: dict) -> FieldRows:
 
 
 def _run_storage_saving(params: dict) -> FieldRows:
+    """Cumulative storage saving per backup under one scheme (Fig. 11);
+    one row per backup in series order."""
     from repro.datasets.stats import storage_savings
 
     encrypted = _encrypted(params["dataset"], params["scheme"])
@@ -122,6 +139,9 @@ def _run_storage_saving(params: dict) -> FieldRows:
 
 
 def _run_metadata(params: dict) -> FieldRows:
+    """DDFS metadata access per backup (Figs. 13/14).  One cell covers a
+    *whole series* — the engine is stateful across backups, so the cell
+    is the unit that keeps cache/Bloom/index state coherent."""
     from repro.storage.ddfs import DDFSEngine
 
     encrypted = _encrypted(params["dataset"], params["scheme"])
@@ -167,6 +187,7 @@ CELL_WARMERS: dict[str, Callable[[dict], None]] = {}
 _LAZY_KIND_MODULES = {
     "service": "repro.service.cells",
     "service_attack": "repro.service.cells",
+    "cluster": "repro.cluster.cells",
 }
 
 
@@ -187,7 +208,16 @@ def register_cell_kind(
 
 
 def ensure_cell_kind(kind: str) -> bool:
-    """Whether ``kind`` is executable, importing its module if deferred."""
+    """Whether ``kind`` is executable, importing its module if deferred.
+
+    Args:
+        kind: the cell kind name.
+
+    Returns:
+        True once an executor for ``kind`` is registered; importing the
+        owning module from :data:`_LAZY_KIND_MODULES` as a side effect
+        (safe in spawned workers, which start from a fresh interpreter).
+    """
     if kind not in CELL_EXECUTORS:
         module_name = _LAZY_KIND_MODULES.get(kind)
         if module_name is not None:
@@ -230,7 +260,23 @@ def warm_workloads(cells) -> None:
 
 
 def execute_cell(cell: Cell) -> FieldRows:
-    """Run one cell in the current process and return its field rows."""
+    """Run one cell in the current process.
+
+    This is the single entry point the runner submits to workers (a
+    top-level function, so it pickles cleanly).
+
+    Args:
+        cell: the cell to execute; its params fully determine the
+            computation.
+
+    Returns:
+        The cell's rows as ``(field, value)`` tuples — plain primitives
+        that survive the JSON round-trip through the result cache
+        bit-for-bit.
+
+    Raises:
+        ConfigurationError: the cell names an unknown kind.
+    """
     if not ensure_cell_kind(cell.kind):
         raise ConfigurationError(f"unknown cell kind {cell.kind!r}")
     return CELL_EXECUTORS[cell.kind](dict(cell.params))

@@ -89,8 +89,21 @@ class Anchor:
             raise ConfigurationError(f"unknown anchor mode {self.mode!r}")
 
     def resolve(self, length: int) -> list[tuple[int, int, Tags]]:
-        """Expand to concrete ``(auxiliary, target, extra_tags)`` triples
-        for a series of ``length`` backups."""
+        """Expand to concrete ``(auxiliary, target, extra_tags)`` triples.
+
+        Args:
+            length: the backup series' length, used to resolve negative
+                indices and to bound the sweeps.
+
+        Returns:
+            One triple per anchor pair, in sweep order; ``extra_tags``
+            carries per-pair row labels (only the ``sliding`` mode emits
+            any — its shift ``s``).
+
+        Raises:
+            ConfigurationError: an index falls outside the series, or a
+                sliding shift is not positive.
+        """
         if self.mode == PAIR:
             return [
                 (
@@ -136,6 +149,17 @@ class Cell:
     tags: Tags = ()
 
     def param(self, name: str) -> object:
+        """Look up one parameter by name.
+
+        Args:
+            name: the parameter key.
+
+        Returns:
+            The parameter's value.
+
+        Raises:
+            KeyError: the cell has no parameter of that name.
+        """
         for key, value in self.params:
             if key == name:
                 return value
@@ -192,10 +216,17 @@ class ScenarioSpec:
     def expand(self, lengths: Mapping[str, int] | None = None) -> tuple[Cell, ...]:
         """Flatten the grid into cells, in canonical nesting order.
 
-        ``lengths`` maps dataset name → series length, used to resolve
-        anchor indices; when omitted it is looked up from the canonical
-        workload registry (:func:`repro.analysis.workloads.series_length`,
-        which reads generator configs — no dataset is generated).
+        Args:
+            lengths: dataset name → series length, used to resolve
+                anchor indices; when omitted it is looked up from the
+                canonical workload registry
+                (:func:`repro.analysis.workloads.series_length`, which
+                reads generator configs — no dataset is generated).
+
+        Returns:
+            The grid's cells in canonical nesting order (see module
+            docs) — ready for
+            :meth:`repro.scenarios.runner.Runner.run_cells`.
         """
         if self.kind == ATTACK:
             return self._expand_attack(lengths)
@@ -287,6 +318,8 @@ class ScenarioSpec:
     # -- convenience --------------------------------------------------------
 
     def with_datasets(self, datasets: tuple[str, ...]) -> "ScenarioSpec":
+        """A copy of this spec over different datasets (figure drivers
+        re-anchor one declared grid across workloads this way)."""
         return replace(self, datasets=datasets)
 
 
@@ -307,6 +340,9 @@ class Scenario:
     notes: tuple[str, ...] = ()
 
     def cells(self, lengths: Mapping[str, int] | None = None) -> tuple[Cell, ...]:
+        """All specs' cells concatenated in spec order (the scenario's
+        row order — what :func:`repro.scenarios.runner.run_scenario`
+        executes and merges)."""
         expanded: list[Cell] = []
         for spec in self.specs:
             expanded.extend(spec.expand(lengths))

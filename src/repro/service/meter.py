@@ -36,7 +36,18 @@ from repro.service.traffic import RESTORE, UPLOAD, Request
 
 
 class SideChannelMeter:
-    """Accumulates request observables into the adversary's view."""
+    """Accumulates request observables into the adversary's view.
+
+    The meter records what each vantage point can see — per-request wire
+    observables for the network adversary, per-tenant ciphertext chunk
+    sets for the store adversary — plus the plaintext ground truth the
+    *evaluation* needs (which a real adversary lacks; see module docs).
+
+    Args:
+        scheme: the defense scheme the observed service encrypts under
+            (stamped into attack reports and the reconstructed
+            :class:`~repro.defenses.pipeline.EncryptedSeries`).
+    """
 
     def __init__(self, scheme: DefenseScheme = DefenseScheme.MLE):
         self.scheme = DefenseScheme(scheme)
@@ -50,7 +61,18 @@ class SideChannelMeter:
     # -- recording ----------------------------------------------------------
 
     def observe_upload(self, request: Request, result: UploadResult) -> None:
-        """Record one served upload (request carries the plaintext)."""
+        """Record one served upload.
+
+        Args:
+            request: the traffic request (carries the plaintext stream —
+                the ground truth side — and the client's round number).
+            result: what the service returned: wire observables plus the
+                ciphertext the adversary taps.
+
+        Raises:
+            ConfigurationError: ``request`` is not an upload (or carries
+                no plaintext backup).
+        """
         if request.kind != UPLOAD or request.backup is None:
             raise ConfigurationError("observe_upload needs an upload request")
         position = len(self._plaintexts)
@@ -64,7 +86,14 @@ class SideChannelMeter:
         )
 
     def observe_restore(self, observables: RequestObservables) -> None:
-        """Record one served restore (bandwidth only; no dedup signal)."""
+        """Record one served restore (bandwidth only; no dedup signal).
+
+        Args:
+            observables: the restore's wire record.
+
+        Raises:
+            ConfigurationError: the record is not a restore.
+        """
         if observables.kind != RESTORE:
             raise ConfigurationError("observe_restore needs a restore record")
         self.observables.append(observables)
@@ -81,7 +110,13 @@ class SideChannelMeter:
         return list(zip(self._upload_rounds, uploads))
 
     def bandwidth_signal(self) -> list[dict[str, object]]:
-        """Per-upload wire observables, in service order."""
+        """Per-upload wire observables, in service order.
+
+        Returns:
+            One JSON-serializable row per served upload — tenant, round,
+            label, logical/transferred bytes and the dedup fraction (the
+            bandwidth side channel's time series).
+        """
         return [
             {
                 "tenant": record.tenant,
@@ -104,9 +139,18 @@ class SideChannelMeter:
     ) -> float:
         """Fraction of the target tenant's unique ciphertext chunks also
         uploaded by the auxiliary tenant (directional, like
-        :func:`repro.datasets.stats.content_overlap`).  ``None`` measures
-        against the rest of the population — the upper bound on any
-        population-auxiliary attack's inference rate."""
+        :func:`repro.datasets.stats.content_overlap`).
+
+        Args:
+            auxiliary_tenant: the observing tenant, or ``None`` to
+                measure against the rest of the population — the upper
+                bound on any population-auxiliary attack's inference
+                rate.
+            target_tenant: the observed tenant.
+
+        Returns:
+            Overlap in ``[0, 1]``; 0.0 for a tenant with no uploads.
+        """
         target = self._tenant_fingerprints.get(target_tenant, set())
         if not target:
             return 0.0
@@ -145,7 +189,20 @@ class SideChannelMeter:
     # -- feeding the attack harness -------------------------------------------
 
     def upload_position(self, tenant: int, occurrence: int = -1) -> int:
-        """Global trace position of a tenant's n-th upload (default last)."""
+        """Global trace position of a tenant's n-th upload.
+
+        Args:
+            tenant: the tenant whose upload to locate.
+            occurrence: which of the tenant's uploads, in service order;
+                negative indices count from the end (default: last).
+
+        Returns:
+            The upload's index in the meter's service-order trace (what
+            :meth:`encrypted_trace` feeds the evaluator).
+
+        Raises:
+            ConfigurationError: the tenant completed no uploads.
+        """
         positions = self._upload_positions.get(tenant)
         if not positions:
             raise ConfigurationError(f"tenant {tenant} has no uploads")
@@ -209,11 +266,26 @@ class SideChannelMeter:
         """Run a cross-tenant attack against ``target_tenant``'s
         ciphertext upload.
 
-        ``auxiliary_tenant`` selects the adversary's prior knowledge: a
-        specific tenant's plaintext upload (the curious-tenant model), or
-        ``None`` for the population auxiliary — everything every *other*
-        tenant uploaded (the curious-provider model, see
-        :meth:`population_auxiliary`)."""
+        Args:
+            attack: any paper attack (basic / locality / advanced).
+            auxiliary_tenant: the adversary's prior knowledge — a
+                specific tenant's plaintext upload (the curious-tenant
+                model), or ``None`` for the population auxiliary:
+                everything every *other* tenant uploaded (the
+                curious-provider model, see :meth:`population_auxiliary`).
+            target_tenant: the victim tenant.
+            auxiliary_occurrence / target_occurrence: which of the
+                tenants' uploads anchor the pair (default: last).
+            leakage_rate: known-plaintext leakage over the target's
+                unique ciphertext chunks (0 = ciphertext-only mode).
+            seed: determinises the leakage sample.
+
+        Returns:
+            The scored :class:`~repro.attacks.evaluation.InferenceReport`.
+
+        Raises:
+            ConfigurationError: either tenant completed no uploads.
+        """
         if auxiliary_tenant is None:
             extra = [self.population_auxiliary(target_tenant)]
             evaluator = AttackEvaluator(self.encrypted_trace(extra))
@@ -227,6 +299,68 @@ class SideChannelMeter:
             attack,
             auxiliary=auxiliary,
             target=self.upload_position(target_tenant, target_occurrence),
+            leakage_rate=leakage_rate,
+            seed=seed,
+        )
+
+    def evaluate_partial(
+        self,
+        attack: Attack,
+        auxiliary_tenant: int | None,
+        target_tenant: int,
+        router,
+        compromised_node: int,
+        auxiliary_occurrence: int = -1,
+        target_occurrence: int = -1,
+        leakage_rate: float = 0.0,
+        seed: int = 0,
+    ):
+        """Run a *partial-view* cross-tenant attack: the adversary holds
+        one compromised storage node's shard of the target upload.
+
+        Same adversary-knowledge model as :meth:`evaluate`
+        (``auxiliary_tenant`` = a tenant id or ``None`` for the
+        population auxiliary), but the observed ciphertext is projected
+        onto the shard ``compromised_node`` owns under ``router``
+        (:func:`repro.cluster.partial.shard_view`) before the attack
+        runs, and the inference rate keeps the full target's unique
+        chunks as denominator — so rates compare across cluster sizes.
+
+        Args:
+            attack: any paper attack.
+            auxiliary_tenant: the adversary's prior knowledge (see
+                :meth:`evaluate`).
+            target_tenant: the victim tenant.
+            router: the cluster's placement function
+                (:class:`~repro.cluster.ring.Router`).
+            compromised_node: which node's shard the adversary observed.
+            auxiliary_occurrence / target_occurrence: which of the
+                tenants' uploads anchor the pair (default: last).
+            leakage_rate / seed: known-plaintext mode, as in
+                :meth:`evaluate`.
+
+        Returns:
+            A :class:`~repro.cluster.partial.PartialViewReport`.
+        """
+        from repro.cluster.partial import evaluate_partial_view
+
+        if auxiliary_tenant is None:
+            auxiliary = self.population_auxiliary(target_tenant)
+        else:
+            position = self.upload_position(
+                auxiliary_tenant, auxiliary_occurrence
+            )
+            auxiliary = self._plaintexts[position]
+        target = self._ciphertexts[
+            self.upload_position(target_tenant, target_occurrence)
+        ]
+        return evaluate_partial_view(
+            attack,
+            target,
+            auxiliary,
+            router,
+            compromised_node,
+            scheme=self.scheme.value,
             leakage_rate=leakage_rate,
             seed=seed,
         )

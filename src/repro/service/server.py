@@ -31,6 +31,14 @@ Namespaces are enforced at the recipe layer: tenants share physical
 chunks but can only restore uploads recorded under their own namespace,
 and per-tenant quotas bound *logical* (pre-dedup) bytes — the quantity a
 provider bills.
+
+The storage tier behind the dedup response is pluggable: a single shared
+:class:`~repro.storage.ddfs.DDFSEngine` (the default, and the paper's
+setting) or a :class:`~repro.cluster.cluster.DedupCluster` of N engines
+behind a consistent-hash router (``nodes > 1``).  Both implement the same
+three tier operations (:meth:`_SingleNodeTier.dedup_response`,
+``ingest``, metadata accounting), so the upload protocol — and the
+single-node byte stream — is identical either way.
 """
 
 from __future__ import annotations
@@ -112,8 +120,75 @@ class _Tenant:
     recipes: dict[str, Backup] = field(default_factory=dict)
 
 
+class _SingleNodeTier:
+    """Storage-tier operations over one shared engine.
+
+    This is the pre-cluster upload path verbatim — the dedup response,
+    ingest and metering below are byte-identical to the service's
+    original inline implementation, which is what keeps single-node
+    ``serve-sim`` reports byte-stable across the cluster refactor.
+    """
+
+    def __init__(self, engine: DDFSEngine):
+        self.engine = engine
+
+    @property
+    def entry_bytes(self) -> int:
+        return self.engine.index.entry_bytes
+
+    @property
+    def metadata_bytes(self) -> int:
+        """Metadata bytes the index has moved so far (running total)."""
+        return self.engine.index.stats.total_bytes
+
+    def dedup_response(self, unique: dict[bytes, int]) -> set[bytes]:
+        """Resolve an upload's unique fingerprints to the needed-set.
+
+        In-memory state first (fingerprint cache, open container
+        buffer), then one batched probe of the on-disk index (amortized
+        through the KV backend), then step-S4 container prefetch for
+        every confirmed duplicate.
+        """
+        engine = self.engine
+        candidates = []
+        for fingerprint in unique:
+            if engine.cache.lookup(fingerprint) is not None:
+                continue
+            if engine.containers.in_open_buffer(fingerprint):
+                continue
+            candidates.append(fingerprint)
+        known = engine.index.lookup_batch(candidates)
+        needed = {fp for fp in candidates if fp not in known}
+
+        # Confirmed duplicates mirror step S4: prefetch each hit
+        # container's fingerprints into the cache (first-occurrence
+        # order), so later uploads of co-located chunks resolve at S1
+        # without re-probing the index — chunk locality, cross-tenant.
+        prefetched: set[int] = set()
+        for fingerprint in candidates:
+            container_id = known.get(fingerprint)
+            if container_id is not None and container_id not in prefetched:
+                prefetched.add(container_id)
+                engine.prefetch_container(container_id)
+        return needed
+
+    def ingest(self, fingerprints: list[bytes], sizes: list[int]) -> None:
+        self.engine.ingest_unique_batch(fingerprints, sizes)
+
+    @property
+    def stored_bytes(self) -> int:
+        return self.engine.containers.stored_bytes()
+
+    def unique_chunks_stored(self) -> int:
+        return len(self.engine.index) + self.engine.containers.open_chunks
+
+    def close(self) -> None:
+        self.engine.finish_backup()
+        self.engine.index.close()
+
+
 class DedupService:
-    """A multi-tenant encrypted-dedup service over one shared engine.
+    """A multi-tenant encrypted-dedup service over a shared storage tier.
 
     Args:
         scheme: encryption scheme tenants upload under.  Cross-user
@@ -122,13 +197,21 @@ class DedupService:
         index_backend: fingerprint-index backend — a
             :class:`~repro.index.backends.KVBackend` instance or a spec
             string (``"memory"``, ``"sqlite"``, ``"sharded[:N]"``, …).
-        index_path: where a spec-string backend persists.
+            With ``nodes > 1`` only spec strings are accepted (each node
+            opens its own backend).
+        index_path: where a spec-string backend persists (per-node
+            subpaths when clustered).
         default_quota_bytes: logical-byte quota applied to tenants that
             are auto-registered on first upload (``None`` = unlimited).
         segmentation: defense segmentation (scaled default).
         seed: determinises the scrambling defenses.
+        nodes: storage-tier size — 1 (default) serves from one shared
+            engine, exactly the pre-cluster service; N > 1 serves from a
+            :class:`~repro.cluster.cluster.DedupCluster` of N engines.
+        routing: cluster placement policy, ``"ring"`` (consistent hash)
+            or ``"modulo"`` (ignored when ``nodes == 1``).
         cache_budget_bytes / bloom_capacity / container_size /
-        entry_bytes: shared engine knobs (service-scale defaults).
+        entry_bytes: engine knobs, per node (service-scale defaults).
     """
 
     def __init__(
@@ -139,25 +222,54 @@ class DedupService:
         default_quota_bytes: int | None = None,
         segmentation: SegmentationSpec | None = None,
         seed: int = 0,
+        nodes: int = 1,
+        routing: str = "ring",
         cache_budget_bytes: int = 256 * KiB,
         bloom_capacity: int = 1_000_000,
         container_size: int = 1 * MiB,
         entry_bytes: int = 32,
     ):
+        if nodes < 1:
+            raise ConfigurationError("nodes must be >= 1")
         self.scheme = DefenseScheme(scheme)
         self.pipeline = DefensePipeline(
             self.scheme,
             segmentation=segmentation or SegmentationSpec.scaled(),
             seed=seed,
         )
-        self.engine = DDFSEngine(
-            cache_budget_bytes=cache_budget_bytes,
-            bloom_capacity=bloom_capacity,
-            container_size=container_size,
-            entry_bytes=entry_bytes,
-            index_backend=index_backend,
-            index_path=index_path,
-        )
+        if nodes == 1:
+            self.engine = DDFSEngine(
+                cache_budget_bytes=cache_budget_bytes,
+                bloom_capacity=bloom_capacity,
+                container_size=container_size,
+                entry_bytes=entry_bytes,
+                index_backend=index_backend,
+                index_path=index_path,
+            )
+            self.cluster = None
+            self._tier = _SingleNodeTier(self.engine)
+        else:
+            from repro.cluster.cluster import DedupCluster
+
+            if index_backend is not None and not isinstance(
+                index_backend, str
+            ):
+                raise ConfigurationError(
+                    "a clustered service needs a backend spec string "
+                    "(each node opens its own backend)"
+                )
+            self.engine = None
+            self.cluster = DedupCluster(
+                nodes=nodes,
+                routing=routing,
+                index_backend=index_backend,
+                index_path=index_path,
+                cache_budget_bytes=cache_budget_bytes,
+                bloom_capacity=bloom_capacity,
+                container_size=container_size,
+                entry_bytes=entry_bytes,
+            )
+            self._tier = self.cluster
         self.default_quota_bytes = default_quota_bytes
         self._tenants: dict[int, _Tenant] = {}
         self._request_counter = 0
@@ -229,42 +341,23 @@ class DedupService:
                 f"upload {label!r} ({logical_bytes} B logical)"
             )
 
-        index = self.engine.index
-        metadata_before = index.stats.total_bytes
+        metadata_before = self._tier.metadata_bytes
 
         # Dedup response: resolve the upload's unique fingerprints against
         # in-memory state first, then one batched probe of the on-disk
-        # index for the rest (amortized through the KV backend).
+        # index for the rest (amortized through the KV backend; per owning
+        # node when the tier is a cluster).
         unique: dict[bytes, int] = {}
         for fingerprint, size in zip(stream.fingerprints, stream.sizes):
             if fingerprint not in unique:
                 unique[fingerprint] = size
-        candidates = []
-        for fingerprint in unique:
-            if self.engine.cache.lookup(fingerprint) is not None:
-                continue
-            if self.engine.containers.in_open_buffer(fingerprint):
-                continue
-            candidates.append(fingerprint)
-        known = index.lookup_batch(candidates)
-        needed = {fp for fp in candidates if fp not in known}
-
-        # Confirmed duplicates mirror step S4: prefetch each hit
-        # container's fingerprints into the cache (first-occurrence
-        # order), so later uploads of co-located chunks resolve at S1
-        # without re-probing the index — chunk locality, cross-tenant.
-        prefetched: set[int] = set()
-        for fingerprint in candidates:
-            container_id = known.get(fingerprint)
-            if container_id is not None and container_id not in prefetched:
-                prefetched.add(container_id)
-                self.engine.prefetch_container(container_id)
+        needed = self._tier.dedup_response(unique)
 
         # Transfer: only the needed chunks cross the wire, as one batch
         # (first occurrence of each, stream order). The dedup response
         # already proved them unique — not cached, not buffered, not in
         # the index — so they skip the per-chunk S1–S4 chain and take the
-        # engine's batched unique-ingest path, with identical dedup
+        # tier's batched unique-ingest path, with identical dedup
         # decisions and metered bytes.
         needed_fingerprints: list[bytes] = []
         needed_sizes: list[int] = []
@@ -274,10 +367,10 @@ class DedupService:
                 needed_fingerprints.append(fingerprint)
                 needed_sizes.append(size)
                 transferred_bytes += size
-        self.engine.ingest_unique_batch(needed_fingerprints, needed_sizes)
+        self._tier.ingest(needed_fingerprints, needed_sizes)
         stored_chunks = len(needed_fingerprints)
 
-        metadata_bytes = index.stats.total_bytes - metadata_before
+        metadata_bytes = self._tier.metadata_bytes - metadata_before
         state.recipes[label] = stream
         state.logical_bytes += logical_bytes
         state.transferred_bytes += transferred_bytes
@@ -331,7 +424,7 @@ class DedupService:
             # Restores serve the full stream regardless of deduplication —
             # restore bandwidth leaks nothing about cross-user overlap.
             transferred_bytes=logical_bytes,
-            metadata_bytes=self.engine.index.entry_bytes * len(recipe),
+            metadata_bytes=self._tier.entry_bytes * len(recipe),
             total_chunks=len(recipe),
             unique_chunks=len(unique_sizes),
             unique_bytes=sum(unique_sizes.values()),
@@ -344,14 +437,13 @@ class DedupService:
 
     @property
     def stored_bytes(self) -> int:
-        """Physical bytes in sealed containers plus the open buffer."""
-        return self.engine.containers.stored_bytes()
+        """Physical bytes the storage tier holds (sealed + open)."""
+        return self._tier.stored_bytes
 
     def unique_chunks_stored(self) -> int:
-        """Unique chunks the shared store holds (sealed + open)."""
-        return len(self.engine.index) + self.engine.containers.open_chunks
+        """Unique chunks the shared store holds (all nodes)."""
+        return self._tier.unique_chunks_stored()
 
     def close(self) -> None:
-        """Seal the open container and release index-backend resources."""
-        self.engine.finish_backup()
-        self.engine.index.close()
+        """Seal open containers and release index-backend resources."""
+        self._tier.close()

@@ -62,6 +62,11 @@ class ServiceConfig:
     backend: str = "memory"
     backend_path: str | None = None
     quota_bytes: int | None = None
+    # Storage-tier shape: 1 node serves from one shared engine (the
+    # pre-cluster service, byte-identical reports); N > 1 fronts a
+    # DedupCluster of N engines behind the chosen routing policy.
+    nodes: int = 1
+    routing: str = "ring"
     attack: str = "advanced"
     u: int = 1
     v: int = 15
@@ -197,6 +202,8 @@ def _simulate(config: ServiceConfig) -> ServiceTrace:
         index_path=config.backend_path,
         default_quota_bytes=config.quota_bytes,
         seed=config.seed,
+        nodes=config.nodes,
+        routing=config.routing,
     )
     meter = SideChannelMeter(scheme=service.scheme)
     trace = ServiceTrace(config=config, service=service, meter=meter)
@@ -256,25 +263,37 @@ def attack_pairs(config: ServiceConfig) -> tuple[tuple[int, int], ...]:
     )
 
 
+def pair_served(
+    meter: SideChannelMeter, auxiliary_tenant: int, target_tenant: int
+) -> bool:
+    """Whether both ends of an attack pair completed at least one upload.
+
+    A pair that fails this check (e.g. every upload was quota-rejected)
+    scores a zero row instead of failing — the shared convention of
+    :func:`evaluate_pair` and :func:`cluster_report`, which keeps
+    reports over throttled populations deterministic and comparable.
+    """
+    auxiliary = None if auxiliary_tenant < 0 else auxiliary_tenant
+    served = set(meter.tenants())
+    return target_tenant in served and (
+        auxiliary is None or auxiliary in served
+    )
+
+
 def evaluate_pair(
     trace: ServiceTrace, auxiliary_tenant: int, target_tenant: int
 ) -> dict[str, object]:
     """Score one cross-tenant attack on a simulated trace
     (``auxiliary_tenant == -1`` selects the population auxiliary).
 
-    A pair whose tenants never completed an upload (e.g. everything was
-    quota-rejected) scores a zero row instead of failing, so reports
-    over throttled populations stay deterministic and comparable.
+    Pairs that fail :func:`pair_served` score a zero row (see there).
     """
     from repro.scenarios.cells import build_attack
 
     config = trace.config
     meter = trace.meter
     auxiliary = None if auxiliary_tenant < 0 else auxiliary_tenant
-    served = set(meter.tenants())
-    if target_tenant not in served or (
-        auxiliary is not None and auxiliary not in served
-    ):
+    if not pair_served(meter, auxiliary_tenant, target_tenant):
         return {
             "auxiliary_tenant": auxiliary_tenant,
             "target_tenant": target_tenant,
@@ -374,6 +393,66 @@ def headline_metrics(trace: ServiceTrace) -> dict[str, object]:
     }
 
 
+def cluster_report(
+    trace: ServiceTrace, compromised_node: int = 0
+) -> dict[str, object]:
+    """The clustered run's extra report section (``nodes > 1`` only).
+
+    Per-node load/bandwidth/skew metering from
+    :meth:`~repro.cluster.cluster.DedupCluster.load_report`, plus the
+    partial-view attack rows: the configured attack pairs re-run with
+    the adversary demoted from the whole store to ``compromised_node``'s
+    shard (:meth:`~repro.service.meter.SideChannelMeter.evaluate_partial`).
+    Computed in the calling process — deterministic at any ``jobs``.
+    """
+    from repro.scenarios.cells import build_attack
+
+    config = trace.config
+    cluster = trace.service.cluster
+    report = cluster.load_report()
+    attack = build_attack(config.attack, config.u, config.v, config.w)
+    pairs = []
+    rates = []
+    for auxiliary_tenant, target_tenant in attack_pairs(config):
+        auxiliary = None if auxiliary_tenant < 0 else auxiliary_tenant
+        if not pair_served(trace.meter, auxiliary_tenant, target_tenant):
+            # Zero-row convention shared with evaluate_pair (pair_served).
+            pairs.append(
+                {
+                    "auxiliary_tenant": auxiliary_tenant,
+                    "target_tenant": target_tenant,
+                    "shard_fraction": 0.0,
+                    "inference_rate": 0.0,
+                }
+            )
+            rates.append(0.0)
+            continue
+        view = trace.meter.evaluate_partial(
+            attack,
+            auxiliary,
+            target_tenant,
+            cluster.router,
+            compromised_node,
+        )
+        pairs.append(
+            {
+                "auxiliary_tenant": auxiliary_tenant,
+                "target_tenant": target_tenant,
+                "shard_fraction": round(view.shard_fraction, 5),
+                "inference_rate": round(view.report.inference_rate, 5),
+            }
+        )
+        rates.append(view.report.inference_rate)
+    report["partial_view"] = {
+        "compromised_node": compromised_node,
+        "pairs": pairs,
+        "mean_inference_rate": round(sum(rates) / len(rates), 5)
+        if rates
+        else 0.0,
+    }
+    return report
+
+
 def service_report(
     config: ServiceConfig, jobs: int = 1, cache=None
 ) -> dict[str, object]:
@@ -384,6 +463,13 @@ def service_report(
     scenario :class:`~repro.scenarios.runner.Runner`, whose spec-order
     merge makes the report byte-identical at any ``jobs`` value (forked
     workers inherit the memoised trace and only pay for their attacks).
+
+    Single-node configs produce the exact pre-cluster report (the
+    ``nodes``/``routing`` keys are elided from the config echo and no
+    ``cluster`` section appears), so existing pinned reports stay
+    byte-identical.  Clustered configs add a ``cluster`` section: per-
+    node load and skew, rebalance history, and the partial-view attack
+    rows for the default compromised node.
     """
     from repro.scenarios.runner import Runner, rows_from
 
@@ -396,8 +482,14 @@ def service_report(
     rate_index = ATTACK_COLUMNS.index("inference_rate")
     rates = [row[rate_index] for row in rows]
     service_totals = headline_metrics(trace)
-    return {
-        "config": dict(config_params(config)),
+    config_echo = dict(config_params(config))
+    if config.nodes == 1:
+        # Keep single-node reports byte-identical to the pre-cluster
+        # service: the tier shape only appears once it is non-trivial.
+        del config_echo["nodes"]
+        del config_echo["routing"]
+    report = {
+        "config": config_echo,
         "traffic": {
             "requests": len(meter.observables)
             + trace.rejected_uploads
@@ -425,6 +517,9 @@ def service_report(
             else 0.0,
         },
     }
+    if config.nodes > 1:
+        report["cluster"] = cluster_report(trace)
+    return report
 
 
 # -- scenario grid axis ------------------------------------------------------
