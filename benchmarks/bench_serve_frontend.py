@@ -1,0 +1,186 @@
+"""Socket-frontend bench: served req/s and latency over real sockets.
+
+Two phases, both against the asyncio framed-protocol frontend
+(:mod:`repro.service.frontend`) on a Unix socket:
+
+1. **identity** — replay a seeded trace in stream order over one
+   connection and assert the served trace is byte-identical to the
+   in-process simulator (:func:`repro.service.frontend.identity_check`),
+   including a quota-constrained config so the rejection paths are
+   exercised end to end.  A perf number for a frontend that diverges
+   from the engine it fronts would be meaningless, so this gate runs
+   first and hard-fails the bench.
+2. **load** — drive the frontend with the multi-process load generator
+   (:func:`repro.service.loadgen.run_loadgen`): the default shape opens
+   1,000 tenant sessions (250 tenants x 4 rounds, one connection per
+   tenant-round) from 2 client processes and reports sustained
+   requests/sec plus p50/p90/p99/max request latency.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serve_frontend.py
+    PYTHONPATH=src python benchmarks/bench_serve_frontend.py --quick
+    PYTHONPATH=src python benchmarks/bench_serve_frontend.py \
+        --output BENCH_serve_frontend.json --compare BENCH_serve_frontend.json
+
+``--output`` writes the committed-baseline JSON; ``--compare`` soft-reports
+throughput/latency deltas against an earlier baseline (timings are
+machine-dependent, so deltas inform rather than fail).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+
+from repro.service.frontend import (
+    FrontendServer,
+    build_frontend,
+    identity_check,
+)
+from repro.service.loadgen import replay_stream, run_loadgen
+from repro.service.simulate import ServiceConfig, simulate
+
+# Load shape: tenants x rounds = tenant sessions (one connection each).
+# 250 x 4 = 1,000 sessions, the acceptance floor; small uploads keep the
+# bench about serving cost, not chunk-stream volume.
+FULL_TENANTS, FULL_ROUNDS = 250, 4
+QUICK_TENANTS, QUICK_ROUNDS = 40, 2
+LOAD_SHAPE = {"files_per_tenant": 4, "mean_file_chunks": 8, "seed": 11}
+
+
+def identity_phase() -> dict[str, object]:
+    """Differential gate: served trace == simulated trace, byte for byte."""
+    results = {}
+    configs = {
+        "plain": ServiceConfig(tenants=8, rounds=3, seed=7),
+        "quota": ServiceConfig(
+            tenants=8, rounds=3, quota_bytes=2_000_000, seed=7
+        ),
+    }
+    for name, config in configs.items():
+        simulate.cache_clear()
+        frontend = build_frontend(config)
+        scratch = tempfile.mkdtemp(prefix="bench-serve-id-")
+        try:
+            address = ("unix", os.path.join(scratch, "frontend.sock"))
+            with FrontendServer(frontend, address) as bound:
+                counts = replay_stream(bound, config)
+            check = identity_check(frontend)
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+        assert check["identical"], (
+            f"served trace diverged from the simulator ({name} config)"
+        )
+        assert counts["errors"] == 0, f"unexpected wire errors: {counts}"
+        results[name] = {
+            "requests": counts["requests"],
+            "rejected_uploads": counts["rejected_uploads"],
+            "skipped_restores": counts["skipped_restores"],
+            "identical": True,
+        }
+        print(
+            f"identity[{name}]: {counts['requests']} requests replayed, "
+            f"{counts['rejected_uploads']} quota-rejected -> "
+            "byte-identical to simulator"
+        )
+    return results
+
+
+def load_phase(tenants: int, rounds: int, processes: int) -> dict[str, object]:
+    """Multi-process load generation against one served frontend."""
+    config = ServiceConfig(tenants=tenants, rounds=rounds, **LOAD_SHAPE)
+    frontend = build_frontend(config)
+    scratch = tempfile.mkdtemp(prefix="bench-serve-load-")
+    try:
+        address = ("unix", os.path.join(scratch, "frontend.sock"))
+        with FrontendServer(frontend, address) as bound:
+            report = run_loadgen(bound, config, processes=processes)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    assert report["errors"] == {}, f"load run hit errors: {report['errors']}"
+    assert report["ok"] == report["requests"]
+    latency = report["latency_ms"]
+    print(
+        f"load: {report['sessions']} tenant sessions from "
+        f"{report['processes']} client processes  "
+        f"{report['requests']} requests in {report['elapsed_s']:.2f}s  "
+        f"sustained {report['requests_per_s']:.0f} req/s"
+    )
+    print(
+        f"latency: p50 {latency['p50']:.2f}ms  p90 {latency['p90']:.2f}ms  "
+        f"p99 {latency['p99']:.2f}ms  max {latency['max']:.2f}ms"
+    )
+    return report
+
+
+def compare(current: dict, baseline_path: str) -> None:
+    """Soft-report throughput/latency deltas vs a committed baseline."""
+    with open(baseline_path, encoding="utf-8") as handle:
+        baseline = json.load(handle)["load"]
+    for label, pick in (
+        ("req/s", lambda r: r["requests_per_s"]),
+        ("p99 ms", lambda r: r["latency_ms"]["p99"]),
+    ):
+        then, now = pick(baseline), pick(current)
+        delta = (now - then) / then * 100 if then else 0.0
+        print(f"vs baseline {label}: {then:.2f} -> {now:.2f} ({delta:+.1f}%)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"small load shape ({QUICK_TENANTS}x{QUICK_ROUNDS} sessions)",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=2,
+        help="load-generator client processes (default 2)",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE", help="write the baseline JSON to FILE"
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="FILE",
+        help="soft-report deltas vs a baseline JSON",
+    )
+    args = parser.parse_args(argv)
+    tenants = QUICK_TENANTS if args.quick else FULL_TENANTS
+    rounds = QUICK_ROUNDS if args.quick else FULL_ROUNDS
+
+    identity = identity_phase()
+    load = load_phase(tenants, rounds, processes=max(2, args.processes))
+    if not args.quick:
+        assert load["sessions"] >= 1000, (
+            f"acceptance floor: expected >= 1000 tenant sessions, "
+            f"got {load['sessions']}"
+        )
+    payload = {
+        "version": "1.0.0",
+        "python": platform.python_version(),
+        "platform": platform.machine(),
+        "quick": args.quick,
+        "identity": identity,
+        "load": load,
+    }
+    if args.compare and os.path.exists(args.compare):
+        compare(load, args.compare)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote -> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,10 @@ Subcommands:
   scenario engine — including cells the paper never plotted.
 * ``serve-sim`` — simulate a multi-tenant dedup service over synthesized
   population traffic and meter its cross-user side channels.
+* ``serve-net`` — serve the same traffic over a real socket through the
+  asyncio framed-protocol frontend: multi-process load generation with
+  req/s + latency percentiles, or ``--identity`` differential replay
+  against the simulator.
 * ``storage`` — run the DDFS metadata-access experiment.
 * ``bench`` — time the hot paths (chunking, COUNT, service ingest)
   against their reference implementations and write the
@@ -357,6 +361,103 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--json", metavar="FILE", help="write the full JSON report to FILE"
+    )
+
+    net = sub.add_parser(
+        "serve-net",
+        help="serve the dedup service over a socket and load-generate it",
+        description=(
+            "Start the asyncio framed-socket frontend over a real Unix "
+            "socket (or TCP with --port), then either replay the "
+            "synthesized traffic from N client processes and report "
+            "sustained req/s and latency percentiles (default), or "
+            "replay it in stream order over one connection and prove "
+            "the served trace byte-identical to the in-process "
+            "simulator (--identity)."
+        ),
+    )
+    net.add_argument("--tenants", type=_positive_int, default=20)
+    net.add_argument(
+        "--requests",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "total upload requests; rounds = max(1, N // tenants) "
+            "(default: 2 rounds)"
+        ),
+    )
+    net.add_argument(
+        "--duplication-factor", type=float, default=0.5, metavar="F"
+    )
+    net.add_argument(
+        "--popularity-exponent", type=float, default=1.5, metavar="S"
+    )
+    net.add_argument(
+        "--scheme",
+        choices=[scheme.value for scheme in DefenseScheme],
+        default="mle",
+    )
+    net.add_argument(
+        "--quota-mib",
+        type=float,
+        default=None,
+        metavar="M",
+        help="per-tenant logical-byte quota (default: unlimited)",
+    )
+    net.add_argument(
+        "--nodes",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="storage-tier nodes behind the frontend (cluster for N > 1)",
+    )
+    net.add_argument(
+        "--routing", choices=("ring", "modulo"), default="ring"
+    )
+    net.add_argument("--seed", type=int, default=0)
+    net.add_argument(
+        "--clients",
+        type=_positive_int,
+        default=2,
+        metavar="N",
+        help="load-generator client processes (default 2)",
+    )
+    net.add_argument(
+        "--rate-limit",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help="per-tenant admission rate in req/s (0 = unlimited)",
+    )
+    net.add_argument(
+        "--burst",
+        type=float,
+        default=32.0,
+        metavar="B",
+        help="per-tenant token-bucket capacity",
+    )
+    net.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="P",
+        help=(
+            "serve TCP on 127.0.0.1:P (0 = ephemeral) instead of the "
+            "default scratch Unix socket"
+        ),
+    )
+    net.add_argument(
+        "--identity",
+        action="store_true",
+        help=(
+            "identity mode: single-connection in-order replay, then "
+            "byte-compare the served report against the simulator "
+            "(exit 1 on divergence; requires --rate-limit 0)"
+        ),
+    )
+    net.add_argument(
+        "--json", metavar="FILE", help="write the JSON report to FILE"
     )
 
     storage = sub.add_parser(
@@ -848,6 +949,123 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_net(args: argparse.Namespace) -> int:
+    import json as json_module
+    import os
+    import shutil
+    import tempfile
+
+    from repro.service.frontend import (
+        FrontendConfig,
+        FrontendServer,
+        build_frontend,
+        identity_check,
+    )
+    from repro.service.loadgen import replay_stream, run_loadgen
+    from repro.service.simulate import ServiceConfig
+
+    rounds = 2
+    if args.requests is not None:
+        rounds = max(1, args.requests // args.tenants)
+    if not 0.0 <= args.duplication_factor <= 1.0:
+        raise SystemExit(
+            f"duplication factor {args.duplication_factor} must be in [0, 1]"
+        )
+    if args.identity and args.rate_limit > 0:
+        raise SystemExit(
+            "--identity needs admission disabled (--rate-limit 0): a "
+            "throttled request would diverge from the simulator"
+        )
+    config = ServiceConfig(
+        tenants=args.tenants,
+        rounds=rounds,
+        duplication_factor=args.duplication_factor,
+        popularity_exponent=args.popularity_exponent,
+        scheme=args.scheme,
+        quota_bytes=(
+            int(args.quota_mib * MiB) if args.quota_mib is not None else None
+        ),
+        nodes=args.nodes,
+        routing=args.routing,
+        seed=args.seed,
+    )
+    frontend = build_frontend(
+        config,
+        FrontendConfig(rate_limit=args.rate_limit, burst=args.burst),
+    )
+    scratch = None
+    if args.port is not None:
+        requested = ("tcp", "127.0.0.1", args.port)
+    else:
+        scratch = tempfile.mkdtemp(prefix="serve-net-")
+        requested = ("unix", os.path.join(scratch, "frontend.sock"))
+    tier = f"nodes: {args.nodes} ({args.routing})  " if args.nodes > 1 else ""
+    try:
+        with FrontendServer(frontend, requested) as address:
+            where = (
+                f"{address[1]}:{address[2]}"
+                if address[0] == "tcp"
+                else address[1]
+            )
+            print(
+                f"tenants: {args.tenants}  rounds: {rounds}  "
+                f"scheme: {args.scheme}  {tier}seed: {args.seed}  "
+                f"listening: {address[0]}://{where}"
+            )
+            if args.identity:
+                counts = replay_stream(address, config)
+                report = {"mode": "identity", "replay": counts}
+            else:
+                report = run_loadgen(address, config, processes=args.clients)
+                report["mode"] = "loadgen"
+    finally:
+        if scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)
+    if args.identity:
+        check = identity_check(frontend)
+        report["identical"] = check["identical"]
+        report["report"] = check["served"]
+        counts = report["replay"]
+        print(
+            f"replayed {counts['requests']} requests in order "
+            f"({counts['uploads']} uploads, {counts['restores']} restores, "
+            f"{counts['rejected_uploads']} quota-rejected, "
+            f"{counts['skipped_restores']} skipped restores)"
+        )
+        verdict = (
+            "IDENTICAL to the in-process simulator"
+            if check["identical"]
+            else "DIVERGED from the in-process simulator"
+        )
+        print(f"served trace: {verdict}")
+    else:
+        latency = report["latency_ms"]
+        print(
+            f"clients: {report['processes']}  "
+            f"sessions: {report['sessions']}  "
+            f"requests: {report['requests']} ({report['ok']} ok)"
+        )
+        print(
+            f"sustained {report['requests_per_s']:.0f} req/s over "
+            f"{report['elapsed_s']:.2f}s  latency p50 {latency['p50']:.2f}ms "
+            f"p99 {latency['p99']:.2f}ms max {latency['max']:.2f}ms"
+        )
+        if report["errors"]:
+            print(
+                "errors: "
+                + "  ".join(
+                    f"{code}={count}"
+                    for code, count in report["errors"].items()
+                )
+            )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote -> {args.json}", file=sys.stderr)
+    return 0 if not args.identity or report["identical"] else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.analysis.hotpaths import DEFAULT_OUTPUT, run_and_report
 
@@ -884,6 +1102,7 @@ _HANDLERS = {
     "figure": _cmd_figure,
     "sweep": _cmd_sweep,
     "serve-sim": _cmd_serve_sim,
+    "serve-net": _cmd_serve_net,
     "storage": _cmd_storage,
     "bench": _cmd_bench,
     "report": _cmd_report,

@@ -187,6 +187,7 @@ CELL_WARMERS: dict[str, Callable[[dict], None]] = {}
 _LAZY_KIND_MODULES = {
     "service": "repro.service.cells",
     "service_attack": "repro.service.cells",
+    "serve_net": "repro.service.cells",
     "cluster": "repro.cluster.cells",
 }
 

@@ -19,9 +19,25 @@ provides the multi-tenant setting those attacks actually live in:
 * :mod:`repro.service.simulate` — ``ServiceConfig`` + ``service_report``
   glue it all into the ``freqdedup serve-sim`` CLI command and the
   scenario engine's ``service`` / ``service_attack`` cell kinds
-  (:mod:`repro.service.cells`).
+  (:mod:`repro.service.cells`);
+* :mod:`repro.service.protocol` / :mod:`repro.service.frontend` — the
+  length-prefixed framed wire protocol and the asyncio socket server
+  that multiplexes concurrent per-tenant sessions onto one
+  ``DedupService``, with token-bucket admission control
+  (:mod:`repro.service.admission`) in front of the engine;
+* :mod:`repro.service.loadgen` — the blocking protocol client plus the
+  multi-process load generator behind ``freqdedup serve-net``.
 """
 
+from repro.service.admission import AdmissionController, TokenBucket
+from repro.service.frontend import (
+    DedupFrontend,
+    FrontendConfig,
+    FrontendServer,
+    build_frontend,
+    identity_check,
+)
+from repro.service.loadgen import FrontendClient, replay_stream, run_loadgen
 from repro.service.meter import SideChannelMeter
 from repro.service.server import (
     DedupService,
@@ -33,6 +49,8 @@ from repro.service.simulate import (
     ServiceConfig,
     ServiceTrace,
     attack_cells,
+    build_service,
+    inline_report,
     service_grid_cells,
     service_report,
     simulate,
@@ -46,7 +64,12 @@ from repro.service.traffic import (
 )
 
 __all__ = [
+    "AdmissionController",
+    "DedupFrontend",
     "DedupService",
+    "FrontendClient",
+    "FrontendConfig",
+    "FrontendServer",
     "RESTORE",
     "Request",
     "RequestObservables",
@@ -54,11 +77,18 @@ __all__ = [
     "ServiceConfig",
     "ServiceTrace",
     "SideChannelMeter",
+    "TokenBucket",
     "TrafficConfig",
     "TrafficModel",
     "UPLOAD",
     "UploadResult",
     "attack_cells",
+    "build_frontend",
+    "build_service",
+    "identity_check",
+    "inline_report",
+    "replay_stream",
+    "run_loadgen",
     "service_grid_cells",
     "service_report",
     "simulate",

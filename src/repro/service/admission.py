@@ -1,0 +1,162 @@
+"""Admission control for the socket frontend: rate limits and caps.
+
+Two small policies sit in front of the dedup engine:
+
+* :class:`TokenBucket` — the classic leaky-bucket rate limiter.  A
+  bucket holds at most ``burst`` tokens and refills at ``rate`` tokens
+  per second; a request is admitted iff a token is available.  The
+  clock is injectable, so unit tests drive the bucket on virtual time
+  and the contention tests only need loose real-time tolerances.
+* :class:`AdmissionController` — per-tenant buckets plus a global
+  concurrent-session cap.  Buckets are created lazily on a tenant's
+  first request, so the controller scales with *active* tenants, not
+  the population size.
+
+Quota enforcement is deliberately **not** here: logical-byte quotas are
+tenant state the service already owns
+(:class:`~repro.service.server.DedupService` raises
+:class:`~repro.common.errors.QuotaExceededError`), and the frontend maps
+that to the ``quota_exceeded`` wire error.  Admission control covers
+what the in-process service cannot see — request *arrival*: how fast a
+tenant sends, how many sessions are open, how deep a connection's
+pipeline may run (the bounded queue lives in
+:mod:`repro.service.frontend`).
+
+A ``rate`` of 0 disables rate limiting (every request admitted), which
+is the identity mode the differential tests rely on: with admission
+disabled the frontend must be byte-identical to the in-process
+simulator.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+Clock = Callable[[], float]
+
+
+class TokenBucket:
+    """Token-bucket rate limiter on an injectable monotonic clock.
+
+    Args:
+        rate: refill rate in tokens per second; ``0`` (or negative)
+            disables limiting — :meth:`try_acquire` always admits.
+        burst: bucket capacity (maximum tokens; the initial balance).
+        clock: monotonic time source (default :func:`time.monotonic`).
+    """
+
+    def __init__(
+        self, rate: float, burst: float = 1.0, clock: Clock = time.monotonic
+    ):
+        self.rate = float(rate)
+        self.burst = max(float(burst), 1.0)
+        self._clock = clock
+        self._tokens = self.burst
+        self._updated = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._updated
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._updated = now
+
+    def tokens(self) -> float:
+        """The current balance (after refill) — observability, not API."""
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Admit a request costing ``tokens``, if the balance allows.
+
+        Returns:
+            True (and debits the bucket) when admitted; False otherwise.
+            Always True when the bucket is unlimited (``rate <= 0``).
+        """
+        if self.rate <= 0:
+            return True
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+
+class AdmissionController:
+    """Per-tenant request rate limits plus a global session cap.
+
+    Args:
+        rate_limit: per-tenant request rate (requests/second); ``0``
+            disables rate limiting.
+        burst: per-tenant bucket capacity.
+        max_sessions: concurrent-session cap; a connection beyond the
+            cap is refused at accept time (``busy``).
+        clock: monotonic time source shared by every bucket.
+    """
+
+    def __init__(
+        self,
+        rate_limit: float = 0.0,
+        burst: float = 32.0,
+        max_sessions: int = 4096,
+        clock: Clock = time.monotonic,
+    ):
+        self.rate_limit = float(rate_limit)
+        self.burst = float(burst)
+        self.max_sessions = int(max_sessions)
+        self._clock = clock
+        self._buckets: dict[int, TokenBucket] = {}
+        self._sessions = 0
+        self.throttled_requests = 0
+        self.refused_sessions = 0
+
+    # -- sessions -----------------------------------------------------------
+
+    @property
+    def active_sessions(self) -> int:
+        return self._sessions
+
+    def admit_session(self) -> bool:
+        """Admit one new connection against the global cap."""
+        if self._sessions >= self.max_sessions:
+            self.refused_sessions += 1
+            return False
+        self._sessions += 1
+        return True
+
+    def release_session(self) -> None:
+        self._sessions = max(0, self._sessions - 1)
+
+    # -- requests -----------------------------------------------------------
+
+    def bucket(self, tenant: int) -> TokenBucket:
+        """The tenant's bucket, created on first use."""
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(
+                self.rate_limit, self.burst, clock=self._clock
+            )
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def admit_request(self, tenant: int) -> bool:
+        """Admit one request from ``tenant`` against its rate limit."""
+        if self.rate_limit <= 0:
+            return True
+        if self.bucket(tenant).try_acquire():
+            return True
+        self.throttled_requests += 1
+        return False
+
+    def snapshot(self) -> dict[str, object]:
+        """Counters for the STATS frame (JSON-safe)."""
+        return {
+            "rate_limit": self.rate_limit,
+            "burst": self.burst,
+            "max_sessions": self.max_sessions,
+            "active_sessions": self._sessions,
+            "throttled_requests": self.throttled_requests,
+            "refused_sessions": self.refused_sessions,
+            "tenants_seen": len(self._buckets),
+        }

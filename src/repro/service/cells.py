@@ -1,6 +1,6 @@
 """Scenario-engine cell kinds for the service layer.
 
-Importing this module registers two cell kinds with
+Importing this module registers three cell kinds with
 :mod:`repro.scenarios.cells` (the engine lazy-loads it on first use, so
 specs and cells can name these kinds without importing the service):
 
@@ -14,6 +14,12 @@ specs and cells can name these kinds without importing the service):
   These cells fan a (tenants × popularity-skew × duplication-factor)
   grid across processes, so they deliberately have **no** warmer: each
   worker simulating its own cell's config *is* the parallel work.
+* ``serve_net`` — one *served* run per cell: a real socket frontend
+  (:mod:`repro.service.frontend`) over a Unix socket in a scratch
+  directory, driven by an in-order :func:`replay_stream`, reduced to
+  headline metrics plus the ``identical_to_sim`` differential verdict.
+  Identity-ordered replay with admission disabled is deterministic, so
+  these rows cache like any simulated cell.
 
 Both kinds sit on the per-process memo pair in
 :mod:`repro.service.simulate`: the trace memo (what the
@@ -25,10 +31,17 @@ stream instead of regenerating it per cell.
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
+
 from repro.scenarios.cells import register_cell_kind
+from repro.scenarios.spec import Cell
 from repro.service.simulate import (
+    ServiceConfig,
     attack_pairs,
     config_from_params,
+    config_params,
     evaluate_pair,
     headline_metrics,
     simulate,
@@ -71,7 +84,78 @@ def _run_service_grid(params: dict) -> tuple:
     return (row,)
 
 
+SERVE_NET_COLUMNS = (
+    "tenants",
+    "scheme",
+    "requests",
+    "uploads",
+    "restores",
+    "rejected_uploads",
+    "skipped_restores",
+    "dedup_ratio",
+    "cross_user_dedup_rate",
+    "identical_to_sim",
+)
+
+
+def _run_serve_net(params: dict) -> tuple:
+    """Serve one config over a real socket and diff it against the sim.
+
+    Heavy imports stay inside the executor so merely registering the
+    kind never drags asyncio/socket machinery into scenario workers
+    that run other kinds.
+    """
+    from repro.service.frontend import (
+        FrontendServer,
+        build_frontend,
+        identity_check,
+    )
+    from repro.service.loadgen import replay_stream
+
+    config = config_from_params(params)
+    frontend = build_frontend(config)
+    scratch = tempfile.mkdtemp(prefix="serve-net-")
+    try:
+        address = ("unix", os.path.join(scratch, "frontend.sock"))
+        with FrontendServer(frontend, address) as bound:
+            counts = replay_stream(bound, config)
+        identical = identity_check(frontend)["identical"]
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    metrics = headline_metrics(frontend.as_trace())
+    row = (
+        ("tenants", config.tenants),
+        ("scheme", config.scheme),
+        ("requests", counts["requests"]),
+        ("uploads", counts["uploads"]),
+        ("restores", counts["restores"]),
+        ("rejected_uploads", counts["rejected_uploads"]),
+        ("skipped_restores", counts["skipped_restores"]),
+        ("dedup_ratio", metrics["dedup_ratio"]),
+        ("cross_user_dedup_rate", metrics["cross_user_dedup_rate"]),
+        ("identical_to_sim", identical),
+    )
+    return (row,)
+
+
+def serve_net_cells(configs) -> tuple[Cell, ...]:
+    """One ``serve_net`` cell per :class:`ServiceConfig`."""
+    cells = []
+    for config in configs:
+        if not isinstance(config, ServiceConfig):
+            config = config_from_params(dict(config))
+        cells.append(
+            Cell(
+                kind="serve_net",
+                params=config_params(config),
+                tags=(("tenants", config.tenants), ("seed", config.seed)),
+            )
+        )
+    return tuple(cells)
+
+
 register_cell_kind(
     "service_attack", _run_service_attack, warmer=_warm_service_attack
 )
 register_cell_kind("service", _run_service_grid)
+register_cell_kind("serve_net", _run_serve_net)

@@ -1,0 +1,655 @@
+"""Asyncio framed-socket frontend over the multi-tenant dedup service.
+
+This is the serving tier the threat model assumes: a server speaking the
+length-prefixed protocol of :mod:`repro.service.protocol` over TCP or a
+Unix socket, multiplexing concurrent per-tenant sessions onto one shared
+:class:`~repro.service.server.DedupService` (and through it the
+:class:`~repro.index.backends.KVBackend` seam — every upload's index
+probe is the same single batched ``lookup_batch`` the in-process path
+issues).
+
+Concurrency model
+-----------------
+
+One event loop serves every connection.  Each connection runs two
+tasks — a *frame pump* that reads and decodes frames into a **bounded**
+queue, and a *processor* that serves them in order — so a client may
+pipeline requests: while the engine serves frame N, frames N+1..N+q are
+already parsed and queued.  The queue bound is the backpressure valve:
+when a connection has ``queue_depth`` requests in flight the pump's
+``put`` blocks, the server stops reading that socket, and TCP pushes
+back on the sender.  Engine calls themselves are synchronous and run on
+the loop, so *global* request order — the order that determines every
+dedup decision — is exactly the order the processor tasks interleave.
+
+Admission control
+-----------------
+
+Three layers, all in front of the engine:
+
+* per-tenant token-bucket rate limits and a global session cap
+  (:mod:`repro.service.admission`) — over-rate requests get a
+  ``rate_limited`` error without touching the engine;
+* logical-byte quotas, enforced by the service itself
+  (``quota_exceeded`` on the wire, nothing stored);
+* transport hygiene: oversized frames are refused without reading the
+  payload, idle sessions are evicted after ``idle_timeout``, slow
+  readers are aborted when a response drain exceeds ``drain_timeout``,
+  and malformed frames answer a fatal error then close.
+
+Identity mode
+-------------
+
+With admission disabled (``rate_limit=0``) and requests replayed in
+stream order over one connection, a served trace must be byte-identical
+to the in-process simulator on the same seeded traffic —
+:func:`identity_check` proves it by comparing full
+:func:`~repro.service.simulate.inline_report` JSON for both.  The server
+builds its service through the same
+:func:`~repro.service.simulate.build_service`, serves each request
+through the same ``DedupService`` methods, and meters through the same
+:class:`~repro.service.meter.SideChannelMeter`, so the only degree of
+freedom is serving order — which identity mode pins.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+from dataclasses import dataclass, field
+
+from repro.common.errors import (
+    ConfigurationError,
+    QuotaExceededError,
+    StorageError,
+)
+from repro.service import protocol as wire
+from repro.service.admission import AdmissionController
+from repro.service.meter import SideChannelMeter
+from repro.service.server import DedupService
+from repro.service.simulate import (
+    ServiceConfig,
+    ServiceTrace,
+    build_service,
+    inline_report,
+    simulate,
+)
+from repro.service.traffic import UPLOAD, Request
+
+# Address tuples: ("unix", path) or ("tcp", host, port).  Plain tuples so
+# they pickle into load-generator worker processes unchanged.
+Address = tuple
+
+
+@dataclass(frozen=True)
+class FrontendConfig:
+    """Transport and admission knobs for one frontend instance.
+
+    Attributes:
+        max_frame_bytes: largest accepted frame body; a header claiming
+            more is refused (``oversized_frame``) without reading it.
+        idle_timeout: seconds a session may sit between frames before
+            eviction (also bounds a half-sent frame).
+        drain_timeout: seconds a response drain may take before the
+            connection is declared a slow reader and aborted.
+        queue_depth: per-connection pipeline bound (parsed requests in
+            flight); the backpressure valve.
+        rate_limit: per-tenant request rate (req/s); 0 disables —
+            identity mode requires 0.
+        burst: per-tenant token-bucket capacity.
+        max_sessions: global concurrent-session cap (``busy`` beyond).
+    """
+
+    max_frame_bytes: int = wire.DEFAULT_MAX_FRAME_BYTES
+    idle_timeout: float = 30.0
+    drain_timeout: float = 10.0
+    queue_depth: int = 16
+    rate_limit: float = 0.0
+    burst: float = 32.0
+    max_sessions: int = 4096
+
+
+@dataclass
+class FrontendStats:
+    """Serving counters (exposed verbatim in the STATS frame)."""
+
+    sessions_opened: int = 0
+    sessions_closed: int = 0
+    frames_in: int = 0
+    frames_out: int = 0
+    uploads: int = 0
+    restores: int = 0
+    slow_reader_aborts: int = 0
+    errors: dict[str, int] = field(default_factory=dict)
+
+    def count_error(self, code: str) -> None:
+        self.errors[code] = self.errors.get(code, 0) + 1
+
+
+class _SlowReaderAbort(Exception):
+    """Internal: a response drain timed out; the connection was aborted."""
+
+
+class DedupFrontend:
+    """Serves the framed protocol over one shared :class:`DedupService`.
+
+    Args:
+        service: the dedup service to serve (single-node or clustered).
+        service_config: the :class:`ServiceConfig` behind ``service``,
+            when there is one — required by :meth:`as_trace` and
+            :func:`identity_check`, unused for ad-hoc services.
+        config: transport/admission knobs.
+        clock: monotonic time source for the admission buckets
+            (injectable for deterministic rate-limit tests).
+    """
+
+    def __init__(
+        self,
+        service: DedupService,
+        service_config: ServiceConfig | None = None,
+        config: FrontendConfig | None = None,
+        clock=None,
+    ):
+        self.service = service
+        self.service_config = service_config
+        self.config = config or FrontendConfig()
+        self.meter = SideChannelMeter(scheme=service.scheme)
+        self.stats = FrontendStats()
+        self.rejected_uploads = 0
+        self.skipped_restores = 0
+        kwargs = {} if clock is None else {"clock": clock}
+        self.admission = AdmissionController(
+            rate_limit=self.config.rate_limit,
+            burst=self.config.burst,
+            max_sessions=self.config.max_sessions,
+            **kwargs,
+        )
+        self._connections: set[asyncio.Task] = set()
+
+    # -- the served trace ---------------------------------------------------
+
+    def as_trace(self) -> ServiceTrace:
+        """The served requests as a :class:`ServiceTrace`.
+
+        The same structure the simulator produces, so every report
+        helper (``headline_metrics``, ``evaluate_pair``,
+        ``cluster_report``, :func:`inline_report`) runs on a served
+        trace unchanged.
+        """
+        if self.service_config is None:
+            raise ConfigurationError(
+                "as_trace() needs the frontend built with a service_config"
+            )
+        return ServiceTrace(
+            config=self.service_config,
+            service=self.service,
+            meter=self.meter,
+            rejected_uploads=self.rejected_uploads,
+            skipped_restores=self.skipped_restores,
+        )
+
+    # -- connection handling ------------------------------------------------
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one connection: pump frames, process in order."""
+        if not self.admission.admit_session():
+            self.stats.count_error(wire.E_BUSY)
+            with contextlib.suppress(Exception):
+                writer.write(
+                    wire.encode_frame(
+                        wire.ERROR,
+                        wire.error_payload(wire.E_BUSY, "session cap reached"),
+                    )
+                )
+                await writer.drain()
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+            return
+        self.stats.sessions_opened += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        queue: asyncio.Queue = asyncio.Queue(maxsize=self.config.queue_depth)
+        pump = asyncio.create_task(self._pump_frames(reader, queue))
+        try:
+            await self._process(queue, writer)
+        except _SlowReaderAbort:
+            self.stats.slow_reader_aborts += 1
+        finally:
+            # Close the transport BEFORE reaping the pump: a bare
+            # cancel() can be absorbed by wait_for when the read
+            # completed concurrently, and a swallowed cancel would leave
+            # the pump blocking on the next read for a full idle
+            # timeout.  With the transport closed every read fails
+            # immediately, so the pump always exits promptly.
+            writer.close()
+            pump.cancel()
+            # Leave the pump room to post its terminal event even if the
+            # session died with a full pipeline, so it can always finish.
+            while not queue.empty():
+                queue.get_nowait()
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await pump
+            if task is not None:
+                self._connections.discard(task)
+            self.admission.release_session()
+            self.stats.sessions_closed += 1
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def shutdown(self) -> None:
+        """Cancel and await every live connection task (server stop)."""
+        tasks = [task for task in self._connections if not task.done()]
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        self._connections.clear()
+
+    async def _pump_frames(
+        self, reader: asyncio.StreamReader, queue: asyncio.Queue
+    ) -> None:
+        """Read, bound-check and decode frames into the session queue.
+
+        Emits ``("frame", kind, payload)`` events — or ``("error", code,
+        message)`` for a well-delimited frame whose payload fails to
+        decode (framing is still in sync, so the session survives) —
+        then exactly one terminal event: ``("eof",)`` for a clean or
+        abrupt disconnect (including a frame truncated by the
+        disconnect) or ``("fatal", code, message)`` for transport abuse
+        the processor must answer before closing.
+        """
+        config = self.config
+        while True:
+            try:
+                header = await asyncio.wait_for(
+                    reader.readexactly(wire.HEADER_BYTES), config.idle_timeout
+                )
+            except asyncio.TimeoutError:
+                await queue.put(("fatal", wire.E_IDLE, "session idle timeout"))
+                return
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                await queue.put(("eof",))
+                return
+            (length,) = wire.HEADER.unpack(header)
+            if length < 1 or length > config.max_frame_bytes:
+                await queue.put(
+                    (
+                        "fatal",
+                        wire.E_OVERSIZED,
+                        f"frame of {length} bytes exceeds the "
+                        f"{config.max_frame_bytes}-byte limit",
+                    )
+                )
+                return
+            try:
+                body = await asyncio.wait_for(
+                    reader.readexactly(length), config.idle_timeout
+                )
+            except asyncio.TimeoutError:
+                await queue.put(
+                    ("fatal", wire.E_IDLE, "frame stalled mid-body")
+                )
+                return
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                # Truncated by disconnect: nobody is left to answer.
+                await queue.put(("eof",))
+                return
+            try:
+                kind, payload = wire.decode_body(body)
+            except wire.ProtocolError as error:
+                if error.code in wire.FATAL_CODES:
+                    await queue.put(("fatal", error.code, str(error)))
+                    return
+                # The frame was well-delimited (length known, body fully
+                # consumed), so framing is still in sync: answer the
+                # error and keep pumping.
+                await queue.put(("error", error.code, str(error)))
+                continue
+            # A full queue blocks here — backpressure: the server stops
+            # reading this socket until the processor drains a slot.
+            await queue.put(("frame", kind, payload))
+
+    async def _process(
+        self, queue: asyncio.Queue, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            event = await queue.get()
+            tag = event[0]
+            if tag == "eof":
+                return
+            if tag == "fatal":
+                _, code, message = event
+                self.stats.count_error(code)
+                await self._send(
+                    writer, wire.ERROR, wire.error_payload(code, message)
+                )
+                return
+            if tag == "error":
+                _, code, message = event
+                self.stats.count_error(code)
+                await self._send(
+                    writer, wire.ERROR, wire.error_payload(code, message)
+                )
+                continue
+            _, kind, payload = event
+            self.stats.frames_in += 1
+            response_kind, response_payload, close_after = self._serve(
+                kind, payload
+            )
+            await self._send(writer, response_kind, response_payload)
+            if close_after:
+                return
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, kind: int, payload: dict
+    ) -> None:
+        writer.write(wire.encode_frame(kind, payload))
+        self.stats.frames_out += 1
+        try:
+            await asyncio.wait_for(writer.drain(), self.config.drain_timeout)
+        except asyncio.TimeoutError:
+            # Slow reader: the peer is not consuming responses.  Abort
+            # the transport (no lingering send buffer) and bail out.
+            writer.transport.abort()
+            raise _SlowReaderAbort() from None
+
+    # -- request dispatch (synchronous, ordered by the event loop) ----------
+
+    def _serve(self, kind: int, payload: dict) -> tuple[int, dict, bool]:
+        """Serve one request; returns (kind, payload, close_after)."""
+        try:
+            if kind == wire.HELLO:
+                return self._serve_hello(payload)
+            if kind == wire.UPLOAD_BATCH:
+                return self._serve_upload(payload)
+            if kind == wire.RESTORE:
+                return self._serve_restore(payload)
+            if kind == wire.STATS:
+                return wire.OK, self.stats_payload(), False
+            if kind == wire.CLOSE:
+                return wire.OK, {"closed": True}, True
+            self.stats.count_error(wire.E_PROTOCOL)
+            return (
+                wire.ERROR,
+                wire.error_payload(
+                    wire.E_PROTOCOL, f"unknown frame kind 0x{kind:02x}"
+                ),
+                True,
+            )
+        except wire.ProtocolError as error:
+            # A malformed payload in a well-framed message: answer the
+            # error and keep the session — framing is still in sync.
+            self.stats.count_error(error.code)
+            return wire.ERROR, wire.error_payload(error.code, str(error)), False
+
+    def _serve_hello(self, payload: dict) -> tuple[int, dict, bool]:
+        version = payload.get("protocol")
+        if version != wire.PROTOCOL_VERSION:
+            self.stats.count_error(wire.E_PROTOCOL)
+            return (
+                wire.ERROR,
+                wire.error_payload(
+                    wire.E_PROTOCOL,
+                    f"protocol {version!r} unsupported "
+                    f"(server speaks {wire.PROTOCOL_VERSION})",
+                ),
+                True,
+            )
+        return (
+            wire.OK,
+            {
+                "server": "freqdedup-frontend",
+                "protocol": wire.PROTOCOL_VERSION,
+                "scheme": self.service.scheme.value,
+            },
+            False,
+        )
+
+    def _serve_upload(self, payload: dict) -> tuple[int, dict, bool]:
+        tenant, round_index, label, backup = wire.parse_upload(payload)
+        if not self.admission.admit_request(tenant):
+            self.stats.count_error(wire.E_RATE_LIMITED)
+            return (
+                wire.ERROR,
+                wire.error_payload(
+                    wire.E_RATE_LIMITED,
+                    f"tenant {tenant} exceeded "
+                    f"{self.config.rate_limit:g} req/s",
+                ),
+                False,
+            )
+        request = Request(
+            kind=UPLOAD,
+            tenant=tenant,
+            round=round_index,
+            label=label,
+            backup=backup,
+        )
+        try:
+            result = self.service.upload(tenant, backup, label=label)
+        except QuotaExceededError as error:
+            self.rejected_uploads += 1
+            self.stats.count_error(wire.E_QUOTA)
+            return wire.ERROR, wire.error_payload(wire.E_QUOTA, str(error)), False
+        except ConfigurationError as error:
+            self.stats.count_error(wire.E_CONFLICT)
+            return (
+                wire.ERROR,
+                wire.error_payload(wire.E_CONFLICT, str(error)),
+                False,
+            )
+        self.meter.observe_upload(request, result)
+        self.stats.uploads += 1
+        return wire.OK, wire.observables_payload(result.observables), False
+
+    def _serve_restore(self, payload: dict) -> tuple[int, dict, bool]:
+        tenant, label = wire.parse_restore(payload)
+        if not self.admission.admit_request(tenant):
+            self.stats.count_error(wire.E_RATE_LIMITED)
+            return (
+                wire.ERROR,
+                wire.error_payload(
+                    wire.E_RATE_LIMITED,
+                    f"tenant {tenant} exceeded "
+                    f"{self.config.rate_limit:g} req/s",
+                ),
+                False,
+            )
+        try:
+            observables, _ = self.service.restore(tenant, label)
+        except StorageError as error:
+            # The in-process simulator skips restores whose upload was
+            # quota-rejected; over the wire the same condition surfaces
+            # as not_found — counted identically (skipped_restores).
+            self.skipped_restores += 1
+            self.stats.count_error(wire.E_NOT_FOUND)
+            return (
+                wire.ERROR,
+                wire.error_payload(wire.E_NOT_FOUND, str(error)),
+                False,
+            )
+        self.meter.observe_restore(observables)
+        self.stats.restores += 1
+        return wire.OK, wire.observables_payload(observables), False
+
+    def stats_payload(self) -> dict[str, object]:
+        """The STATS response: serving counters + store totals."""
+        stats = self.stats
+        return {
+            "sessions_opened": stats.sessions_opened,
+            "sessions_closed": stats.sessions_closed,
+            "active_sessions": self.admission.active_sessions,
+            "frames_in": stats.frames_in,
+            "frames_out": stats.frames_out,
+            "uploads": stats.uploads,
+            "restores": stats.restores,
+            "rejected_uploads": self.rejected_uploads,
+            "skipped_restores": self.skipped_restores,
+            "slow_reader_aborts": stats.slow_reader_aborts,
+            "errors": dict(sorted(stats.errors.items())),
+            "admission": self.admission.snapshot(),
+            "tenants": len(self.service.tenants()),
+            "stored_bytes": self.service.stored_bytes,
+            "unique_chunks_stored": self.service.unique_chunks_stored(),
+        }
+
+
+# -- running a frontend -------------------------------------------------------
+
+
+async def start_frontend(
+    frontend: DedupFrontend, address: Address
+) -> tuple[asyncio.AbstractServer, Address]:
+    """Bind ``frontend`` on ``address`` inside the running loop.
+
+    Args:
+        frontend: the frontend to serve.
+        address: ``("unix", path)`` or ``("tcp", host, port)`` — port 0
+            binds an ephemeral port, returned in the resolved address.
+
+    Returns:
+        The asyncio server plus the resolved (bound) address.
+    """
+    if address[0] == "unix":
+        server = await asyncio.start_unix_server(
+            frontend.handle_connection, path=address[1]
+        )
+        return server, ("unix", address[1])
+    if address[0] == "tcp":
+        host, port = address[1], address[2]
+        server = await asyncio.start_server(
+            frontend.handle_connection, host, port
+        )
+        bound = server.sockets[0].getsockname()
+        return server, ("tcp", bound[0], bound[1])
+    raise ConfigurationError(f"unknown address kind {address[0]!r}")
+
+
+class FrontendServer:
+    """Runs a :class:`DedupFrontend` on a background thread's event loop.
+
+    The engine underneath is synchronous, so the serving loop lives on
+    one dedicated thread; client processes (the load generator, the
+    CLI, benchmarks) talk to it over the socket like any remote peer.
+    Use as a context manager, or ``start()``/``stop()`` explicitly::
+
+        with FrontendServer(frontend, ("unix", path)) as address:
+            client = FrontendClient(address)
+
+    ``stop()`` shuts the listener down and joins the thread; it does not
+    close the underlying service (the caller may still want to inspect
+    or report on the served trace first).
+    """
+
+    def __init__(self, frontend: DedupFrontend, address: Address):
+        self.frontend = frontend
+        self.requested = address
+        self.address: Address | None = None
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Future | None = None
+        self._started = threading.Event()
+        self._error: BaseException | None = None
+
+    def start(self) -> Address:
+        """Start serving; returns the bound address."""
+        self._thread = threading.Thread(
+            target=self._run, name="freqdedup-frontend", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30.0):
+            raise StorageError("frontend server failed to start in 30s")
+        if self._error is not None:
+            raise StorageError(
+                f"frontend server failed to start: {self._error}"
+            )
+        assert self.address is not None
+        return self.address
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._main())
+        except BaseException as error:  # surface bind failures to start()
+            self._error = error
+            self._started.set()
+        finally:
+            asyncio.set_event_loop(None)
+            loop.close()
+
+    async def _main(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._stop = loop.create_future()
+        server, self.address = await start_frontend(
+            self.frontend, self.requested
+        )
+        self._started.set()
+        try:
+            await self._stop
+        finally:
+            server.close()
+            await server.wait_closed()
+            await self.frontend.shutdown()
+
+    def stop(self) -> None:
+        """Stop the listener and join the serving thread."""
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None:
+            def _finish() -> None:
+                if not stop.done():
+                    stop.set_result(None)
+
+            with contextlib.suppress(RuntimeError):
+                loop.call_soon_threadsafe(_finish)
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+
+    def __enter__(self) -> Address:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def build_frontend(
+    service_config: ServiceConfig, config: FrontendConfig | None = None
+) -> DedupFrontend:
+    """A frontend over a freshly built service for ``service_config``."""
+    return DedupFrontend(
+        build_service(service_config),
+        service_config=service_config,
+        config=config,
+    )
+
+
+# -- identity mode ------------------------------------------------------------
+
+
+def identity_check(frontend: DedupFrontend) -> dict[str, object]:
+    """Compare a served trace with the in-process simulator, byte-for-byte.
+
+    Both traces render through :func:`inline_report` — config echo,
+    traffic totals, headline metrics, per-tenant usage, the bandwidth
+    side-channel series, the full cross-tenant attack table, and (when
+    clustered) the per-node load/skew and partial-view sections — and
+    the two JSON documents are compared for equality.
+
+    Returns:
+        ``{"identical": bool, "served": report, "expected": report}``.
+    """
+    served = inline_report(frontend.as_trace())
+    expected = inline_report(simulate(frontend.service_config))
+    return {
+        "identical": json.dumps(served, sort_keys=True)
+        == json.dumps(expected, sort_keys=True),
+        "served": served,
+        "expected": expected,
+    }

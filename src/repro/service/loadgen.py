@@ -1,0 +1,293 @@
+"""Blocking protocol client and the multi-process load generator.
+
+Two consumers of the wire protocol live here:
+
+* :class:`FrontendClient` — a small blocking client over a plain
+  ``socket``, used by the replay/identity path, the load-generator
+  workers, the CLI, the benchmarks, and (via :meth:`send_raw`) the
+  protocol-robustness tests.
+* :func:`run_loadgen` — replays a :class:`ServiceConfig`'s synthesized
+  ``TrafficModel`` stream against a running frontend from N **client
+  processes**.  Tenants are partitioned round-robin across workers and
+  each worker opens one connection per *(tenant, round)* — a tenant
+  session, the unit the acceptance numbers count — measuring
+  per-request wall latency.  Workers re-synthesize the (memoised)
+  request stream from the config instead of shipping backups through
+  pickles, so fan-out cost stays flat in trace size.
+
+:func:`replay_stream` is the other replay mode: one connection sending
+the *interleaved* stream in exact order — the serving order the
+simulator uses — which is what identity mode needs.
+"""
+
+from __future__ import annotations
+
+import math
+import socket
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.common.errors import StorageError
+from repro.datasets.model import Backup
+from repro.service import protocol as wire
+from repro.service.simulate import ServiceConfig, traffic_requests
+from repro.service.traffic import UPLOAD
+
+
+class FrontendClient:
+    """A blocking client speaking the framed protocol.
+
+    Args:
+        address: ``("unix", path)`` or ``("tcp", host, port)``.
+        timeout: socket timeout in seconds for connect/send/recv.
+    """
+
+    def __init__(self, address, timeout: float = 30.0):
+        self.address = address
+        if address[0] == "unix":
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(address[1])
+        elif address[0] == "tcp":
+            self._sock = socket.create_connection(
+                (address[1], address[2]), timeout=timeout
+            )
+        else:
+            raise StorageError(f"unknown address kind {address[0]!r}")
+
+    # -- raw transport (the robustness tests poke the framing layer) --------
+
+    def send_raw(self, data: bytes) -> None:
+        """Send arbitrary bytes — deliberately unframed."""
+        self._sock.sendall(data)
+
+    def recv_exact(self, count: int) -> bytes:
+        chunks = []
+        while count > 0:
+            chunk = self._sock.recv(count)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            chunks.append(chunk)
+            count -= len(chunk)
+        return b"".join(chunks)
+
+    def recv_frame(self) -> tuple[int, dict]:
+        """Read one response frame; returns ``(kind, payload)``."""
+        (length,) = wire.HEADER.unpack(self.recv_exact(wire.HEADER_BYTES))
+        return wire.decode_body(self.recv_exact(length))
+
+    # -- framed requests ----------------------------------------------------
+
+    def request(self, kind: int, payload: dict) -> tuple[int, dict]:
+        """Send one frame and read one response."""
+        self._sock.sendall(wire.encode_frame(kind, payload))
+        return self.recv_frame()
+
+    def hello(self, client: str = "freqdedup-loadgen") -> dict:
+        kind, payload = self.request(wire.HELLO, wire.hello_payload(client))
+        if kind != wire.OK:
+            raise StorageError(
+                f"HELLO refused: {payload.get('code')}: "
+                f"{payload.get('message')}"
+            )
+        return payload
+
+    def upload(
+        self, tenant: int, round_index: int, label: str, backup: Backup
+    ) -> tuple[int, dict]:
+        return self.request(
+            wire.UPLOAD_BATCH,
+            wire.upload_payload(tenant, round_index, label, backup),
+        )
+
+    def restore(self, tenant: int, label: str) -> tuple[int, dict]:
+        return self.request(wire.RESTORE, wire.restore_payload(tenant, label))
+
+    def stats(self) -> dict:
+        kind, payload = self.request(wire.STATS, {})
+        if kind != wire.OK:
+            raise StorageError(f"STATS failed: {payload}")
+        return payload
+
+    def close(self, polite: bool = True) -> None:
+        """Close the session (politely with a CLOSE frame by default)."""
+        if polite:
+            try:
+                self.request(wire.CLOSE, {})
+            except OSError:
+                pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "FrontendClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close(polite=exc_info[0] is None)
+
+
+def _send_request(client: FrontendClient, request) -> tuple[int, dict]:
+    if request.kind == UPLOAD:
+        return client.upload(
+            request.tenant, request.round, request.label, request.backup
+        )
+    return client.restore(request.tenant, request.restore_label)
+
+
+# -- identity replay ----------------------------------------------------------
+
+
+def replay_stream(address, config: ServiceConfig) -> dict[str, object]:
+    """Replay the full interleaved stream, in order, over one connection.
+
+    This is identity mode's client half: the global serving order equals
+    the stream order, so the served trace must match the in-process
+    simulator byte for byte.  Quota rejections and failed restores are
+    counted exactly the way the simulator counts them.
+
+    Returns:
+        ``{"requests", "uploads", "restores", "rejected_uploads",
+        "skipped_restores", "errors"}`` — ``errors`` counts any response
+        code other than the two expected rejection codes.
+    """
+    requests = traffic_requests(config)
+    counts = {
+        "requests": len(requests),
+        "uploads": 0,
+        "restores": 0,
+        "rejected_uploads": 0,
+        "skipped_restores": 0,
+        "errors": 0,
+    }
+    with FrontendClient(address) as client:
+        client.hello("freqdedup-replay")
+        for request in requests:
+            kind, payload = _send_request(client, request)
+            if kind == wire.OK:
+                counts["uploads" if request.kind == UPLOAD else "restores"] += 1
+            elif payload.get("code") == wire.E_QUOTA:
+                counts["rejected_uploads"] += 1
+            elif payload.get("code") == wire.E_NOT_FOUND:
+                counts["skipped_restores"] += 1
+            else:
+                counts["errors"] += 1
+    return counts
+
+
+# -- multi-process load generation --------------------------------------------
+
+
+@dataclass
+class WorkerReport:
+    """One worker process's share of a load-generation run."""
+
+    worker: int
+    tenants: int
+    sessions: int
+    requests: int
+    ok: int
+    errors: dict[str, int] = field(default_factory=dict)
+    latencies: list[float] = field(default_factory=list)
+
+
+def _replay_worker(
+    address, config: ServiceConfig, worker: int, processes: int
+) -> WorkerReport:
+    """Replay this worker's tenant partition, one session per round.
+
+    Runs in a child process: re-synthesizes the (memoised, deterministic)
+    request stream locally and keeps only tenants congruent to
+    ``worker`` modulo ``processes``.
+    """
+    report = WorkerReport(worker=worker, tenants=0, sessions=0, requests=0, ok=0)
+    by_tenant: dict[int, dict[int, list]] = {}
+    for request in traffic_requests(config):
+        if request.tenant % processes != worker:
+            continue
+        by_tenant.setdefault(request.tenant, {}).setdefault(
+            request.round, []
+        ).append(request)
+    report.tenants = len(by_tenant)
+    for tenant in sorted(by_tenant):
+        for round_index in sorted(by_tenant[tenant]):
+            with FrontendClient(address) as client:
+                client.hello(f"loadgen-w{worker}")
+                report.sessions += 1
+                for request in by_tenant[tenant][round_index]:
+                    started = time.perf_counter()
+                    kind, payload = _send_request(client, request)
+                    report.latencies.append(time.perf_counter() - started)
+                    report.requests += 1
+                    if kind == wire.OK:
+                        report.ok += 1
+                    else:
+                        code = str(payload.get("code"))
+                        report.errors[code] = report.errors.get(code, 0) + 1
+    return report
+
+
+def percentile(values: list[float], quantile: float) -> float:
+    """Nearest-rank percentile of ``values`` (which must be sorted)."""
+    if not values:
+        return 0.0
+    rank = max(1, math.ceil(quantile * len(values)))
+    return values[min(rank, len(values)) - 1]
+
+
+def run_loadgen(
+    address, config: ServiceConfig, processes: int = 2
+) -> dict[str, object]:
+    """Replay ``config``'s traffic from ``processes`` client processes.
+
+    Tenants are partitioned round-robin across workers; each worker
+    opens one connection per (tenant, round) — a *tenant session* — and
+    sends that session's requests back to back, timing each.
+
+    Returns:
+        A JSON-safe report: processes, tenants, sessions, requests, ok,
+        per-code error counts, elapsed seconds, sustained requests per
+        second, and latency percentiles (p50/p90/p99/max, milliseconds).
+    """
+    processes = max(1, int(processes))
+    started = time.perf_counter()
+    if processes == 1:
+        reports = [_replay_worker(address, config, 0, 1)]
+    else:
+        with ProcessPoolExecutor(max_workers=processes) as pool:
+            reports = list(
+                pool.map(
+                    _replay_worker,
+                    [address] * processes,
+                    [config] * processes,
+                    range(processes),
+                    [processes] * processes,
+                )
+            )
+    elapsed = time.perf_counter() - started
+    latencies = sorted(
+        latency for report in reports for latency in report.latencies
+    )
+    errors: dict[str, int] = {}
+    for report in reports:
+        for code, count in report.errors.items():
+            errors[code] = errors.get(code, 0) + count
+    requests = sum(report.requests for report in reports)
+    return {
+        "processes": processes,
+        "tenants": sum(report.tenants for report in reports),
+        "sessions": sum(report.sessions for report in reports),
+        "requests": requests,
+        "ok": sum(report.ok for report in reports),
+        "errors": dict(sorted(errors.items())),
+        "elapsed_s": round(elapsed, 6),
+        "requests_per_s": round(requests / elapsed, 3) if elapsed > 0 else 0.0,
+        "latency_ms": {
+            "p50": round(percentile(latencies, 0.50) * 1e3, 3),
+            "p90": round(percentile(latencies, 0.90) * 1e3, 3),
+            "p99": round(percentile(latencies, 0.99) * 1e3, 3),
+            "max": round((latencies[-1] if latencies else 0.0) * 1e3, 3),
+        },
+    }

@@ -194,9 +194,15 @@ def traffic_requests(config: ServiceConfig) -> list:
     return synthesize_requests(config.seed, _traffic_config(config))
 
 
-def _simulate(config: ServiceConfig) -> ServiceTrace:
-    requests = traffic_requests(config)
-    service = DedupService(
+def build_service(config: ServiceConfig) -> DedupService:
+    """The service a config describes (shared with the socket frontend).
+
+    The in-process simulator and the framed-socket frontend both build
+    their service through this one constructor call, which is half of
+    the identity argument: same config, same engine knobs, so any
+    divergence between the two can only come from the serving order.
+    """
+    return DedupService(
         scheme=DefenseScheme(config.scheme),
         index_backend=config.backend,
         index_path=config.backend_path,
@@ -205,6 +211,11 @@ def _simulate(config: ServiceConfig) -> ServiceTrace:
         nodes=config.nodes,
         routing=config.routing,
     )
+
+
+def _simulate(config: ServiceConfig) -> ServiceTrace:
+    requests = traffic_requests(config)
+    service = build_service(config)
     meter = SideChannelMeter(scheme=service.scheme)
     trace = ServiceTrace(config=config, service=service, meter=meter)
     for request in requests:
@@ -474,11 +485,28 @@ def service_report(
     from repro.scenarios.runner import Runner, rows_from
 
     trace = simulate(config)
-    meter = trace.meter
     results = Runner(jobs=jobs, cache=cache).run_cells(
         list(attack_cells(config))
     )
     rows = rows_from(results, ATTACK_COLUMNS)
+    return trace_report(trace, rows)
+
+
+def trace_report(
+    trace: ServiceTrace, rows: list[list[object]]
+) -> dict[str, object]:
+    """Assemble the full report dict from a trace and its attack rows.
+
+    This is the body of :func:`service_report` with the attack-pair
+    execution factored out: the CLI path feeds rows fanned out through
+    the scenario :class:`~repro.scenarios.runner.Runner`, while
+    :func:`inline_report` (the socket frontend's identity mode) feeds
+    rows evaluated inline on an arbitrary trace.  Both paths produce the
+    identical structure, so served and simulated traces compare
+    byte-for-byte with ``json.dumps``.
+    """
+    config = trace.config
+    meter = trace.meter
     rate_index = ATTACK_COLUMNS.index("inference_rate")
     rates = [row[rate_index] for row in rows]
     service_totals = headline_metrics(trace)
@@ -520,6 +548,29 @@ def service_report(
     if config.nodes > 1:
         report["cluster"] = cluster_report(trace)
     return report
+
+
+def inline_report(trace: ServiceTrace) -> dict[str, object]:
+    """The full report for an *arbitrary* trace, attack pairs inline.
+
+    :func:`service_report` only works for traces the simulator can
+    rebuild from a config (its attack cells re-simulate in workers).
+    A trace served through the socket frontend exists once, in one
+    process, so its attack pairs run inline here instead — through the
+    same :func:`evaluate_pair` the ``service_attack`` cells execute,
+    projected onto :data:`ATTACK_COLUMNS` exactly like the runner's
+    ``rows_from`` merge.  For a simulated trace the two paths are
+    byte-identical, which is what lets the differential tests compare a
+    served trace against ``service_report`` output with ``json.dumps``.
+    """
+    rows = [
+        [
+            evaluate_pair(trace, auxiliary_tenant, target_tenant)[column]
+            for column in ATTACK_COLUMNS
+        ]
+        for auxiliary_tenant, target_tenant in attack_pairs(trace.config)
+    ]
+    return trace_report(trace, rows)
 
 
 # -- scenario grid axis ------------------------------------------------------

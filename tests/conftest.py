@@ -9,6 +9,19 @@ from __future__ import annotations
 import pytest
 
 from repro.datasets.fsl import FSLConfig, FSLDatasetGenerator
+
+
+def pytest_configure(config):
+    # No pytest.ini/pyproject table exists, so markers register here.
+    config.addinivalue_line(
+        "markers", "integration: end-to-end pipeline tests"
+    )
+    config.addinivalue_line(
+        "markers",
+        "frontend: socket-frontend tests (CI runs them as a separate "
+        "timeout-bounded job via `pytest -m frontend`)",
+    )
+
 from repro.datasets.model import Backup, BackupSeries
 from repro.datasets.synthetic import SyntheticConfig, SyntheticDatasetGenerator
 from repro.datasets.vm import VMConfig, VMDatasetGenerator

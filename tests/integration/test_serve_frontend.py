@@ -1,0 +1,516 @@
+"""Socket-frontend integration tests: identity, robustness, concurrency.
+
+Three layers, matching the serving tier's three claims:
+
+* **differential identity** — the same seeded trace served over a real
+  socket is byte-identical to the in-process simulator: dedup decisions,
+  quota outcomes, meter observables, and the full attack report;
+* **protocol robustness** — malformed/truncated/oversized frames, abrupt
+  disconnects mid-batch, idle-timeout eviction, and version mismatches
+  each leave the engine consistent and never wedge the server;
+* **concurrency** — ~100 concurrent tenant sessions multiplex onto one
+  engine with no cross-tenant session-state bleed, and per-tenant
+  token-bucket rate limits hold (exactly on a virtual clock, within
+  tolerance under real-clock contention).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import shutil
+import tempfile
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from repro.datasets.model import Backup
+from repro.service import protocol as wire
+from repro.service.admission import AdmissionController, TokenBucket
+from repro.service.frontend import (
+    DedupFrontend,
+    FrontendConfig,
+    FrontendServer,
+    build_frontend,
+    identity_check,
+    start_frontend,
+)
+from repro.service.loadgen import FrontendClient, replay_stream
+from repro.service.simulate import (
+    ServiceConfig,
+    build_service,
+    inline_report,
+    service_report,
+    simulate,
+)
+
+pytestmark = [pytest.mark.integration, pytest.mark.frontend]
+
+
+def make_backup(label: str, tokens: list[str], size: int = 1024) -> Backup:
+    fingerprints = [token.encode().ljust(8, b"\0") for token in tokens]
+    return Backup(
+        label=label, fingerprints=fingerprints, sizes=[size] * len(tokens)
+    )
+
+
+@contextmanager
+def served(config: ServiceConfig, frontend_config: FrontendConfig = None):
+    """A frontend for ``config`` served on a scratch Unix socket."""
+    frontend = build_frontend(config, frontend_config)
+    scratch = tempfile.mkdtemp(prefix="fe-test-")
+    try:
+        address = ("unix", os.path.join(scratch, "frontend.sock"))
+        with FrontendServer(frontend, address) as bound:
+            yield frontend, bound
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+# -- differential identity ----------------------------------------------------
+
+
+class TestIdentity:
+    def test_served_trace_byte_identical_to_simulator(self):
+        config = ServiceConfig(tenants=6, rounds=3, seed=5)
+        with served(config) as (frontend, address):
+            counts = replay_stream(address, config)
+            assert counts["errors"] == 0
+            check = identity_check(frontend)
+        assert check["identical"], "served trace diverged from simulator"
+        # The reports really carry the full adversary view, not stubs.
+        assert check["served"]["attack"]["pairs"]
+        assert check["served"]["side_channel"]["bandwidth_signal"]
+
+    def test_quota_outcomes_identical(self):
+        """Quota rejections and the restores they void match exactly."""
+        config = ServiceConfig(
+            tenants=6, rounds=4, quota_bytes=2_000_000, seed=5
+        )
+        expected = simulate(config)
+        assert expected.rejected_uploads > 0, "config must trip quotas"
+        with served(config) as (frontend, address):
+            counts = replay_stream(address, config)
+            assert counts["rejected_uploads"] == expected.rejected_uploads
+            assert counts["skipped_restores"] == expected.skipped_restores
+            assert counts["errors"] == 0
+            assert identity_check(frontend)["identical"]
+
+    def test_meter_observables_identical_per_request(self):
+        """Every served wire observable equals the simulator's, in order."""
+        from dataclasses import asdict
+
+        config = ServiceConfig(tenants=5, rounds=2, seed=9)
+        with served(config) as (frontend, address):
+            replay_stream(address, config)
+            served_obs = [asdict(o) for o in frontend.meter.observables]
+        expected_obs = [asdict(o) for o in simulate(config).meter.observables]
+        assert served_obs == expected_obs
+
+    def test_inline_report_matches_service_report(self):
+        """The inline attack-pair path is the runner path, byte for byte."""
+        config = ServiceConfig(tenants=5, rounds=2, seed=3)
+        via_runner = service_report(config, jobs=2)
+        via_inline = inline_report(simulate(config))
+        assert json.dumps(via_inline, sort_keys=True) == json.dumps(
+            via_runner, sort_keys=True
+        )
+
+    def test_identity_over_tcp(self):
+        config = ServiceConfig(tenants=4, rounds=2, seed=2)
+        frontend = build_frontend(config)
+        with FrontendServer(frontend, ("tcp", "127.0.0.1", 0)) as address:
+            assert address[0] == "tcp" and address[2] > 0
+            counts = replay_stream(address, config)
+            assert counts["errors"] == 0
+            assert identity_check(frontend)["identical"]
+
+
+# -- protocol robustness ------------------------------------------------------
+
+
+def upload_ok(address, tenant: int, label: str) -> dict:
+    """One well-formed upload; asserts it is served and returns the payload."""
+    with FrontendClient(address) as client:
+        client.hello()
+        kind, payload = client.upload(
+            tenant, 0, label, make_backup(label, [f"{label}-{i}" for i in range(4)])
+        )
+    assert kind == wire.OK, payload
+    return payload
+
+
+class TestProtocolRobustness:
+    @pytest.fixture()
+    def frontend_address(self):
+        config = ServiceConfig(tenants=4, rounds=2, seed=1)
+        with served(config) as (frontend, address):
+            yield frontend, address
+
+    def test_malformed_json_keeps_session(self, frontend_address):
+        """Bad payload in a well-framed message: error, session survives."""
+        _, address = frontend_address
+        with FrontendClient(address) as client:
+            client.hello()
+            body = bytes([wire.UPLOAD_BATCH]) + b"{not json"
+            client.send_raw(wire.HEADER.pack(len(body)) + body)
+            kind, payload = client.recv_frame()
+            assert kind == wire.ERROR
+            assert payload["code"] == wire.E_BAD_REQUEST
+            # Framing stayed in sync: the session still serves requests.
+            kind, payload = client.upload(
+                0, 0, "after-garbage", make_backup("after-garbage", ["a", "b"])
+            )
+            assert kind == wire.OK
+
+    def test_invalid_upload_fields_keep_session(self, frontend_address):
+        _, address = frontend_address
+        with FrontendClient(address) as client:
+            client.hello()
+            kind, payload = client.request(
+                wire.UPLOAD_BATCH, {"tenant": "zero", "round": 0}
+            )
+            assert kind == wire.ERROR
+            assert payload["code"] == wire.E_BAD_REQUEST
+            kind, _ = client.request(wire.STATS, {})
+            assert kind == wire.OK
+
+    def test_unknown_frame_kind_is_fatal(self, frontend_address):
+        _, address = frontend_address
+        with FrontendClient(address) as client:
+            client.hello()
+            kind, payload = client.request(0x7F, {})
+            assert kind == wire.ERROR
+            assert payload["code"] == wire.E_PROTOCOL
+            with pytest.raises(ConnectionError):
+                client.request(wire.STATS, {})
+
+    def test_oversized_frame_refused_without_reading(self):
+        config = ServiceConfig(tenants=4, rounds=2, seed=1)
+        with served(
+            config, FrontendConfig(max_frame_bytes=512)
+        ) as (frontend, address):
+            with FrontendClient(address) as client:
+                client.hello()
+                client.send_raw(wire.HEADER.pack(100_000))
+                kind, payload = client.recv_frame()
+                assert kind == wire.ERROR
+                assert payload["code"] == wire.E_OVERSIZED
+                with pytest.raises(ConnectionError):
+                    client.recv_frame()
+            assert frontend.stats.errors[wire.E_OVERSIZED] == 1
+            # The refusal never touched the engine.
+            assert frontend.service.stored_bytes == 0
+
+    def test_truncated_frame_then_disconnect(self, frontend_address):
+        """A frame cut off by disconnect is an EOF, not a wedge."""
+        frontend, address = frontend_address
+        client = FrontendClient(address)
+        client.hello()
+        # Claim 500 body bytes, deliver 10, vanish.
+        client.send_raw(wire.HEADER.pack(500) + b"x" * 10)
+        client.close(polite=False)
+        # The server still serves new sessions afterwards.
+        upload_ok(address, 0, "after-truncation")
+        assert frontend.stats.uploads == 1
+
+    def test_abrupt_disconnect_mid_batch_keeps_engine_consistent(self):
+        """Dropping dead between pipelined uploads loses nothing served."""
+        config = ServiceConfig(tenants=4, rounds=2, seed=1)
+        with served(config) as (frontend, address):
+            client = FrontendClient(address)
+            client.hello()
+            kind, first = client.upload(
+                1, 0, "kept", make_backup("kept", ["k1", "k2", "k3"])
+            )
+            assert kind == wire.OK
+            # Fire a second upload and slam the connection before reading
+            # the response (mid-batch abort).
+            client.send_raw(
+                wire.encode_frame(
+                    wire.UPLOAD_BATCH,
+                    wire.upload_payload(
+                        1, 0, "maybe", make_backup("maybe", ["m1", "m2"])
+                    ),
+                )
+            )
+            client.close(polite=False)
+            # Served state is still coherent: the first upload is
+            # restorable on a fresh session, and the engine serves on.
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if frontend.stats.sessions_closed >= 1:
+                    break
+                time.sleep(0.01)
+            with FrontendClient(address) as probe:
+                probe.hello()
+                kind, payload = probe.restore(1, "kept")
+                assert kind == wire.OK
+                assert payload["logical_bytes"] == first["logical_bytes"]
+                usage = probe.stats()
+                assert usage["active_sessions"] == 1
+
+    def test_idle_timeout_evicts_session(self):
+        config = ServiceConfig(tenants=4, rounds=2, seed=1)
+        with served(
+            config, FrontendConfig(idle_timeout=0.2)
+        ) as (frontend, address):
+            with FrontendClient(address) as client:
+                client.hello()
+                kind, payload = client.recv_frame()  # blocks until eviction
+                assert kind == wire.ERROR
+                assert payload["code"] == wire.E_IDLE
+                with pytest.raises(ConnectionError):
+                    client.recv_frame()
+            assert frontend.stats.errors[wire.E_IDLE] == 1
+            # Eviction released the session; new connections serve fine.
+            upload_ok(address, 0, "after-idle")
+
+    def test_hello_version_mismatch_closes(self, frontend_address):
+        _, address = frontend_address
+        with FrontendClient(address) as client:
+            kind, payload = client.request(wire.HELLO, {"protocol": 99})
+            assert kind == wire.ERROR
+            assert payload["code"] == wire.E_PROTOCOL
+            with pytest.raises(ConnectionError):
+                client.request(wire.STATS, {})
+
+    def test_label_conflict_and_not_found_errors(self, frontend_address):
+        _, address = frontend_address
+        with FrontendClient(address) as client:
+            client.hello()
+            backup = make_backup("dup", ["d1", "d2"])
+            assert client.upload(2, 0, "dup", backup)[0] == wire.OK
+            kind, payload = client.upload(2, 1, "dup", backup)
+            assert (kind, payload["code"]) == (wire.ERROR, wire.E_CONFLICT)
+            # Cross-tenant restore: namespaces share chunks, never recipes.
+            kind, payload = client.restore(3, "dup")
+            assert (kind, payload["code"]) == (wire.ERROR, wire.E_NOT_FOUND)
+            kind, _ = client.restore(2, "dup")
+            assert kind == wire.OK
+
+    def test_session_cap_refuses_with_busy(self):
+        config = ServiceConfig(tenants=4, rounds=2, seed=1)
+        with served(
+            config, FrontendConfig(max_sessions=1)
+        ) as (frontend, address):
+            with FrontendClient(address) as first:
+                first.hello()
+                second = FrontendClient(address)
+                kind, payload = second.recv_frame()
+                assert kind == wire.ERROR
+                assert payload["code"] == wire.E_BUSY
+                second.close(polite=False)
+                # The admitted session is unaffected.
+                assert first.request(wire.STATS, {})[0] == wire.OK
+            assert frontend.admission.refused_sessions == 1
+
+
+# -- concurrency --------------------------------------------------------------
+
+
+async def _tenant_session(path: str, tenant: int) -> dict:
+    """One tenant's session: hello, upload own data, restore it back."""
+    reader, writer = await asyncio.open_unix_connection(path)
+
+    async def call(kind: int, payload: dict) -> tuple[int, dict]:
+        writer.write(wire.encode_frame(kind, payload))
+        await writer.drain()
+        (length,) = wire.HEADER.unpack(await reader.readexactly(4))
+        return wire.decode_body(await reader.readexactly(length))
+
+    label = f"own-{tenant}"
+    backup = make_backup(
+        label, [f"t{tenant}-c{i}" for i in range(6)], size=512
+    )
+    try:
+        kind, _ = await call(wire.HELLO, wire.hello_payload())
+        assert kind == wire.OK
+        kind, up = await call(
+            wire.UPLOAD_BATCH, wire.upload_payload(tenant, 0, label, backup)
+        )
+        assert kind == wire.OK, up
+        kind, down = await call(
+            wire.RESTORE, wire.restore_payload(tenant, label)
+        )
+        assert kind == wire.OK, down
+        await call(wire.CLOSE, {})
+    finally:
+        writer.close()
+    return {"tenant": tenant, "upload": up, "restore": down}
+
+
+class TestConcurrency:
+    def test_hundred_concurrent_sessions_no_state_bleed(self):
+        """~100 tenants at once: every session sees only its own state."""
+        tenants = 100
+        config = ServiceConfig(tenants=tenants, rounds=1, seed=1)
+        frontend = DedupFrontend(
+            build_service(config), service_config=config
+        )
+        scratch = tempfile.mkdtemp(prefix="fe-stress-")
+        path = os.path.join(scratch, "frontend.sock")
+
+        async def drive():
+            server, _ = await start_frontend(frontend, ("unix", path))
+            try:
+                return await asyncio.gather(
+                    *(_tenant_session(path, t) for t in range(tenants))
+                )
+            finally:
+                server.close()
+                await server.wait_closed()
+                await frontend.shutdown()
+
+        try:
+            results = asyncio.run(drive())
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+        assert len(results) == tenants
+        for result in results:
+            tenant = result["tenant"]
+            # The response belongs to this tenant's request — not another
+            # session's — and the restore round-trips this tenant's own
+            # upload exactly (same logical stream, all 6 chunks).
+            assert result["upload"]["tenant"] == tenant
+            assert result["upload"]["label"] == f"own-{tenant}"
+            assert result["upload"]["total_chunks"] == 6
+            assert result["restore"]["tenant"] == tenant
+            assert result["restore"]["label"] == f"own-{tenant}"
+            assert (
+                result["restore"]["logical_bytes"]
+                == result["upload"]["logical_bytes"]
+            )
+            assert result["restore"]["total_chunks"] == 6
+        # Serving order is nondeterministic under concurrency, but the
+        # request indices are a permutation — every request serialized
+        # through the engine exactly once.
+        indices = sorted(
+            r[key]["request_index"]
+            for r in results
+            for key in ("upload", "restore")
+        )
+        assert indices == list(range(2 * tenants))
+        assert frontend.service.tenants() == list(range(tenants))
+        for tenant in range(tenants):
+            usage = frontend.service.tenant_usage(tenant)
+            assert usage["uploads"] == 1
+            assert usage["restores"] == 1
+        assert frontend.stats.sessions_opened == tenants
+
+    def test_rate_limit_exact_on_virtual_clock(self):
+        """Token buckets admit exactly burst + rate x elapsed requests."""
+        now = [1000.0]
+        config = ServiceConfig(tenants=2, rounds=1, seed=1)
+        frontend = DedupFrontend(
+            build_service(config),
+            service_config=config,
+            config=FrontendConfig(rate_limit=1.0, burst=2.0),
+            clock=lambda: now[0],
+        )
+        scratch = tempfile.mkdtemp(prefix="fe-rate-")
+        path = os.path.join(scratch, "frontend.sock")
+        try:
+            with FrontendServer(frontend, ("unix", path)) as address:
+                with FrontendClient(address) as client:
+                    client.hello()
+
+                    def attempt(i: int) -> str:
+                        kind, payload = client.upload(
+                            0, 0, f"r{i}", make_backup(f"r{i}", [f"c{i}"])
+                        )
+                        return "ok" if kind == wire.OK else payload["code"]
+
+                    # Frozen clock: exactly `burst` admissions.
+                    outcomes = [attempt(i) for i in range(4)]
+                    assert outcomes == [
+                        "ok", "ok", wire.E_RATE_LIMITED, wire.E_RATE_LIMITED
+                    ]
+                    # +3 virtual seconds at 1 req/s refills min(3, burst).
+                    now[0] += 3.0
+                    outcomes = [attempt(10 + i) for i in range(3)]
+                    assert outcomes == [
+                        "ok", "ok", wire.E_RATE_LIMITED
+                    ]
+                    # Other tenants have their own buckets: tenant 1 is
+                    # untouched by tenant 0's exhaustion.
+                    kind, _ = client.upload(
+                        1, 0, "other", make_backup("other", ["oc"])
+                    )
+                    assert kind == wire.OK
+            assert frontend.admission.throttled_requests == 3
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+    def test_rate_limit_holds_under_real_contention(self):
+        """Hammering tenants stay within bucket math, within tolerance."""
+        tenants, attempts = 4, 25
+        rate, burst = 20.0, 3.0
+        config = ServiceConfig(tenants=tenants, rounds=1, seed=1)
+        frontend_config = FrontendConfig(rate_limit=rate, burst=burst)
+        with served(config, frontend_config) as (frontend, address):
+            started = time.monotonic()
+
+            def hammer(tenant: int) -> int:
+                admitted = 0
+                with FrontendClient(address) as client:
+                    client.hello()
+                    for i in range(attempts):
+                        kind, _ = client.upload(
+                            tenant,
+                            0,
+                            f"h{tenant}-{i}",
+                            make_backup(f"h{tenant}-{i}", ["x"]),
+                        )
+                        admitted += kind == wire.OK
+                return admitted
+
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=tenants) as pool:
+                admitted = list(pool.map(hammer, range(tenants)))
+            elapsed = time.monotonic() - started
+        # Each tenant's bucket guarantees its burst and bounds its rate:
+        # admitted in [burst, burst + rate x elapsed] (+1 slack for a
+        # refill racing the last probe).  Loose on purpose — real clock.
+        ceiling = burst + rate * elapsed + 1
+        for count in admitted:
+            assert burst <= count <= ceiling
+        assert frontend.admission.throttled_requests > 0
+
+
+# -- admission units (virtual clock) -----------------------------------------
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=2.0, burst=5.0, clock=lambda: now[0])
+        assert sum(bucket.try_acquire() for _ in range(7)) == 5
+        now[0] += 1.0  # 2 tokens back
+        assert [bucket.try_acquire() for _ in range(3)] == [True, True, False]
+        now[0] += 100.0  # refill caps at burst
+        assert sum(bucket.try_acquire() for _ in range(10)) == 5
+
+    def test_zero_rate_is_unlimited(self):
+        bucket = TokenBucket(rate=0.0, burst=1.0, clock=lambda: 0.0)
+        assert all(bucket.try_acquire() for _ in range(1000))
+
+    def test_controller_isolates_tenants_and_caps_sessions(self):
+        now = [0.0]
+        controller = AdmissionController(
+            rate_limit=1.0, burst=1.0, max_sessions=2, clock=lambda: now[0]
+        )
+        assert controller.admit_request(0)
+        assert not controller.admit_request(0)
+        assert controller.admit_request(1)  # separate bucket
+        assert controller.throttled_requests == 1
+        assert controller.admit_session()
+        assert controller.admit_session()
+        assert not controller.admit_session()
+        controller.release_session()
+        assert controller.admit_session()
+        assert controller.refused_sessions == 1
