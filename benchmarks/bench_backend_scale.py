@@ -1,12 +1,17 @@
-"""Backend scaling bench: memory vs SQLite vs sharded COUNT state.
+"""Backend scaling bench: memory vs SQLite vs sharded vs columnar COUNT.
 
 Ingests a skewed synthetic trace (default 10^5 chunk records; use
 ``--chunks 1000000`` or ``BENCH_BACKEND_CHUNKS=1000000`` for paper-scale)
-through the streaming COUNT on each backend, then measures random lookup
-throughput against the resulting stores. Before reporting, it verifies the
-tentpole invariant: the COUNT digest — frequencies, sizes, and both
-neighbor tables, *including iteration order* — is byte-identical across
-all backends and equal to the single-pass in-memory COUNT.
+through the streaming COUNT on each backend — plus the memory-mapped
+columnar layout counted by the sharded parallel COUNT — then measures
+random lookup throughput against the resulting stores. Before reporting,
+it verifies the tentpole invariant: the COUNT digest — frequencies, sizes,
+and both neighbor tables, *including iteration order* — is byte-identical
+across all backends and equal to the single-pass in-memory COUNT.
+
+Each backend runs in a forked child so its peak RSS is attributable to
+that backend alone; ``--output`` writes the rows (with the shared ``env``
+metadata envelope) to a committed baseline JSON.
 
 Run standalone::
 
@@ -19,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import hashlib
+import json
 import os
 import random
 import struct
@@ -29,6 +35,11 @@ from pathlib import Path
 from repro.attacks.frequency import count_with_neighbors
 from repro.attacks.streaming import CountStores, StreamingCount
 from repro.datasets.model import Backup
+
+try:  # pytest imports this module as benchmarks.bench_backend_scale
+    from benchmarks.conftest import bench_envelope
+except ImportError:  # standalone: benchmarks/ itself is on sys.path
+    from conftest import bench_envelope
 
 DEFAULT_CHUNKS = int(os.environ.get("BENCH_BACKEND_CHUNKS", 100_000))
 DEFAULT_UNIQUE_FRACTION = 0.2
@@ -125,13 +136,70 @@ def run_backend(
     return result
 
 
+def run_columnar(
+    backup: Backup, directory: Path, num_lookups: int, jobs: int, seed: int = 5
+) -> dict:
+    """Sharded COUNT over the memory-mapped columnar layout of the same
+    trace, probed through the same lazy-view surface the attacks use."""
+    from repro.attacks.sharded import sharded_count
+    from repro.datasets.columnar import write_series
+    from repro.datasets.model import BackupSeries
+
+    series = BackupSeries(name="bench-backend", backups=[backup])
+    trace = write_series(series, directory)
+    try:
+        started = time.perf_counter()
+        stats = sharded_count(trace.view(0), jobs=jobs)
+        stats.left
+        stats.right
+        ingest_seconds = time.perf_counter() - started
+
+        rng = random.Random(seed)
+        probes = rng.choices(backup.fingerprints, k=num_lookups)
+        started = time.perf_counter()
+        hits = 0
+        for fingerprint in probes:
+            if stats.frequencies.get(fingerprint) is not None:
+                hits += 1
+            stats.left.get(fingerprint)
+        lookup_seconds = time.perf_counter() - started
+        assert hits == num_lookups
+
+        return {
+            "backend": f"columnar:{jobs}",
+            "chunks": len(backup),
+            "unique": stats.unique_chunks,
+            "ingest_seconds": ingest_seconds,
+            "ingest_chunks_per_s": len(backup) / ingest_seconds,
+            "lookups": num_lookups,
+            "lookup_seconds": lookup_seconds,
+            "lookups_per_s": num_lookups / lookup_seconds,
+            "digest": count_digest(stats),
+        }
+    finally:
+        trace.close()
+
+
 def main(argv: list[str] | None = None) -> int:
+    from repro.analysis.benchmeta import run_isolated
+
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--chunks", type=int, default=DEFAULT_CHUNKS)
     parser.add_argument(
         "--unique-fraction", type=float, default=DEFAULT_UNIQUE_FRACTION
     )
     parser.add_argument("--lookups", type=int, default=DEFAULT_LOOKUPS)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the columnar sharded COUNT row",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write rows + env envelope as a baseline JSON (BENCH_backend_scale.json)",
+    )
     args = parser.parse_args(argv)
 
     backup = synthetic_trace(args.chunks, args.unique_fraction)
@@ -143,26 +211,61 @@ def main(argv: list[str] | None = None) -> int:
             directory = (
                 None if spec == "memory" else Path(tmp) / spec.replace(":", "-")
             )
-            rows.append(run_backend(spec, backup, args.lookups, directory))
+            # Forked child per backend: peak RSS is the backend's own
+            # high-water mark, not the max over everything run so far.
+            row, peak_rss = run_isolated(
+                run_backend, spec, backup, args.lookups, directory
+            )
+            row["peak_rss_mib"] = (
+                round(peak_rss / (1 << 20), 1) if peak_rss else None
+            )
+            rows.append(row)
+        row, peak_rss = run_isolated(
+            run_columnar, backup, Path(tmp) / "columnar", args.lookups, args.jobs
+        )
+        row["peak_rss_mib"] = round(peak_rss / (1 << 20), 1) if peak_rss else None
+        rows.append(row)
 
     print(
         f"{'backend':<12} {'chunks':>9} {'unique':>8} "
-        f"{'ingest s':>9} {'ingest/s':>11} {'lookup s':>9} {'lookup/s':>11}"
+        f"{'ingest s':>9} {'ingest/s':>11} {'lookup s':>9} {'lookup/s':>11} "
+        f"{'rss MiB':>8}"
     )
     for row in rows:
+        rss = row["peak_rss_mib"]
         print(
             f"{row['backend']:<12} {row['chunks']:>9,} {row['unique']:>8,} "
             f"{row['ingest_seconds']:>9.2f} {row['ingest_chunks_per_s']:>11,.0f} "
-            f"{row['lookup_seconds']:>9.2f} {row['lookups_per_s']:>11,.0f}"
+            f"{row['lookup_seconds']:>9.2f} {row['lookups_per_s']:>11,.0f} "
+            f"{rss if rss is not None else '-':>8}"
         )
 
     digests = {row["digest"] for row in rows} | {reference_digest}
-    if len(digests) != 1:
+    identical = len(digests) == 1
+    if args.output:
+        payload = {
+            "env": bench_envelope(),
+            "chunks": args.chunks,
+            "lookups": args.lookups,
+            "identical": identical,
+            "rows": [
+                {
+                    key: (round(value, 4) if isinstance(value, float) else value)
+                    for key, value in row.items()
+                }
+                for row in rows
+            ],
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote -> {args.output}")
+    if not identical:
         print("FAIL: COUNT output differs across backends!")
         return 1
     print(
-        f"COUNT digest identical across all backends and the in-memory "
-        f"reference: {reference_digest[:16]}…"
+        f"COUNT digest identical across all backends, the columnar sharded "
+        f"COUNT, and the in-memory reference: {reference_digest[:16]}…"
     )
     return 0
 

@@ -1,0 +1,221 @@
+"""Trace-scale columnar COUNT smoke bench: identity gate + throughput.
+
+CI-sized slice of the full ``freqdedup bench`` columnar section: generate
+a ~10^6-chunk stream trace in the memory-mapped columnar layout, run the
+sharded parallel COUNT over it at a sweep of worker counts, and
+
+1. **identity** — assert the COUNT digest (frequencies, sizes, both
+   neighbor tables, *including iteration order*) is identical at every
+   worker count and equal to the in-RAM interned COUNT of the
+   materialized backup.  A non-zero exit always means an identity
+   failure, never a timing threshold.
+2. **throughput** — report chunks/s per worker count plus the peak RSS
+   of the sharded COUNT vs the in-RAM interned COUNT, each measured in a
+   forked child so the numbers are attributable.
+
+Timing deltas vs a committed baseline are soft (printed for the log);
+machine variance must not fail CI.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_columnar_scale.py
+    PYTHONPATH=src python benchmarks/bench_columnar_scale.py \
+        --chunks 200000 --jobs 4 --output bench-columnar.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis.benchmeta import run_isolated
+from repro.attacks.interning import interned_count
+from repro.attacks.sharded import sharded_count
+from repro.datasets.columnar import StreamConfig, ensure_stream_columnar
+
+try:  # pytest imports this module as benchmarks.bench_columnar_scale
+    from benchmarks.bench_backend_scale import count_digest
+    from benchmarks.conftest import bench_envelope
+except ImportError:  # standalone: benchmarks/ itself is on sys.path
+    from bench_backend_scale import count_digest
+    from conftest import bench_envelope
+
+DEFAULT_CHUNKS = 1_000_000
+
+
+def _digest_sharded(directory: Path, jobs: int) -> tuple[str, float]:
+    """Timed sharded COUNT to rank-ready, then the (untimed) digest.
+
+    The digest decodes every lazy table through the per-key view — far
+    slower than the COUNT itself — so it stays outside the timed window;
+    it is the correctness gate, not the workload.
+    """
+    from repro.datasets.columnar import ColumnarTrace
+
+    trace = ColumnarTrace.open(directory)
+    try:
+        started = time.perf_counter()
+        stats = sharded_count(trace.view(0), jobs=jobs)
+        stats.left
+        stats.right
+        elapsed = time.perf_counter() - started
+        return count_digest(stats), elapsed
+    finally:
+        trace.close()
+
+
+def _digest_interned(directory: Path) -> tuple[str, float]:
+    from repro.datasets.columnar import ColumnarTrace
+
+    trace = ColumnarTrace.open(directory)
+    try:
+        backup = trace.view(0).to_backup()
+        started = time.perf_counter()
+        stats = interned_count(backup)
+        stats.left
+        stats.right
+        elapsed = time.perf_counter() - started
+        return count_digest(stats), elapsed
+    finally:
+        trace.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--chunks", type=int, default=DEFAULT_CHUNKS)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        help="max worker processes in the sweep (sweep = {1, .., jobs})",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--output", metavar="FILE", help="write the result JSON to FILE"
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="FILE",
+        help="soft-report throughput deltas vs a baseline JSON",
+    )
+    args = parser.parse_args(argv)
+    job_sweep = sorted({1, args.jobs})
+
+    with tempfile.TemporaryDirectory(prefix="bench-columnar-") as tmp:
+        directory = Path(tmp) / "trace"
+        started = time.perf_counter()
+        trace = ensure_stream_columnar(
+            directory,
+            StreamConfig(chunks=args.chunks, backups=1),
+            seed=args.seed,
+        )
+        generate_s = time.perf_counter() - started
+        num_unique = trace.num_unique
+        trace.close()
+        print(
+            f"generated {args.chunks:,} chunks ({num_unique:,} unique) "
+            f"in {generate_s:.2f}s -> {directory}"
+        )
+
+        # Isolated phases first: a forked child inherits the parent's RSS
+        # baseline, so nothing big may be resident in the parent yet.
+        rows = []
+        digests = set()
+        for jobs in job_sweep:
+            (digest, elapsed), peak_rss = run_isolated(
+                _digest_sharded, directory, jobs
+            )
+            digests.add(digest)
+            rows.append(
+                {
+                    "jobs": jobs,
+                    "count_seconds": elapsed,
+                    "chunks_per_s": args.chunks / elapsed,
+                    "peak_rss_mib": (
+                        round(peak_rss / (1 << 20), 1) if peak_rss else None
+                    ),
+                    "digest": digest,
+                }
+            )
+        (reference_digest, interned_seconds), interned_rss = run_isolated(
+            _digest_interned, directory
+        )
+        digests.add(reference_digest)
+
+    print(
+        f"{'counter':<12} {'count s':>8} {'chunks/s':>12} {'rss MiB':>8}"
+    )
+    for row in rows:
+        rss = row["peak_rss_mib"]
+        print(
+            f"sharded:{row['jobs']:<4} {row['count_seconds']:>8.2f} "
+            f"{row['chunks_per_s']:>12,.0f} "
+            f"{rss if rss is not None else '-':>8}"
+        )
+    interned_rss_mib = (
+        round(interned_rss / (1 << 20), 1) if interned_rss else None
+    )
+    print(
+        f"{'interned':<12} {interned_seconds:>8.2f} "
+        f"{args.chunks / interned_seconds:>12,.0f} "
+        f"{interned_rss_mib if interned_rss_mib is not None else '-':>8}"
+    )
+
+    identical = len(digests) == 1
+    payload = {
+        "env": bench_envelope(),
+        "chunks": args.chunks,
+        "unique": num_unique,
+        "generate_seconds": round(generate_s, 4),
+        "identical": identical,
+        "rows": [
+            {
+                key: (round(value, 4) if isinstance(value, float) else value)
+                for key, value in row.items()
+            }
+            for row in rows
+        ],
+        "interned": {
+            "count_seconds": round(interned_seconds, 4),
+            "chunks_per_s": round(args.chunks / interned_seconds, 4),
+            "peak_rss_mib": interned_rss_mib,
+        },
+    }
+    if args.compare:
+        try:
+            with open(args.compare, encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except FileNotFoundError:
+            print(f"no baseline at {args.compare}; skipping comparison")
+        else:
+            then = max(r["chunks_per_s"] for r in baseline["rows"])
+            now = max(r["chunks_per_s"] for r in rows)
+            delta = (now - then) / then * 100 if then else 0.0
+            print(
+                f"vs baseline best chunks/s: {then:,.0f} -> {now:,.0f} "
+                f"({delta:+.1f}%)  [soft: timings inform, never fail]"
+            )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote -> {args.output}")
+    if not identical:
+        print(
+            "FAIL: sharded COUNT digest diverged across worker counts "
+            "or from the interned reference!"
+        )
+        return 1
+    print(
+        f"COUNT digest identical at jobs={job_sweep} and vs the in-RAM "
+        f"interned COUNT: {reference_digest[:16]}…"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

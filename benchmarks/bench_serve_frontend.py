@@ -46,6 +46,11 @@ from repro.service.frontend import (
 from repro.service.loadgen import replay_stream, run_loadgen
 from repro.service.simulate import ServiceConfig, simulate
 
+try:  # pytest imports this module as benchmarks.bench_serve_frontend
+    from benchmarks.conftest import bench_envelope
+except ImportError:  # standalone: benchmarks/ itself is on sys.path
+    from conftest import bench_envelope
+
 # Load shape: tenants x rounds = tenant sessions (one connection each).
 # 250 x 4 = 1,000 sessions, the acceptance floor; small uploads keep the
 # bench about serving cost, not chunk-stream volume.
@@ -165,6 +170,7 @@ def main(argv: list[str] | None = None) -> int:
             f"got {load['sessions']}"
         )
     payload = {
+        "env": bench_envelope(),
         "version": "1.0.0",
         "python": platform.python_version(),
         "platform": platform.machine(),

@@ -30,6 +30,15 @@ from repro.analysis.reporting import FigureResult, save_result
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 
+def bench_envelope() -> dict:
+    """The shared ``env`` metadata block every committed ``BENCH_*.json``
+    embeds (schema version, interpreter/numpy versions, CPU count,
+    timestamp) — one envelope, so baselines stay machine-comparable."""
+    from repro.analysis.benchmeta import metadata_envelope
+
+    return metadata_envelope()
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)

@@ -48,6 +48,8 @@ _CHUNK_BYTES = 4 << 20
 _CHUNK_BYTES_QUICK = 1 << 20
 _COUNT_CHUNKS = 1_500_000
 _COUNT_CHUNKS_QUICK = 150_000
+_COLUMNAR_CHUNKS = 10_000_000
+_COLUMNAR_CHUNKS_QUICK = 200_000
 _SERVICE_TENANTS = 40
 _SERVICE_TENANTS_QUICK = 12
 
@@ -186,6 +188,168 @@ def bench_count(quick: bool, repeats: int) -> dict:
     }
 
 
+def _columnar_stats_equal(left, right) -> bool:
+    """Exact equality of two sharded-COUNT outputs (any jobs values)."""
+    numpy = accel.numpy
+    if numpy is not None and hasattr(left, "_ordered_ids"):
+        for ours, theirs in (
+            (left._ordered_pairs, right._ordered_pairs),
+            (left._ordered_pair_counts, right._ordered_pair_counts),
+        ):
+            if (ours is None) != (theirs is None):
+                return False
+            if ours is not None and not numpy.array_equal(ours, theirs):
+                return False
+        return all(
+            numpy.array_equal(getattr(left, name), getattr(right, name))
+            for name in (
+                "_ordered_ids",
+                "_ordered_counts",
+                "_ordered_first",
+                "_first_sizes",
+            )
+        )
+    return (
+        left._frequency_counts == right._frequency_counts
+        and list(left._frequency_counts) == list(right._frequency_counts)
+        and left._size_by_id == right._size_by_id
+        and left._pair_counts == right._pair_counts
+        and list(left._pair_counts) == list(right._pair_counts)
+    )
+
+
+def _sampled_probe_identity(columnar, interned, sample: int = 64) -> bool:
+    """Spot-check the lazy columnar views against the in-RAM COUNT.
+
+    Full four-table decode at 10⁷ chunks would dwarf the timed work, so
+    the full-scale bench probes the top-``sample`` ranked fingerprints:
+    frequency, first-occurrence size, and both neighbor tables (contents
+    *and* insertion order) must match the interned reference. Exhaustive
+    equality is pinned at unit-test scale (tests/unit/test_columnar.py).
+    """
+    from itertools import islice
+
+    if hasattr(columnar, "top_ranked"):
+        probes = columnar.top_ranked(sample)
+    else:  # pure-python fallback: plain insertion-ordered dicts
+        probes = list(islice(columnar.frequencies, sample))
+    for fingerprint in probes:
+        if columnar.frequencies.get(fingerprint) != interned.frequencies.get(
+            fingerprint
+        ):
+            return False
+        if columnar.sizes.get(fingerprint) != interned.sizes.get(fingerprint):
+            return False
+        for side in ("left", "right"):
+            ours = getattr(columnar, side).get(fingerprint, {})
+            theirs = getattr(interned, side).get(fingerprint, {})
+            if dict(ours) != dict(theirs) or list(ours) != list(theirs):
+                return False
+    return True
+
+
+def bench_columnar(quick: bool, repeats: int, jobs: int = 1) -> dict:
+    """Trace-scale COUNT: sharded bincounts over a memory-mapped trace.
+
+    Generates (once — the completed trace is reopened on later runs) a
+    single-backup columnar stream, counts it with
+    :func:`~repro.attacks.sharded.sharded_count` across a jobs sweep, and
+    contrasts the mmap path against the in-RAM interned COUNT at the same
+    scale: wall-clock, peak RSS (each phase forked so its high-water mark
+    is attributable), and exact-identity checks.
+    """
+    import tempfile
+
+    from repro.analysis.benchmeta import run_isolated
+    from repro.attacks.interning import interned_count
+    from repro.attacks.sharded import sharded_count
+    from repro.datasets.columnar import StreamConfig, ensure_stream_columnar
+
+    chunks = _COLUMNAR_CHUNKS_QUICK if quick else _COLUMNAR_CHUNKS
+    directory = Path(tempfile.gettempdir()) / f"repro-bench-columnar-{chunks}"
+    config = StreamConfig(chunks=chunks, backups=1)
+    generate_start = time.perf_counter()
+    trace = ensure_stream_columnar(directory, config, seed=7)
+    generate_s = time.perf_counter() - generate_start
+    try:
+        view = trace.view(0)
+        job_sweep = sorted({1, jobs, 4})
+
+        def rank_ready_sharded():
+            stats = sharded_count(view, jobs=jobs)
+            if hasattr(stats, "top_ranked"):
+                stats.top_ranked(1)
+            stats.left
+            stats.right
+            return stats
+
+        def rank_ready_interned(backup):
+            stats = interned_count(backup)
+            stats.frequencies
+            stats.left
+            stats.right
+            return stats
+
+        # Peak RSS per phase, measured in forked children *before* the
+        # parent materializes anything large, so each number is the
+        # phase's own high-water mark.
+        def _isolated_sharded():
+            rank_ready_sharded()
+
+        def _isolated_interned():
+            rank_ready_interned(view.to_backup())
+
+        _, sharded_rss = run_isolated(_isolated_sharded)
+        _, interned_rss = run_isolated(_isolated_interned)
+
+        baseline = sharded_count(view, jobs=1)
+        identical = all(
+            _columnar_stats_equal(baseline, sharded_count(view, jobs=n))
+            for n in job_sweep
+        )
+        materialize_start = time.perf_counter()
+        backup = view.to_backup()
+        materialize_s = time.perf_counter() - materialize_start
+        interned = interned_count(backup)
+        identical = identical and baseline.unique_chunks == interned.unique_chunks
+        if quick:
+            identical = identical and (
+                dict(baseline.frequencies.items()) == interned.frequencies
+                and list(baseline.frequencies) == list(interned.frequencies)
+                and dict(baseline.sizes.items()) == interned.sizes
+                and list(baseline.sizes) == list(interned.sizes)
+            )
+        identical = identical and _sampled_probe_identity(baseline, interned)
+
+        sharded_count_s = _best_of(lambda: sharded_count(view, jobs=jobs), repeats)
+        sharded_s = _best_of(rank_ready_sharded, repeats)
+        interned_s = _best_of(lambda: rank_ready_interned(backup), repeats)
+
+        def _mib(value):
+            return round(value / (1 << 20), 1) if value else None
+
+        return {
+            "chunks": view.num_chunks,
+            "unique_chunks": baseline.unique_chunks,
+            "fingerprint_bytes": trace.fingerprint_bytes,
+            "jobs": jobs,
+            "job_sweep": job_sweep,
+            "identical": bool(identical),
+            "generate_s": round(generate_s, 4),
+            "materialize_s": round(materialize_s, 4),
+            "sharded_count_s": round(sharded_count_s, 4),
+            "sharded_rank_ready_s": round(sharded_s, 4),
+            "interned_rank_ready_s": round(interned_s, 4),
+            "speedup": round(interned_s / sharded_s, 2),
+            "sharded_chunks_per_s": round(view.num_chunks / sharded_s),
+            "interned_chunks_per_s": round(view.num_chunks / interned_s),
+            "sharded_peak_rss_mib": _mib(sharded_rss),
+            "interned_peak_rss_mib": _mib(interned_rss),
+        }
+    finally:
+        trace.close()
+
+
 def bench_service(quick: bool, repeats: int) -> dict:
     from repro.service.simulate import (
         ServiceConfig,
@@ -234,9 +398,12 @@ def bench_service(quick: bool, repeats: int) -> dict:
     }
 
 
-def run_bench(quick: bool = False, repeats: int = 3) -> dict:
+def run_bench(quick: bool = False, repeats: int = 3, jobs: int = 1) -> dict:
     """Run all hot-path benches; returns the JSON-serializable result."""
+    from repro.analysis.benchmeta import metadata_envelope
+
     result = {
+        "env": metadata_envelope(),
         "version": __version__,
         "quick": quick,
         "repeats": repeats,
@@ -247,11 +414,13 @@ def run_bench(quick: bool = False, repeats: int = 3) -> dict:
         "count": bench_count(quick, repeats),
         "service": bench_service(quick, repeats),
     }
+    result["count"]["columnar"] = bench_columnar(quick, repeats, jobs)
     result["identity_ok"] = all(
         (
             result["chunking"]["rabin"]["identical"],
             result["chunking"]["gear"]["identical"],
             result["count"]["identical"],
+            result["count"]["columnar"]["identical"],
         )
     )
     return result
@@ -276,6 +445,14 @@ def render_bench(result: dict) -> str:
             f"({count['count_pass_speedup']:.2f}x bare) over "
             f"{count['chunks']} chunks ({count['unique_chunks']} unique); "
             f"{count['interned_chunks_per_s']} chunks/s"
+        ),
+        (
+            f"  columnar: {count['columnar']['speedup']:.2f}x vs in-RAM "
+            f"interned over {count['columnar']['chunks']} mmapped chunks "
+            f"({count['columnar']['sharded_chunks_per_s']} chunks/s, jobs "
+            f"{count['columnar']['jobs']}, peak RSS "
+            f"{count['columnar']['sharded_peak_rss_mib']} vs "
+            f"{count['columnar']['interned_peak_rss_mib']} MiB)"
         ),
         (
             f"  service:  {service['uploads_per_s']:.0f} uploads/s "
@@ -308,10 +485,17 @@ def compare_to_baseline(result: dict, baseline_path: str | Path) -> list[str]:
     for section, metric in (
         ("chunking", "speedup"),
         ("count", "speedup"),
+        ("count.columnar", "sharded_chunks_per_s"),
+        ("count.columnar", "speedup"),
         ("service", "uploads_per_s"),
     ):
-        new = result.get(section, {}).get(metric)
-        old = baseline.get(section, {}).get(metric)
+        new_section = result
+        old_section = baseline
+        for part in section.split("."):
+            new_section = new_section.get(part, {})
+            old_section = old_section.get(part, {})
+        new = new_section.get(metric)
+        old = old_section.get(metric)
         if new is None or old is None or not old:
             lines.append(f"{section}.{metric}: no comparable baseline value")
             continue
@@ -331,12 +515,13 @@ def run_and_report(
     repeats: int = 3,
     output: str | Path = DEFAULT_OUTPUT,
     compare: str | Path | None = None,
+    jobs: int = 1,
 ) -> int:
     """The shared bench driver behind ``freqdedup bench`` and
     ``benchmarks/bench_hotpaths.py``: run, print, write the JSON, soft-
     report baseline deltas, and exit non-zero only on identity failure
     (the contract CI's bench-smoke job keys on)."""
-    result = run_bench(quick=quick, repeats=repeats)
+    result = run_bench(quick=quick, repeats=repeats, jobs=jobs)
     print(render_bench(result))
     path = write_bench(result, output)
     print(f"wrote -> {path}")
@@ -360,12 +545,19 @@ def main(argv: list[str] | None = None) -> int:
         metavar="FILE",
         help="soft-report deltas vs a committed baseline JSON",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sharded columnar COUNT section",
+    )
     args = parser.parse_args(argv)
     return run_and_report(
         quick=args.quick,
         repeats=args.repeats,
         output=args.output,
         compare=args.compare,
+        jobs=args.jobs,
     )
 
 

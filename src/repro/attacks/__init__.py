@@ -43,6 +43,12 @@ from repro.attacks.persistent import (
     PersistentLocalityAttack,
     load_chunk_stats,
     persist_chunk_stats,
+    persist_columnar_stats,
+)
+from repro.attacks.sharded import (
+    ColumnarArrayStats,
+    columnar_attack_report,
+    sharded_count,
 )
 from repro.attacks.streaming import (
     BackendChunkStats,
@@ -60,6 +66,10 @@ __all__ = [
     "PersistentLocalityAttack",
     "load_chunk_stats",
     "persist_chunk_stats",
+    "persist_columnar_stats",
+    "ColumnarArrayStats",
+    "columnar_attack_report",
+    "sharded_count",
     "AdvancedLocalityAttack",
     "Attack",
     "AttackResult",

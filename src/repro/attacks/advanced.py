@@ -60,6 +60,18 @@ class AdvancedLocalityAttack(LocalityAttack):
         # Algorithm 3 also size-classifies the seeding analysis (the paper
         # modifies the FREQ-ANALYSIS called at Algorithm 2's line 5): the u
         # top-frequency pairs are taken per block-count class.
+        if hasattr(ciphertext_stats, "class_tops") and hasattr(
+            plaintext_stats, "class_tops"
+        ):
+            from repro.attacks.sharded import sized_seed_pairs
+
+            return sized_seed_pairs(
+                ciphertext_stats,
+                plaintext_stats,
+                self.u,
+                self.block_size,
+                self.seed_tie_break,
+            )
         return sized_freq_analysis(
             ciphertext_stats.frequencies,
             plaintext_stats.frequencies,

@@ -47,13 +47,37 @@ __all__ = [
     "InternedArrayStats",
     "InternedChunkStats",
     "InternedCount",
+    "MAX_VOCABULARY",
+    "check_vocabulary_capacity",
     "interned_count",
 ]
 
-#: Adjacent chunk ids are packed two to an int for the pair counter; 2**32
-#: unique chunks per vocabulary is far beyond any trace this repo handles.
+#: Adjacent chunk ids are packed two to an int for the pair counter, so a
+#: vocabulary can hold at most 2**PAIR_SHIFT ids before (prev << PAIR_SHIFT)
+#: | cur would alias distinct pairs. 2**32 unique chunks is ~32 TB of
+#: logical data at the FSL 8 KB average chunk size — beyond it, shard the
+#: trace into multiple vocabularies (see docs/attacks.md, "Scaling COUNT
+#: to trace scale").
 PAIR_SHIFT = 32
 _PAIR_MASK = (1 << PAIR_SHIFT) - 1
+MAX_VOCABULARY = 1 << PAIR_SHIFT
+
+
+def check_vocabulary_capacity(size: int, source: str = "chunk vocabulary") -> None:
+    """Reject vocabularies the packed-pair encoding cannot represent.
+
+    Ids at or above 2**PAIR_SHIFT would silently alias other pairs inside
+    the packed ``(prev << PAIR_SHIFT) | cur`` adjacency key, corrupting
+    the co-occurrence tables; every packed-pair consumer calls this up
+    front so the failure is a clear error instead of wrong counts.
+    """
+    if size > MAX_VOCABULARY:
+        raise ConfigurationError(
+            f"{source} holds {size} unique fingerprints, more than the "
+            f"2**{PAIR_SHIFT} ids the packed (prev << {PAIR_SHIFT}) | cur "
+            "adjacency encoding supports; split the trace across "
+            "vocabularies (docs/attacks.md, 'Scaling COUNT to trace scale')"
+        )
 
 
 @contextmanager
@@ -124,7 +148,13 @@ class _Interner(dict):
     def __missing__(self, fingerprint: bytes) -> int:
         chunk_id = len(self.fingerprints)
         if chunk_id > _PAIR_MASK:
-            raise ConfigurationError("chunk vocabulary exhausted")
+            raise ConfigurationError(
+                "chunk vocabulary exhausted: the packed "
+                f"(prev << {PAIR_SHIFT}) | cur adjacency encoding supports "
+                f"at most 2**{PAIR_SHIFT} unique fingerprints per "
+                "vocabulary (docs/attacks.md, 'Scaling COUNT to trace "
+                "scale')"
+            )
         self[fingerprint] = chunk_id
         self.fingerprints.append(fingerprint)
         return chunk_id
@@ -604,6 +634,7 @@ class InternedArrayStats:
     ) -> "InternedArrayStats":
         numpy = accel.numpy
         vocabulary = vocabulary if vocabulary is not None else ChunkVocabulary()
+        check_vocabulary_capacity(len(vocabulary))
         fingerprints = backup.fingerprints
         total = len(fingerprints)
         if not total:
@@ -683,28 +714,8 @@ class InternedArrayStats:
             packed, return_index=True, return_counts=True
         )
         order = numpy.argsort(first_index)
-        ordered_pairs = unique_pairs[order]
-        ordered_counts = counts[order]
-        previous_ids = (ordered_pairs >> numpy.uint64(PAIR_SHIFT)).astype(numpy.intp)
-        current_ids = (ordered_pairs & numpy.uint64(_PAIR_MASK)).astype(numpy.intp)
-        # Stable segment sorts keep the first-occurrence suborder within
-        # each segment; the pre-sort id arrays carry the outer
-        # first-occurrence order for (lazy) iteration.
-        segments = numpy.argsort(previous_ids, kind="stable")
-        self._right = _ArrayNeighborView(
-            vocabulary,
-            previous_ids[segments].tolist(),
-            current_ids[segments],
-            ordered_counts[segments],
-            previous_ids,
-        )
-        segments = numpy.argsort(current_ids, kind="stable")
-        self._left = _ArrayNeighborView(
-            vocabulary,
-            current_ids[segments].tolist(),
-            previous_ids[segments],
-            ordered_counts[segments],
-            current_ids,
+        self._left, self._right = segment_neighbor_views(
+            numpy, vocabulary, unique_pairs[order], counts[order]
         )
 
     @property
@@ -720,6 +731,44 @@ class InternedArrayStats:
             self._group_pairs()
         assert self._right is not None
         return self._right
+
+
+def segment_neighbor_views(
+    numpy, vocabulary, ordered_pairs, ordered_counts, keys_as_arrays=False
+) -> tuple[_ArrayNeighborView, _ArrayNeighborView]:
+    """Build the two directed neighbor views from packed pairs that are
+    already aggregated and in pair-first-occurrence order.
+
+    Stable segment sorts keep the first-occurrence suborder within each
+    segment; the pre-sort id arrays carry the outer first-occurrence
+    order for (lazy) iteration. ``keys_as_arrays`` keeps the bisect keys
+    as numpy arrays instead of Python lists — the trace-scale choice: a
+    probe pays a few numpy scalar reads, but 10⁷ pair keys never become
+    10⁷ boxed ints.
+    """
+    previous_ids = (ordered_pairs >> numpy.uint64(PAIR_SHIFT)).astype(numpy.intp)
+    current_ids = (ordered_pairs & numpy.uint64(_PAIR_MASK)).astype(numpy.intp)
+
+    def keys_of(sorted_ids):
+        return sorted_ids if keys_as_arrays else sorted_ids.tolist()
+
+    segments = numpy.argsort(previous_ids, kind="stable")
+    right = _ArrayNeighborView(
+        vocabulary,
+        keys_of(previous_ids[segments]),
+        current_ids[segments],
+        ordered_counts[segments],
+        previous_ids,
+    )
+    segments = numpy.argsort(current_ids, kind="stable")
+    left = _ArrayNeighborView(
+        vocabulary,
+        keys_of(current_ids[segments]),
+        previous_ids[segments],
+        ordered_counts[segments],
+        current_ids,
+    )
+    return left, right
 
 
 def interned_count(backup: Backup, vocabulary: ChunkVocabulary | None = None):

@@ -77,6 +77,16 @@ class LocalityAttack(Attack):
         ciphertext_stats: ChunkStats,
         plaintext_stats: ChunkStats,
     ) -> list[tuple[bytes, bytes]]:
+        if hasattr(ciphertext_stats, "top_ranked") and hasattr(
+            plaintext_stats, "top_ranked"
+        ):
+            # Trace-scale stats rank their flat count arrays directly
+            # (byte-identical, but never materializes the full tables).
+            from repro.attacks.sharded import seed_freq_pairs
+
+            return seed_freq_pairs(
+                ciphertext_stats, plaintext_stats, self.u, self.seed_tie_break
+            )
         return freq_analysis(
             ciphertext_stats.frequencies,
             plaintext_stats.frequencies,
@@ -106,7 +116,21 @@ class LocalityAttack(Attack):
     ) -> AttackResult:
         ciphertext_stats = self._count(ciphertext)
         plaintext_stats = self._count(auxiliary)
+        return self.run_counted(ciphertext_stats, plaintext_stats, leaked_pairs)
 
+    def run_counted(
+        self,
+        ciphertext_stats: ChunkStats,
+        plaintext_stats: ChunkStats,
+        leaked_pairs: dict[bytes, bytes] | None = None,
+    ) -> AttackResult:
+        """Run the attack over already-counted stats.
+
+        This is the whole algorithm after its two COUNT passes — any
+        ChunkStats-shaped object works, which is how the sharded columnar
+        COUNT (:mod:`repro.attacks.sharded`) drives the attack without
+        materializing backups.
+        """
         inferred: dict[bytes, bytes] = {}
         pending: deque[tuple[bytes, bytes]] = deque()
         if leaked_pairs:

@@ -50,6 +50,7 @@ __all__ = [
     "PersistentLocalityAttack",
     "load_chunk_stats",
     "persist_chunk_stats",
+    "persist_columnar_stats",
 ]
 
 # Backwards-compatible name: the stats object now lives in the streaming
@@ -131,6 +132,46 @@ def persist_chunk_stats(
     stores = CountStores.open(directory, spec)
     counter = StreamingCount(stores)
     counter.ingest_backup(backup)
+    stats = counter.finalize()
+    if spec != "memory":
+        marker.write_text(spec + "\n")
+    return stats
+
+
+def persist_columnar_stats(
+    view,
+    directory: str | os.PathLike,
+    backend: str = "kvstore",
+    shards: int | None = None,
+    batch_size: int = 64 * 1024,
+) -> BackendChunkStats:
+    """Run the streaming COUNT over one columnar backup view, persisted
+    under ``directory``.
+
+    The batched decode adapter
+    (:meth:`repro.datasets.columnar.ColumnarBackupView.iter_batches`)
+    feeds :class:`StreamingCount` unchanged, so a memory-mapped trace
+    flows into on-disk stores without ever materializing the backup. The
+    completion-marker discipline is the same as
+    :func:`persist_chunk_stats`: the marker is written only after the
+    full stream is counted, so partial state from an interrupted run is
+    wiped and recounted on the next call, never loaded.
+    """
+    if view.num_chunks == 0:
+        raise ConfigurationError("cannot persist stats of an empty backup")
+    directory = Path(directory)
+    marker = directory / _MARKER
+    if marker.exists():
+        raise ConfigurationError(
+            f"stats already persisted under {directory}; "
+            "use load_chunk_stats to reopen them"
+        )
+    _clear_partial_state(directory)
+    spec = _canonical_spec(backend, shards)
+    stores = CountStores.open(directory, spec)
+    counter = StreamingCount(stores)
+    for fingerprints, sizes in view.iter_batches(batch_size):
+        counter.ingest(fingerprints, sizes)
     stats = counter.finalize()
     if spec != "memory":
         marker.write_text(spec + "\n")

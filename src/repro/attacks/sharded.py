@@ -1,0 +1,906 @@
+"""Sharded parallel COUNT over columnar traces (trace-scale attacks).
+
+:func:`sharded_count` runs the attacks' COUNT pass over one backup of a
+memory-mapped :class:`~repro.datasets.columnar.ColumnarTrace` by splitting
+the uint32 id column into contiguous shards, counting each shard in a
+worker process, and merging the per-shard deltas deterministically:
+
+* **frequencies** add; **first-occurrence positions** take the minimum
+  (shard positions are global stream positions, so the minimum is the true
+  first occurrence);
+* **adjacency** is complete because every shard after the first reads one
+  *lead* element before its range — the boundary pair belongs to exactly
+  one shard, so packed pair counts add and pair first positions take the
+  minimum;
+* the merged tables are re-ordered by global first-occurrence position
+  (the *insertion-sequence trick*): first positions are unique stream
+  indices, so one ``argsort`` reconstructs exactly the insertion order a
+  single-threaded COUNT would have produced — which is why the output is
+  byte-identical to :func:`~repro.attacks.interning.interned_count` at any
+  ``--jobs`` (pinned by the differential tests).
+
+The numpy path returns :class:`ColumnarArrayStats`, which never
+materializes the full frequency table: ``frequencies``/``sizes`` are lazy
+rank-indexed views over flat arrays, neighbor tables decode per probed
+fingerprint, and the attacks' global seeding goes through
+:meth:`ColumnarArrayStats.top_ranked` / :meth:`ColumnarArrayStats.class_tops`
+— a C-level partial ranking instead of sorting a 10⁷-entry dict. The
+pure-Python fallback (:data:`repro.common.accel` seam) counts shards with
+``Counter`` primitives and merges in shard order (``Counter.update``
+preserves first-seen key order), returning a plain
+:class:`~repro.attacks.interning.InternedChunkStats`.
+
+:func:`columnar_attack_report` is the end-to-end driver: it derives the
+MLE ciphertext side at the *vocabulary* level (the ciphertext id stream of
+a deterministic per-chunk encryption is the plaintext id stream, so the
+counted arrays are reused verbatim — only the fingerprint decode and the
+padded sizes differ), samples known-plaintext leakage without building the
+fingerprint set, runs the locality/advanced attack on the counted stats,
+and scores against the vocabulary-level ground truth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from collections import Counter
+from itertools import islice
+from multiprocessing import get_context
+
+from repro.attacks.evaluation import InferenceReport
+from repro.attacks.frequency import FINGERPRINT, INSERTION
+from repro.attacks.interning import (
+    PAIR_SHIFT,
+    InternedArrayStats,
+    InternedChunkStats,
+    _ArrayNeighborView,
+    _gc_paused,
+    check_vocabulary_capacity,
+    segment_neighbor_views,
+)
+from repro.common import accel
+from repro.common.errors import ConfigurationError
+from repro.common.rng import rng_from
+from repro.datasets.columnar import (
+    IDS_FILE,
+    ColumnarBackupView,
+    ColumnarTrace,
+    PackedVocabulary,
+    _u32_array,
+)
+
+__all__ = [
+    "ColumnarArrayStats",
+    "columnar_attack_report",
+    "encrypt_vocabulary",
+    "sample_columnar_leakage",
+    "seed_freq_pairs",
+    "sharded_count",
+    "sized_seed_pairs",
+]
+
+_TIE_BREAKS = (INSERTION, FINGERPRINT)
+
+
+# ---------------------------------------------------------------------------
+# Shard workers (top-level so they pickle under multiprocessing)
+
+
+def _shard_ranges(total: int, jobs: int) -> list[tuple[int, int]]:
+    """Split ``[0, total)`` into ``jobs`` contiguous near-equal ranges."""
+    jobs = max(1, min(jobs, total))
+    step, extra = divmod(total, jobs)
+    ranges = []
+    start = 0
+    for index in range(jobs):
+        stop = start + step + (1 if index < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+def _count_shard(task):
+    """Count one contiguous shard of a backup's id column.
+
+    ``task`` is ``(ids_path, span_start, start, stop, lead, vocab_size,
+    use_numpy)`` with ``start``/``stop`` view-relative. A shard with
+    ``start > 0`` reads one *lead* element before its range so the
+    boundary adjacency pair is counted by exactly one shard; the lead
+    element itself is excluded from the frequency/first tables (it belongs
+    to the previous shard).
+    """
+    ids_path, span_start, start, stop, lead, vocab_size, use_numpy = task
+    with open(ids_path, "rb") as handle:
+        handle.seek((span_start + start - lead) * 4)
+        raw = handle.read((stop - start + lead) * 4)
+    if use_numpy:
+        return _count_shard_numpy(raw, start, stop, lead, vocab_size)
+    return _count_shard_python(raw, start, stop, lead)
+
+
+def _count_shard_numpy(raw, start, stop, lead, vocab_size):
+    numpy = accel.numpy
+    seg = numpy.frombuffer(raw, dtype="<u4")
+    ids = seg[lead:].astype(numpy.intp)
+    counts = numpy.bincount(ids, minlength=vocab_size)
+    # Reversed scatter: the earliest occurrence is written last and wins.
+    first = numpy.zeros(vocab_size, dtype=numpy.int64)
+    first[ids[::-1]] = numpy.arange(stop - 1, start - 1, -1, dtype=numpy.int64)
+    present = numpy.flatnonzero(counts)
+    pairs = pair_first = pair_counts = None
+    if len(seg) > 1:
+        wide = seg.astype(numpy.uint64)
+        packed = (wide[:-1] << numpy.uint64(PAIR_SHIFT)) | wide[1:]
+        pairs, first_index, pair_counts = numpy.unique(
+            packed, return_index=True, return_counts=True
+        )
+        pair_first = first_index.astype(numpy.int64) + (start - lead)
+    return (
+        present.astype(numpy.int64),
+        counts[present].astype(numpy.int64),
+        first[present],
+        pairs,
+        pair_first,
+        pair_counts,
+    )
+
+
+def _count_shard_python(raw, start, stop, lead):
+    seg = _u32_array(raw)
+    ids = seg[lead:] if lead else seg
+    # Counter over the shard's id stream: first-seen key order.
+    frequency = Counter(ids)
+    # Reversed zip: the earliest occurrence is written last and wins.
+    firsts = dict(zip(reversed(ids), reversed(range(start, stop))))
+    pairs: Counter = Counter()
+    if len(seg) > 1:
+        pairs.update(
+            (previous << PAIR_SHIFT) | current
+            for previous, current in zip(seg, islice(seg, 1, None))
+        )
+    return (frequency, firsts, pairs)
+
+
+def _run_tasks(tasks):
+    if len(tasks) == 1:
+        return [_count_shard(tasks[0])]
+    try:
+        context = get_context("fork")
+    except ValueError:  # pragma: no cover - no fork on this platform
+        return [_count_shard(task) for task in tasks]
+    with context.Pool(processes=len(tasks)) as pool:
+        return pool.map(_count_shard, tasks)
+
+
+# ---------------------------------------------------------------------------
+# Trace-scale stats: lazy rank-indexed views over flat arrays
+
+
+class _LazyVocabMapping:
+    """Base for the ``fingerprint -> value`` views of
+    :class:`ColumnarArrayStats`: a probe resolves the fingerprint to its
+    chunk id through the mmap-backed vocabulary index, then to its
+    frequency rank; nothing per-fingerprint is ever materialized unless
+    something iterates the view."""
+
+    __slots__ = ("_stats",)
+
+    def __init__(self, stats: "ColumnarArrayStats"):
+        self._stats = stats
+
+    def _value_at(self, rank: int) -> int:
+        raise NotImplementedError
+
+    def get(self, fingerprint: bytes, default=None):
+        stats = self._stats
+        chunk_id = stats.vocabulary._ids.get(fingerprint)
+        if chunk_id is None:
+            return default
+        rank = int(stats._rank_of()[chunk_id])
+        if rank < 0:
+            return default
+        return self._value_at(rank)
+
+    def __getitem__(self, fingerprint: bytes) -> int:
+        value = self.get(fingerprint)
+        if value is None:
+            raise KeyError(fingerprint)
+        return value
+
+    def __contains__(self, fingerprint: bytes) -> bool:
+        return self.get(fingerprint) is not None
+
+    def __len__(self) -> int:
+        return len(self._stats._ordered_ids)
+
+    def keys(self):
+        fingerprints = self._stats.vocabulary._fingerprints
+        return (
+            fingerprints[int(chunk_id)] for chunk_id in self._stats._ordered_ids
+        )
+
+    def __iter__(self):
+        return self.keys()
+
+    def values(self):
+        return (self._value_at(rank) for rank in range(len(self)))
+
+    def items(self):
+        fingerprints = self._stats.vocabulary._fingerprints
+        for rank, chunk_id in enumerate(self._stats._ordered_ids):
+            yield fingerprints[int(chunk_id)], self._value_at(rank)
+
+
+class _LazyFrequencies(_LazyVocabMapping):
+    def _value_at(self, rank: int) -> int:
+        return int(self._stats._ordered_counts[rank])
+
+
+class _LazySizes(_LazyVocabMapping):
+    def _value_at(self, rank: int) -> int:
+        return int(self._stats._first_sizes[rank])
+
+
+class ColumnarArrayStats(InternedArrayStats):
+    """Merged sharded COUNT over a columnar backup, held in flat arrays.
+
+    Same mapping surface as :class:`InternedArrayStats` (so the
+    locality/advanced attacks run unchanged), but nothing scales with the
+    full table: ``frequencies``/``sizes`` are lazy rank-indexed views,
+    neighbor tables decode per probed fingerprint, and global frequency
+    ranking goes through :meth:`top_ranked`/:meth:`class_tops`. All
+    ordering is first-occurrence order, byte-identical to the in-RAM
+    interned COUNT (differential tests).
+
+    ``ordered_ids``/``ordered_counts``/``ordered_first`` are int64 arrays
+    in global first-occurrence order; ``first_sizes`` holds each present
+    id's first-occurrence chunk size aligned with them; ``ordered_pairs``/
+    ``ordered_pair_counts`` are the aggregated packed adjacency pairs in
+    pair-first-occurrence order (``None`` when the stream has no pairs).
+    """
+
+    def __init__(
+        self,
+        vocabulary,
+        ordered_ids,
+        ordered_counts,
+        ordered_first,
+        first_sizes,
+        ordered_pairs,
+        ordered_pair_counts,
+    ):
+        super().__init__(
+            vocabulary, ordered_ids, ordered_counts, ordered_first, [], None
+        )
+        self._first_sizes = first_sizes
+        self._ordered_pairs = ordered_pairs
+        self._ordered_pair_counts = ordered_pair_counts
+        self._rank_lookup = None
+        self._tie_orders: dict[str, object] = {}
+        self._lazy_frequencies: _LazyFrequencies | None = None
+        self._lazy_sizes: _LazySizes | None = None
+
+    def _rank_of(self):
+        """Chunk id → frequency-table rank (-1 if absent), built lazily."""
+        if self._rank_lookup is None:
+            numpy = accel.numpy
+            lookup = numpy.full(
+                max(len(self.vocabulary), 1), -1, dtype=numpy.int64
+            )
+            if len(self._ordered_ids):
+                lookup[self._ordered_ids] = numpy.arange(
+                    len(self._ordered_ids), dtype=numpy.int64
+                )
+            self._rank_lookup = lookup
+        return self._rank_lookup
+
+    @property
+    def frequencies(self) -> _LazyFrequencies:  # type: ignore[override]
+        if self._lazy_frequencies is None:
+            self._lazy_frequencies = _LazyFrequencies(self)
+        return self._lazy_frequencies
+
+    @property
+    def sizes(self) -> _LazySizes:  # type: ignore[override]
+        if self._lazy_sizes is None:
+            self._lazy_sizes = _LazySizes(self)
+        return self._lazy_sizes
+
+    def _group_pairs(self) -> None:
+        numpy = accel.numpy
+        pairs = self._ordered_pairs
+        if pairs is None or not len(pairs):
+            self._left = _ArrayNeighborView(self.vocabulary, [], None, None, None)
+            self._right = _ArrayNeighborView(self.vocabulary, [], None, None, None)
+            return
+        with _gc_paused():
+            self._left, self._right = segment_neighbor_views(
+                numpy,
+                self.vocabulary,
+                pairs,
+                self._ordered_pair_counts,
+                keys_as_arrays=True,
+            )
+
+    # -- streaming rank extraction ------------------------------------------
+
+    def _tie_order(self, tie_break: str):
+        """The full frequency ranking as index positions into the
+        ordered arrays, under ``tie_break`` (cached).
+
+        ``insertion``: the arrays are already in first-occurrence order,
+        so a stable sort on descending count reproduces
+        :func:`~repro.attacks.frequency.rank_by_frequency` exactly.
+        ``fingerprint``: ties order by fingerprint bytes, recovered from
+        the vocabulary index's lexicographic ranks without decoding.
+        """
+        cached = self._tie_orders.get(tie_break)
+        if cached is not None:
+            return cached
+        numpy = accel.numpy
+        counts = self._ordered_counts
+        if tie_break == INSERTION:
+            order = numpy.argsort(-counts, kind="stable")
+        elif tie_break == FINGERPRINT:
+            ranks = self.vocabulary._ids.sort_ranks()[self._ordered_ids]
+            order = numpy.lexsort((ranks, -counts))
+        else:
+            raise ValueError(
+                f"unknown tie_break {tie_break!r}; use one of {_TIE_BREAKS}"
+            )
+        self._tie_orders[tie_break] = order
+        return order
+
+    def top_ranked(
+        self, limit: int | None = None, tie_break: str = INSERTION
+    ) -> list[bytes]:
+        """The ``limit`` top-frequency fingerprints, identical to
+        ``rank_by_frequency(self.frequencies, tie_break)[:limit]`` but
+        decoding only the returned prefix."""
+        count = len(self._ordered_ids)
+        take = count if limit is None else min(limit, count)
+        if take <= 0:
+            return []
+        order = self._tie_order(tie_break)[:take]
+        fingerprints = self.vocabulary._fingerprints
+        ids = self._ordered_ids
+        return [
+            fingerprints[int(ids[int(position)])] for position in order
+        ]
+
+    def class_tops(
+        self,
+        limit: int,
+        block_size: int,
+        is_plaintext: bool,
+        tie_break: str = INSERTION,
+    ) -> tuple[dict[int, list[bytes]], dict[int, int]]:
+        """Per cipher-block-count class: the top-``limit`` fingerprints and
+        the class population.
+
+        Because a stable sort of a subsequence equals the stably-sorted
+        full sequence filtered to it, slicing the global ranking by class
+        reproduces exactly the per-class ranking
+        :func:`~repro.attacks.frequency.sized_freq_analysis` computes over
+        materialized class buckets.
+        """
+        if not len(self._ordered_ids):
+            return {}, {}
+        numpy = accel.numpy
+        order = self._tie_order(tie_break)
+        blocks = self._first_sizes // block_size
+        if is_plaintext:
+            blocks = blocks + 1
+        ranked_blocks = blocks[order]
+        class_order = numpy.argsort(ranked_blocks, kind="stable")
+        sorted_blocks = ranked_blocks[class_order]
+        boundaries = (
+            numpy.flatnonzero(sorted_blocks[1:] != sorted_blocks[:-1]) + 1
+        ).tolist()
+        fingerprints = self.vocabulary._fingerprints
+        ids = self._ordered_ids
+        tops: dict[int, list[bytes]] = {}
+        populations: dict[int, int] = {}
+        for low, high in zip(
+            [0, *boundaries], [*boundaries, len(sorted_blocks)]
+        ):
+            block = int(sorted_blocks[low])
+            populations[block] = high - low
+            chosen = order[class_order[low : low + min(limit, high - low)]]
+            tops[block] = [
+                fingerprints[int(ids[int(position)])] for position in chosen
+            ]
+        return tops, populations
+
+    def with_vocabulary(self, vocabulary, first_sizes) -> "ColumnarArrayStats":
+        """The same counted stream under another fingerprint decode.
+
+        A deterministic per-chunk encryption maps the plaintext id stream
+        to the ciphertext id stream unchanged, so the ciphertext COUNT
+        *is* this COUNT — only the vocabulary (ciphertext fingerprints)
+        and the per-chunk sizes (padded) differ. Sharing the arrays makes
+        deriving the ciphertext stats O(unique), not a second pass.
+        """
+        return ColumnarArrayStats(
+            vocabulary,
+            self._ordered_ids,
+            self._ordered_counts,
+            self._ordered_first,
+            first_sizes,
+            self._ordered_pairs,
+            self._ordered_pair_counts,
+        )
+
+
+# ---------------------------------------------------------------------------
+# The sharded COUNT itself
+
+
+def sharded_count(view: ColumnarBackupView, jobs: int = 1):
+    """COUNT one columnar backup with ``jobs`` parallel shard workers.
+
+    Byte-identical to :func:`~repro.attacks.interning.interned_count`
+    over the materialized backup at any ``jobs`` (the merge re-derives
+    insertion order from global first-occurrence positions). With numpy,
+    returns a :class:`ColumnarArrayStats`; the pure-Python fallback
+    returns an :class:`~repro.attacks.interning.InternedChunkStats` whose
+    tables materialize on access (correct, but RAM-bound — trace scale
+    assumes the accelerated path).
+    """
+    if jobs < 1:
+        raise ConfigurationError("jobs must be >= 1")
+    trace = view.trace
+    vocabulary = trace.vocabulary
+    check_vocabulary_capacity(trace.num_unique, "columnar trace vocabulary")
+    numpy = accel.numpy
+    total = view.num_chunks
+    if total == 0:
+        if numpy is not None:
+            empty = numpy.empty(0, dtype=numpy.int64)
+            return ColumnarArrayStats(
+                vocabulary, empty, empty, empty, empty, None, None
+            )
+        return InternedChunkStats(vocabulary, Counter(), {}, Counter())
+    ids_path = os.fspath(trace.directory / IDS_FILE)
+    use_numpy = numpy is not None
+    tasks = [
+        (ids_path, view.start, start, stop, 1 if start else 0,
+         trace.num_unique, use_numpy)
+        for start, stop in _shard_ranges(total, jobs)
+    ]
+    results = _run_tasks(tasks)
+    if use_numpy:
+        return _merge_numpy(view, results, total)
+    return _merge_python(view, results)
+
+
+def _merge_numpy(view, results, total):
+    numpy = accel.numpy
+    trace = view.trace
+    vocab_size = trace.num_unique
+    counts = numpy.zeros(vocab_size, dtype=numpy.int64)
+    # ``total`` is a sentinel above every real stream position.
+    first = numpy.full(vocab_size, total, dtype=numpy.int64)
+    pair_parts, pair_first_parts, pair_count_parts = [], [], []
+    for present, shard_counts, shard_first, pairs, pair_first, pair_counts in results:
+        counts[present] += shard_counts
+        # ``present`` is duplicate-free within a shard, so fancy-index
+        # assignment (not ``minimum.at``) is safe.
+        first[present] = numpy.minimum(first[present], shard_first)
+        if pairs is not None:
+            pair_parts.append(pairs)
+            pair_first_parts.append(pair_first)
+            pair_count_parts.append(pair_counts)
+    present = numpy.flatnonzero(counts)
+    # First positions are unique stream indices: this argsort IS the
+    # insertion sequence of a single-threaded COUNT.
+    order = present[numpy.argsort(first[present], kind="stable")]
+    ordered_ids = order
+    ordered_counts = counts[order]
+    ordered_first = first[order]
+    ordered_pairs = ordered_pair_counts = None
+    if pair_parts:
+        all_pairs = numpy.concatenate(pair_parts)
+        unique_pairs, inverse = numpy.unique(all_pairs, return_inverse=True)
+        agg_counts = numpy.zeros(len(unique_pairs), dtype=numpy.int64)
+        numpy.add.at(agg_counts, inverse, numpy.concatenate(pair_count_parts))
+        agg_first = numpy.full(len(unique_pairs), total, dtype=numpy.int64)
+        numpy.minimum.at(
+            agg_first, inverse, numpy.concatenate(pair_first_parts)
+        )
+        pair_order = numpy.argsort(agg_first, kind="stable")
+        ordered_pairs = unique_pairs[pair_order]
+        ordered_pair_counts = agg_counts[pair_order]
+    first_sizes = (
+        numpy.asarray(view.sizes_array())[ordered_first].astype(numpy.int64)
+    )
+    return ColumnarArrayStats(
+        trace.vocabulary,
+        ordered_ids,
+        ordered_counts,
+        ordered_first,
+        first_sizes,
+        ordered_pairs,
+        ordered_pair_counts,
+    )
+
+
+def _merge_python(view, results):
+    frequency: Counter = Counter()
+    firsts: dict[int, int] = {}
+    pairs: Counter = Counter()
+    # Shards merge in ascending stream order, so Counter.update appends
+    # new keys in global first-occurrence order and setdefault-style
+    # insertion keeps the earliest first position.
+    for shard_frequency, shard_firsts, shard_pairs in results:
+        frequency.update(shard_frequency)
+        for chunk_id, position in shard_firsts.items():
+            if chunk_id not in firsts:
+                firsts[chunk_id] = position
+        pairs.update(shard_pairs)
+    size_by_id = {
+        chunk_id: view.size_at(position)
+        for chunk_id, position in firsts.items()
+    }
+    return InternedChunkStats(view.trace.vocabulary, frequency, size_by_id, pairs)
+
+
+# ---------------------------------------------------------------------------
+# Streaming seed extraction (consumed by the attacks' _seed_analyse hooks)
+
+
+def seed_freq_pairs(
+    ciphertext_stats, plaintext_stats, limit: int | None, tie_break: str
+) -> list[tuple[bytes, bytes]]:
+    """FREQ-ANALYSIS over two full frequency tables without materializing
+    either: rank-``i`` ciphertext chunk pairs with rank-``i`` plaintext
+    chunk, identical to :func:`~repro.attacks.frequency.freq_analysis`
+    over the dict tables."""
+    pair_count = min(
+        ciphertext_stats.unique_chunks, plaintext_stats.unique_chunks
+    )
+    if limit is not None:
+        pair_count = min(pair_count, limit)
+    if pair_count == 0:
+        return []
+    return list(
+        zip(
+            ciphertext_stats.top_ranked(pair_count, tie_break),
+            plaintext_stats.top_ranked(pair_count, tie_break),
+        )
+    )
+
+
+def sized_seed_pairs(
+    ciphertext_stats,
+    plaintext_stats,
+    limit: int,
+    block_size: int,
+    tie_break: str,
+) -> list[tuple[bytes, bytes]]:
+    """Size-classified FREQ-ANALYSIS over the full tables (Algorithm 3's
+    seeding), identical to
+    :func:`~repro.attacks.frequency.sized_freq_analysis` over the dict
+    tables but pairing only the per-class top ``limit`` ranks."""
+    cipher_tops, _ = ciphertext_stats.class_tops(
+        limit, block_size, is_plaintext=False, tie_break=tie_break
+    )
+    plain_tops, _ = plaintext_stats.class_tops(
+        limit, block_size, is_plaintext=True, tie_break=tie_break
+    )
+    pairs: list[tuple[bytes, bytes]] = []
+    for block in sorted(cipher_tops):
+        plain_top = plain_tops.get(block)
+        if not plain_top:
+            continue
+        take = min(len(cipher_tops[block]), len(plain_top))
+        pairs.extend(zip(cipher_tops[block][:take], plain_top[:take]))
+    return pairs
+
+
+# ---------------------------------------------------------------------------
+# MLE ciphertext side at the vocabulary level
+
+
+def encrypt_vocabulary(trace: ColumnarTrace) -> PackedVocabulary:
+    """The trace's vocabulary under the MLE pipeline's deterministic
+    per-chunk encryption (same truncated-hash fingerprints as
+    :class:`repro.defenses.pipeline.DefensePipeline`).
+
+    Deterministic encryption maps each plaintext fingerprint to one
+    ciphertext fingerprint, so encrypting the vocabulary once stands in
+    for encrypting the whole stream: chunk ids are unchanged. A truncation
+    collision would break the id bijection, so it is rejected exactly like
+    the pipeline rejects it.
+    """
+    width = trace.fingerprint_bytes
+    blob = bytearray(width * trace.num_unique)
+    sha256 = hashlib.sha256
+    offset = 0
+    for fingerprint in trace.vocabulary._fingerprints:
+        blob[offset : offset + width] = sha256(
+            b"mle|" + fingerprint
+        ).digest()[:width]
+        offset += width
+    vocabulary = PackedVocabulary(bytes(blob), width, trace.num_unique)
+    if vocabulary._ids.has_duplicates():
+        raise ConfigurationError(
+            "ciphertext fingerprint collision; increase fingerprint_bytes"
+        )
+    return vocabulary
+
+
+class _VocabTruth:
+    """Lazy ciphertext → plaintext ground truth through the shared ids."""
+
+    __slots__ = ("_cipher", "_plain")
+
+    def __init__(self, cipher_vocabulary, plain_vocabulary):
+        self._cipher = cipher_vocabulary
+        self._plain = plain_vocabulary
+
+    def get(self, cipher_fingerprint: bytes, default=None):
+        chunk_id = self._cipher._ids.get(cipher_fingerprint)
+        if chunk_id is None:
+            return default
+        return self._plain._fingerprints[chunk_id]
+
+
+def sample_columnar_leakage(
+    ciphertext_stats,
+    plain_vocabulary,
+    target_label: str,
+    leakage_rate: float,
+    seed: int = 0,
+) -> dict[bytes, bytes]:
+    """Known-plaintext leakage over a columnar target, byte-identical to
+    :func:`~repro.attacks.evaluation.sample_leakage`.
+
+    The reference samples from the sorted unique ciphertext fingerprints;
+    ``random.sample`` picks *positions* independently of element values,
+    so sampling positions into the fingerprint-sorted present ids (via the
+    vocabulary index's lexicographic ranks) draws the identical leaked set
+    without materializing the fingerprint list.
+    """
+    if not 0.0 <= leakage_rate <= 1.0:
+        raise ConfigurationError("leakage_rate must be in [0, 1]")
+    if leakage_rate == 0.0:
+        return {}
+    cipher_vocabulary = ciphertext_stats.vocabulary
+    plain_fingerprints = plain_vocabulary._fingerprints
+    rng = rng_from(seed, "leakage", target_label, leakage_rate)
+    if isinstance(ciphertext_stats, ColumnarArrayStats):
+        numpy = accel.numpy
+        present = ciphertext_stats._ordered_ids
+        total = len(present)
+        count = int(round(leakage_rate * total))
+        if count == 0:
+            return {}
+        by_fingerprint = present[
+            numpy.argsort(cipher_vocabulary._ids.sort_ranks()[present])
+        ]
+        positions = rng.sample(range(total), min(count, total))
+        cipher_fingerprints = cipher_vocabulary._fingerprints
+        return {
+            cipher_fingerprints[chunk_id]: plain_fingerprints[chunk_id]
+            for chunk_id in (
+                int(by_fingerprint[position]) for position in positions
+            )
+        }
+    unique = sorted(ciphertext_stats.frequencies)
+    count = int(round(leakage_rate * len(unique)))
+    if count == 0:
+        return {}
+    sampled = rng.sample(unique, min(count, len(unique)))
+    return {
+        cipher_fp: plain_fingerprints[cipher_vocabulary._ids.get(cipher_fp)]
+        for cipher_fp in sampled
+    }
+
+
+# ---------------------------------------------------------------------------
+# End-to-end driver
+
+
+def _encrypted_stats(plain_stats, cipher_vocabulary):
+    """Derive the MLE ciphertext-side stats from the plaintext COUNT.
+
+    The ciphertext stream is the plaintext stream mapped through the
+    encryption bijection: counts, first positions and adjacency are
+    identical arrays; only the decode vocabulary and the sizes (padded to
+    the pipeline's cipher block, exactly like
+    :func:`repro.defenses.pipeline.padded_size`) change. No second COUNT
+    pass runs.
+    """
+    from repro.defenses.pipeline import BLOCK_SIZE
+
+    if isinstance(plain_stats, ColumnarArrayStats):
+        padded = (plain_stats._first_sizes // BLOCK_SIZE + 1) * BLOCK_SIZE
+        return plain_stats.with_vocabulary(cipher_vocabulary, padded)
+    padded_by_id = {
+        chunk_id: (size // BLOCK_SIZE + 1) * BLOCK_SIZE
+        for chunk_id, size in plain_stats._size_by_id.items()
+    }
+    return InternedChunkStats(
+        cipher_vocabulary,
+        plain_stats._frequency_counts,
+        padded_by_id,
+        plain_stats._pair_counts,
+    )
+
+
+def _build_attack(name: str, u: int, v: int, w: int, block_size: int):
+    from repro.attacks.advanced import AdvancedLocalityAttack
+    from repro.attacks.locality import LocalityAttack
+
+    if name == "locality":
+        return LocalityAttack(u=u, v=v, w=w)
+    if name == "advanced":
+        return AdvancedLocalityAttack(u=u, v=v, w=w, block_size=block_size)
+    raise ConfigurationError(
+        f"unknown columnar attack {name!r}; the sharded COUNT drives the "
+        "counted-stats attacks ('locality', 'advanced')"
+    )
+
+
+def columnar_attack_report(
+    trace: ColumnarTrace | str | os.PathLike,
+    attack: str = "locality",
+    *,
+    auxiliary: int = -2,
+    target: int = -1,
+    leakage_rate: float = 0.0,
+    seed: int = 0,
+    u: int = 1,
+    v: int = 15,
+    w: int = 200_000,
+    jobs: int = 1,
+    block_size: int = 16,
+) -> InferenceReport:
+    """Run one locality/advanced attack end-to-end over an on-disk
+    columnar trace under the MLE scheme, without materializing the trace
+    (or any full frequency table) in RAM.
+
+    Equivalent to encrypting the series with the MLE
+    :class:`~repro.defenses.pipeline.DefensePipeline` and scoring through
+    :class:`~repro.attacks.evaluation.AttackEvaluator` — the differential
+    tests pin report equality at small scales — but the ciphertext side is
+    derived at the vocabulary level and both COUNT passes run sharded.
+    """
+    from repro.defenses.pipeline import DefenseScheme
+
+    opened = None
+    if not isinstance(trace, ColumnarTrace):
+        opened = trace = ColumnarTrace.open(trace)
+    try:
+        built = _build_attack(attack, u, v, w, block_size)
+        try:
+            auxiliary_view = trace.view(auxiliary)
+            target_view = trace.view(target)
+        except IndexError:
+            raise ConfigurationError(
+                f"backup index out of range for the {len(trace.backups)}-"
+                f"backup trace (auxiliary={auxiliary}, target={target})"
+            ) from None
+        target_plain_stats = sharded_count(target_view, jobs=jobs)
+        auxiliary_stats = sharded_count(auxiliary_view, jobs=jobs)
+        cipher_vocabulary = encrypt_vocabulary(trace)
+        ciphertext_stats = _encrypted_stats(
+            target_plain_stats, cipher_vocabulary
+        )
+        leaked = sample_columnar_leakage(
+            ciphertext_stats,
+            trace.vocabulary,
+            target_view.label,
+            leakage_rate,
+            seed,
+        )
+        result = built.run_counted(
+            ciphertext_stats, auxiliary_stats, leaked or None
+        )
+        truth = _VocabTruth(cipher_vocabulary, trace.vocabulary)
+        correct = sum(
+            1
+            for cipher_fp, plain_fp in result.pairs.items()
+            if truth.get(cipher_fp) == plain_fp
+        )
+        return InferenceReport(
+            attack=result.attack_name,
+            scheme=DefenseScheme.MLE.value,
+            auxiliary_label=auxiliary_view.label,
+            target_label=target_view.label,
+            unique_ciphertext_chunks=ciphertext_stats.unique_chunks,
+            inferred_pairs=len(result.pairs),
+            correct_pairs=correct,
+            leakage_rate=leakage_rate,
+            leaked_pairs=len(leaked),
+            iterations=result.iterations,
+        )
+    finally:
+        if opened is not None:
+            opened.close()
+
+
+# ---------------------------------------------------------------------------
+# Scenario-engine integration: the ``columnar_attack`` cell kind
+
+
+def _cell_trace_directory(params: dict):
+    """Deterministic scratch directory for a cell's generated trace.
+
+    Cells must be re-runnable from any worker process, so the trace lives
+    at a path derived purely from the generation parameters — every cell
+    with the same trace knobs shares one on-disk trace (generate once,
+    mmap thereafter via :func:`ensure_columnar`'s manifest check).
+    """
+    import tempfile
+    from pathlib import Path
+
+    if params.get("directory"):
+        return Path(params["directory"])
+    key = "-".join(
+        str(params.get(name, default))
+        for name, default in (
+            ("trace_seed", 7),
+            ("chunks", 1_000_000),
+            ("backups", 2),
+            ("fingerprint_bytes", 16),
+        )
+    )
+    return Path(tempfile.gettempdir()) / f"repro-columnar-{key}"
+
+
+def _run_columnar_attack(params: dict):
+    """One ``columnar_attack`` cell: generate (once) an on-disk columnar
+    stream trace, then run the sharded-COUNT attack end-to-end over it.
+
+    Rows mirror the ``attack`` kind field-for-field, so sweep tooling and
+    caches treat trace-scale cells like any other attack cell.
+    """
+    from repro.datasets.columnar import StreamConfig, ensure_stream_columnar
+
+    config = StreamConfig(
+        chunks=params.get("chunks", 1_000_000),
+        backups=params.get("backups", 2),
+        fingerprint_bytes=params.get("fingerprint_bytes", 16),
+    )
+    trace = ensure_stream_columnar(
+        _cell_trace_directory(params), config, seed=params.get("trace_seed", 7)
+    )
+    try:
+        report = columnar_attack_report(
+            trace,
+            params.get("attack", "locality"),
+            auxiliary=params.get("auxiliary", -2),
+            target=params.get("target", -1),
+            leakage_rate=params.get("leakage_rate", 0.0),
+            seed=params.get("seed", 0),
+            u=params.get("u", 1),
+            v=params.get("v", 15),
+            w=params.get("w", 200_000),
+            jobs=params.get("jobs", 1),
+        )
+    finally:
+        trace.close()
+    return (
+        (
+            ("auxiliary", report.auxiliary_label),
+            ("target", report.target_label),
+            ("inference_rate", round(report.inference_rate, 5)),
+            ("precision", round(report.precision, 5)),
+            ("correct_pairs", report.correct_pairs),
+            ("inferred_pairs", report.inferred_pairs),
+            ("unique_ciphertext_chunks", report.unique_ciphertext_chunks),
+            ("leaked_pairs", report.leaked_pairs),
+            ("iterations", report.iterations),
+        ),
+    )
+
+
+def _register_cell_kind() -> None:
+    from repro.scenarios.cells import register_cell_kind
+
+    register_cell_kind("columnar_attack", _run_columnar_attack)
+
+
+_register_cell_kind()

@@ -89,9 +89,54 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=__version__)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    gen = sub.add_parser("generate", help="generate a dataset trace file")
-    gen.add_argument("dataset", choices=_DATASETS)
-    gen.add_argument("output", help="trace file path")
+    gen = sub.add_parser(
+        "generate",
+        help="generate a dataset trace file (or columnar trace directory)",
+    )
+    gen.add_argument("dataset", choices=_DATASETS + ("stream",))
+    gen.add_argument(
+        "output", help="trace file path (a directory with --columnar)"
+    )
+    gen.add_argument(
+        "--columnar",
+        action="store_true",
+        help=(
+            "write the on-disk columnar layout (fingerprint vocabulary + "
+            "memory-mapped uint32 id stream) instead of a trace file; "
+            "generate once, mmap thereafter — a completed trace with "
+            "matching parameters is reopened, not regenerated"
+        ),
+    )
+    gen.add_argument(
+        "--chunks",
+        type=_positive_int,
+        default=10_000_000,
+        metavar="N",
+        help=(
+            "total chunk records for the 'stream' dataset "
+            "(default 10000000; requires --columnar)"
+        ),
+    )
+    gen.add_argument(
+        "--backups",
+        type=_positive_int,
+        default=2,
+        metavar="B",
+        help="backup count for the 'stream' dataset (default 2)",
+    )
+    gen.add_argument(
+        "--fingerprint-bytes",
+        type=_positive_int,
+        default=16,
+        metavar="K",
+        help="fingerprint width for the 'stream' dataset (default 16)",
+    )
+    gen.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="generation seed for the 'stream' dataset (default 7)",
+    )
 
     stats = sub.add_parser("stats", help="print workload statistics")
     stats.add_argument("dataset", choices=_DATASETS)
@@ -102,7 +147,29 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     attack = sub.add_parser("attack", help="run an inference attack")
-    attack.add_argument("dataset", choices=_DATASETS)
+    attack.add_argument("dataset", nargs="?", choices=_DATASETS)
+    attack.add_argument(
+        "--columnar",
+        metavar="DIR",
+        help=(
+            "attack an on-disk columnar trace directory (see generate "
+            "--columnar) instead of a canonical dataset: both COUNT "
+            "passes run sharded over the memory-mapped id stream "
+            "(--jobs), the MLE ciphertext side is derived at the "
+            "vocabulary level, and no full frequency table is ever "
+            "materialized in RAM"
+        ),
+    )
+    attack.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for the sharded columnar COUNT (output is "
+            "byte-identical at any job count; only with --columnar)"
+        ),
+    )
     attack.add_argument(
         "--attack",
         choices=("basic", "locality", "advanced"),
@@ -481,6 +548,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="small workloads (CI smoke)"
     )
     bench.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for the trace-scale sharded-COUNT section "
+            "(identity is asserted at every job count)"
+        ),
+    )
+    bench.add_argument(
         "--repeats",
         type=_positive_int,
         default=3,
@@ -513,12 +590,61 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.columnar:
+        return _generate_columnar(args)
+    if args.dataset == "stream":
+        raise SystemExit(
+            "the 'stream' dataset is trace-scale and only exists in the "
+            "columnar layout; add --columnar (and size it with --chunks)"
+        )
     series = series_by_name(args.dataset)
     save_series(series, args.output)
     print(
         f"wrote {args.dataset}: {len(series)} backups, "
         f"{sum(len(b) for b in series.backups)} chunk records -> {args.output}"
     )
+    return 0
+
+
+def _generate_columnar(args: argparse.Namespace) -> int:
+    """``generate --columnar``: write (or reopen) an on-disk columnar trace."""
+    from repro.analysis.workloads import FSL_SEED, SYNTHETIC_SEED
+
+    if args.dataset == "stream":
+        from repro.datasets.columnar import StreamConfig, ensure_stream_columnar
+
+        config = StreamConfig(
+            chunks=args.chunks,
+            backups=args.backups,
+            fingerprint_bytes=args.fingerprint_bytes,
+        )
+        trace = ensure_stream_columnar(args.output, config, seed=args.seed)
+    elif args.dataset == "fsl":
+        from repro.datasets.fsl import FSLDatasetGenerator
+
+        trace = FSLDatasetGenerator(seed=FSL_SEED).generate_columnar(
+            args.output
+        )
+    elif args.dataset == "synthetic":
+        from repro.datasets.synthetic import SyntheticDatasetGenerator
+
+        trace = SyntheticDatasetGenerator(seed=SYNTHETIC_SEED).generate_columnar(
+            args.output
+        )
+    else:
+        raise SystemExit(
+            f"no columnar writer for dataset {args.dataset!r}; choose from "
+            "fsl, synthetic, stream"
+        )
+    try:
+        print(
+            f"columnar {trace.name}: {len(trace.backups)} backups, "
+            f"{trace.num_chunks} chunk records, {trace.num_unique} unique "
+            f"({trace.fingerprint_bytes}-byte fingerprints) -> "
+            f"{trace.directory}"
+        )
+    finally:
+        trace.close()
     return 0
 
 
@@ -569,6 +695,17 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
+    if (args.dataset is None) == (args.columnar is None):
+        raise SystemExit(
+            "pick exactly one input: a dataset positional, or --columnar DIR"
+        )
+    if args.columnar is not None:
+        return _run_columnar_attack(args)
+    if args.jobs != 1:
+        print(
+            "warning: --jobs has no effect without --columnar",
+            file=sys.stderr,
+        )
     if args.workdir is None and (args.backend != "kvstore" or args.shards != 4):
         print(
             "warning: --backend/--shards have no effect without --workdir",
@@ -624,6 +761,52 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         leakage_rate=args.leakage_rate,
         seed=args.seed,
     )
+    print(report)
+    return 0
+
+
+def _run_columnar_attack(args: argparse.Namespace) -> int:
+    """``attack --columnar DIR``: the trace-scale sharded-COUNT path."""
+    from repro.attacks.sharded import columnar_attack_report
+
+    if args.scheme != "mle":
+        raise SystemExit(
+            "--columnar derives the ciphertext side at the vocabulary "
+            "level, which exists for the deterministic mle scheme only; "
+            "other schemes need the in-RAM pipeline (drop --columnar)"
+        )
+    if args.attack not in ("locality", "advanced"):
+        raise SystemExit(
+            "--columnar drives the counted-stats attacks only "
+            "(--attack locality or advanced)"
+        )
+    if args.nodes > 1:
+        raise SystemExit(
+            "--columnar and --nodes > 1 are separate experiments; "
+            "drop one of the two"
+        )
+    if args.workdir:
+        raise SystemExit(
+            "--columnar keeps COUNT state in flat arrays, not backend "
+            "stores; --workdir does not apply (see "
+            "repro.attacks.persistent.persist_columnar_stats for "
+            "backend-backed columnar COUNT)"
+        )
+    try:
+        report = columnar_attack_report(
+            args.columnar,
+            args.attack,
+            auxiliary=args.auxiliary,
+            target=args.target,
+            leakage_rate=args.leakage_rate,
+            seed=args.seed,
+            u=args.u,
+            v=args.v,
+            w=args.w,
+            jobs=args.jobs,
+        )
+    except ConfigurationError as error:
+        raise SystemExit(str(error)) from None
     print(report)
     return 0
 
@@ -1074,6 +1257,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         output=args.output if args.output is not None else DEFAULT_OUTPUT,
         compare=args.compare,
+        jobs=args.jobs,
     )
 
 

@@ -15,6 +15,17 @@ proprietary).
 """
 
 from repro.datasets.chunkspace import ChunkSpace, PopularPool, SizeModel
+from repro.datasets.columnar import (
+    ColumnarBackupView,
+    ColumnarTrace,
+    ColumnarTraceWriter,
+    MappedVocabulary,
+    SpillableVocabulary,
+    StreamConfig,
+    ensure_columnar,
+    synthesize_columnar,
+    write_series,
+)
 from repro.datasets.filesim import (
     FileMutator,
     SimFile,
@@ -40,6 +51,15 @@ __all__ = [
     "ChunkSpace",
     "PopularPool",
     "SizeModel",
+    "ColumnarBackupView",
+    "ColumnarTrace",
+    "ColumnarTraceWriter",
+    "MappedVocabulary",
+    "SpillableVocabulary",
+    "StreamConfig",
+    "ensure_columnar",
+    "synthesize_columnar",
+    "write_series",
     "FileMutator",
     "SimFile",
     "SimFileSystem",

@@ -122,6 +122,25 @@ class FSLDatasetGenerator:
             )
         return series
 
+    def generate_columnar(self, directory):
+        """Materialize the series into the columnar on-disk layout at
+        ``directory`` (generate once, mmap thereafter): a completed trace
+        with matching seed/scale is reopened instead of regenerated."""
+        from repro.datasets.columnar import ensure_series_columnar
+
+        cfg = self.config
+        return ensure_series_columnar(
+            directory,
+            self.generate,
+            params={
+                "source": "fsl",
+                "seed": self.seed,
+                "num_users": cfg.num_users,
+                "num_backups": cfg.num_backups,
+                "fingerprint_bytes": cfg.fingerprint_bytes,
+            },
+        )
+
     # -- internals ----------------------------------------------------------
 
     def _label(self, month: int) -> str:

@@ -126,6 +126,24 @@ class SyntheticDatasetGenerator:
             )
         return series
 
+    def generate_columnar(self, directory):
+        """Materialize the series into the columnar on-disk layout at
+        ``directory`` (generate once, mmap thereafter): a completed trace
+        with matching seed/scale is reopened instead of regenerated."""
+        from repro.datasets.columnar import ensure_series_columnar
+
+        cfg = self.config
+        return ensure_series_columnar(
+            directory,
+            self.generate,
+            params={
+                "source": "synthetic",
+                "seed": self.seed,
+                "num_snapshots": cfg.num_snapshots,
+                "fingerprint_bytes": cfg.fingerprint_bytes,
+            },
+        )
+
     # -- internals ----------------------------------------------------------
 
     def _file_length(self, rng) -> int:

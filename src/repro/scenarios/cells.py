@@ -189,6 +189,7 @@ _LAZY_KIND_MODULES = {
     "service_attack": "repro.service.cells",
     "serve_net": "repro.service.cells",
     "cluster": "repro.cluster.cells",
+    "columnar_attack": "repro.attacks.sharded",
 }
 
 

@@ -1,0 +1,391 @@
+"""Columnar trace format + sharded parallel COUNT differential tests.
+
+The trace-scale stack must be *byte-identical* to the in-RAM reference at
+every seam:
+
+* the columnar round trip (write → mmap → decode) reproduces the original
+  backups exactly, vocabulary spilled to disk or not;
+* :func:`~repro.attacks.sharded.sharded_count` at any ``jobs`` value
+  equals :func:`~repro.attacks.frequency.count_with_neighbors` and
+  :func:`~repro.attacks.interning.interned_count` — tables *and*
+  iteration order — under both accel modes;
+* :func:`~repro.attacks.sharded.columnar_attack_report` equals the full
+  in-RAM :class:`~repro.attacks.evaluation.AttackEvaluator` pipeline;
+* generation and the persistent COUNT both resume safely after an
+  interrupt (manifest / completion marker as the only commit points).
+"""
+
+import os
+
+import pytest
+
+from repro.attacks.evaluation import AttackEvaluator
+from repro.attacks.frequency import count_with_neighbors
+from repro.attacks.interning import (
+    MAX_VOCABULARY,
+    PAIR_SHIFT,
+    check_vocabulary_capacity,
+    interned_count,
+)
+from repro.attacks.persistent import load_chunk_stats, persist_columnar_stats
+from repro.attacks.sharded import columnar_attack_report, sharded_count
+from repro.common import accel
+from repro.common.errors import ConfigurationError
+from repro.datasets.columnar import (
+    ColumnarTrace,
+    ColumnarTraceWriter,
+    StreamConfig,
+    ensure_columnar,
+    ensure_stream_columnar,
+    synthesize_columnar,
+    write_series,
+)
+from repro.datasets.model import Backup, BackupSeries
+from repro.defenses.pipeline import DefensePipeline, DefenseScheme
+
+
+@pytest.fixture(params=["accelerated", "fallback"])
+def count_mode(request, monkeypatch):
+    """Run every differential under both accel modes."""
+    if request.param == "fallback":
+        monkeypatch.setattr(accel, "numpy", None)
+    elif accel.numpy is None:
+        pytest.skip("numpy unavailable; accelerated path cannot run")
+    return request.param
+
+
+def small_series() -> BackupSeries:
+    import random
+
+    rng = random.Random(13)
+    pool = [rng.randbytes(16) for _ in range(400)]
+    backups = []
+    for index in range(3):
+        fingerprints = [
+            rng.choice(pool) if rng.random() < 0.8 else rng.randbytes(16)
+            for _ in range(2_500)
+        ]
+        backups.append(
+            Backup(
+                label=f"b{index}",
+                fingerprints=fingerprints,
+                sizes=[rng.randrange(512, 8192) for _ in fingerprints],
+            )
+        )
+    return BackupSeries(name="unit-columnar", backups=backups)
+
+
+def assert_stats_identical(fast, reference):
+    """Full four-table equality, including iteration order."""
+    assert dict(fast.frequencies.items()) == dict(reference.frequencies.items())
+    assert list(fast.frequencies) == list(reference.frequencies)
+    assert dict(fast.sizes.items()) == dict(reference.sizes.items())
+    assert list(fast.sizes) == list(reference.sizes)
+    for side in ("left", "right"):
+        ours = getattr(fast, side)
+        oracle = getattr(reference, side)
+        decoded = {key: dict(table.items()) for key, table in ours.items()}
+        expected = {key: dict(table.items()) for key, table in oracle.items()}
+        assert decoded == expected
+        assert list(decoded) == list(expected)
+        for key in expected:
+            assert list(decoded[key]) == list(expected[key])
+
+
+class TestColumnarRoundTrip:
+    def test_write_open_decode(self, tmp_path):
+        series = small_series()
+        trace = write_series(series, tmp_path / "trace")
+        try:
+            assert trace.labels() == [b.label for b in series.backups]
+            assert trace.num_chunks == sum(len(b) for b in series.backups)
+            for view, original in zip(trace.views(), series.backups):
+                decoded = view.to_backup()
+                assert decoded.fingerprints == original.fingerprints
+                assert decoded.sizes == original.sizes
+        finally:
+            trace.close()
+
+    def test_spilled_vocabulary_writes_identical_trace(self, tmp_path):
+        series = small_series()
+        in_ram = write_series(series, tmp_path / "ram")
+        spilled = write_series(
+            series, tmp_path / "spill", spill_threshold=64
+        )
+        try:
+            for name in ("vocab.fp", "ids.u32", "sizes.u32"):
+                assert (tmp_path / "ram" / name).read_bytes() == (
+                    tmp_path / "spill" / name
+                ).read_bytes()
+            assert in_ram.num_unique == spilled.num_unique
+        finally:
+            in_ram.close()
+            spilled.close()
+
+    def test_stream_synthesis_is_deterministic(self, tmp_path):
+        config = StreamConfig(chunks=4_000, backups=2)
+        synthesize_columnar(tmp_path / "one", config, seed=3)
+        synthesize_columnar(tmp_path / "two", config, seed=3)
+        for name in ("vocab.fp", "ids.u32", "sizes.u32"):
+            assert (tmp_path / "one" / name).read_bytes() == (
+                tmp_path / "two" / name
+            ).read_bytes()
+
+
+class TestGenerationResume:
+    def test_open_refuses_manifestless_directory(self, tmp_path):
+        partial = tmp_path / "partial"
+        partial.mkdir()
+        (partial / "ids.u32").write_bytes(b"\x01\x00\x00\x00")
+        with pytest.raises(ConfigurationError, match="manifest"):
+            ColumnarTrace.open(partial)
+
+    def test_open_refuses_truncated_data(self, tmp_path):
+        trace = write_series(small_series(), tmp_path / "trace")
+        trace.close()
+        ids = tmp_path / "trace" / "ids.u32"
+        ids.write_bytes(ids.read_bytes()[:-4])
+        with pytest.raises(ConfigurationError, match="truncated"):
+            ColumnarTrace.open(tmp_path / "trace")
+
+    def test_ensure_regenerates_partial_and_reuses_complete(self, tmp_path):
+        directory = tmp_path / "trace"
+        directory.mkdir()
+        (directory / "ids.u32").write_bytes(b"junk")  # interrupted run
+        calls = []
+
+        def builder(path):
+            calls.append(path)
+            return write_series(small_series(), path, params={"p": 1})
+
+        trace = ensure_columnar(directory, builder, params={"p": 1})
+        trace.close()
+        assert len(calls) == 1
+        # Matching params: reopened, not regenerated.
+        trace = ensure_columnar(directory, builder, params={"p": 1})
+        trace.close()
+        assert len(calls) == 1
+        # Changed params: cleared and rebuilt.
+        trace = ensure_columnar(directory, builder, params={"p": 2})
+        trace.close()
+        assert len(calls) == 2
+
+    def test_interrupted_writer_leaves_no_manifest(self, tmp_path):
+        writer = ColumnarTraceWriter(
+            tmp_path / "trace", name="t", fingerprint_bytes=4
+        )
+        with pytest.raises(RuntimeError):
+            with writer:
+                writer.add_backup(
+                    Backup(label="a", fingerprints=[b"abcd"], sizes=[7])
+                )
+                raise RuntimeError("simulated crash")
+        assert not (tmp_path / "trace" / "manifest.json").exists()
+        with pytest.raises(ConfigurationError):
+            ColumnarTrace.open(tmp_path / "trace")
+
+
+class TestShardedCountIdentity:
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_identical_to_references_per_view(
+        self, tmp_path, count_mode, jobs
+    ):
+        config = StreamConfig(chunks=6_000, backups=3)
+        trace = ensure_stream_columnar(tmp_path / "trace", config, seed=5)
+        try:
+            for view in trace.views():
+                backup = view.to_backup()
+                stats = sharded_count(view, jobs=jobs)
+                assert stats.unique_chunks == len(set(backup.fingerprints))
+                assert_stats_identical(stats, count_with_neighbors(backup))
+                assert_stats_identical(stats, interned_count(backup))
+        finally:
+            trace.close()
+
+    @pytest.mark.parametrize(
+        "fingerprints",
+        [
+            pytest.param([], id="empty"),
+            pytest.param([b"solo-fp-"], id="single-chunk"),
+            pytest.param(
+                [bytes([i] * 8) for i in range(40)], id="all-unique"
+            ),
+            pytest.param([b"dup-fp-!"] * 40, id="all-duplicate"),
+        ],
+    )
+    def test_edge_streams(self, tmp_path, count_mode, fingerprints):
+        backup = Backup(
+            label="edge",
+            fingerprints=list(fingerprints),
+            sizes=[100 + i for i in range(len(fingerprints))],
+        )
+        with ColumnarTraceWriter(
+            tmp_path / "trace", name="edge", fingerprint_bytes=8
+        ) as writer:
+            writer.add_backup(backup)
+        trace = ColumnarTrace.open(tmp_path / "trace")
+        try:
+            view = trace.view(0)
+            assert view.to_backup().fingerprints == backup.fingerprints
+            for jobs in (1, 4):
+                stats = sharded_count(view, jobs=jobs)
+                assert_stats_identical(stats, count_with_neighbors(backup))
+        finally:
+            trace.close()
+
+    def test_jobs_must_be_positive(self, tmp_path):
+        trace = write_series(small_series(), tmp_path / "trace")
+        try:
+            with pytest.raises(ConfigurationError):
+                sharded_count(trace.view(0), jobs=0)
+        finally:
+            trace.close()
+
+
+class TestVocabularyCapacityGuard:
+    def test_limit_is_the_pair_packing_width(self):
+        assert MAX_VOCABULARY == 1 << PAIR_SHIFT
+
+    def test_oversized_vocabulary_rejected_with_pointer_to_docs(self):
+        # 2**PAIR_SHIFT unique ids (0 .. 2**PAIR_SHIFT - 1) still pack.
+        check_vocabulary_capacity(MAX_VOCABULARY, "test vocabulary")
+        with pytest.raises(ConfigurationError, match="adjacency"):
+            check_vocabulary_capacity(MAX_VOCABULARY + 1, "test vocabulary")
+        with pytest.raises(ConfigurationError, match="test vocabulary"):
+            check_vocabulary_capacity(MAX_VOCABULARY + 7, "test vocabulary")
+
+
+class TestColumnarAttackEquivalence:
+    def test_report_equals_in_ram_evaluator(self, tmp_path, count_mode):
+        config = StreamConfig(chunks=6_000, backups=2)
+        trace = ensure_stream_columnar(tmp_path / "trace", config, seed=9)
+        try:
+            series = BackupSeries(
+                name="stream-synthetic",
+                backups=[view.to_backup() for view in trace.views()],
+            )
+            encrypted = DefensePipeline(DefenseScheme.MLE).encrypt_series(
+                series
+            )
+            evaluator = AttackEvaluator(encrypted)
+            for attack, rate in (
+                ("locality", 0.0),
+                ("advanced", 0.0),
+                ("advanced", 0.01),
+            ):
+                expected = evaluator.run(
+                    _build(attack), auxiliary=-2, target=-1,
+                    leakage_rate=rate, seed=0,
+                )
+                for jobs in (1, 4):
+                    report = columnar_attack_report(
+                        trace, attack, leakage_rate=rate, jobs=jobs
+                    )
+                    assert report == expected
+        finally:
+            trace.close()
+
+    def test_rejects_unknown_attack_and_bad_index(self, tmp_path):
+        trace = write_series(small_series(), tmp_path / "trace")
+        trace.close()
+        with pytest.raises(ConfigurationError, match="columnar attack"):
+            columnar_attack_report(tmp_path / "trace", "basic")
+        with pytest.raises(ConfigurationError, match="out of range"):
+            columnar_attack_report(tmp_path / "trace", target=17)
+
+
+def _build(name):
+    from repro.attacks.advanced import AdvancedLocalityAttack
+    from repro.attacks.locality import LocalityAttack
+
+    if name == "locality":
+        return LocalityAttack()
+    return AdvancedLocalityAttack()
+
+
+def assert_backend_stats_identical(persisted, reference):
+    """Like :func:`assert_stats_identical`, but for backend-resident
+    neighbor tables (:class:`NeighborStore` is per-key, not iterable)."""
+    assert dict(persisted.frequencies.items()) == dict(
+        reference.frequencies.items()
+    )
+    assert list(persisted.frequencies) == list(reference.frequencies)
+    assert dict(persisted.sizes.items()) == dict(reference.sizes.items())
+    for side in ("left", "right"):
+        store = getattr(persisted, side)
+        oracle = getattr(reference, side)
+        for fingerprint in reference.frequencies:
+            table = store.get(fingerprint) or {}
+            expected = oracle.get(fingerprint) or {}
+            assert dict(table) == dict(expected)
+            assert list(table) == list(expected)
+
+
+class TestPersistentColumnarCount:
+    def test_marker_resume_after_interrupt(self, tmp_path, count_mode):
+        trace = write_series(small_series(), tmp_path / "trace")
+        try:
+            view = trace.view(1)
+            state = tmp_path / "state"
+            # Simulate an interrupted COUNT: partial store files, no marker.
+            state.mkdir()
+            (state / "meta.db").write_bytes(b"partial")
+            with pytest.raises(ConfigurationError):
+                load_chunk_stats(state)
+            stats = persist_columnar_stats(view, state, backend="sqlite")
+            reference = count_with_neighbors(view.to_backup())
+            assert_backend_stats_identical(stats, reference)
+            assert (state / "COUNT_STATE").read_text().strip() == "sqlite"
+            # Completed state refuses a recount (it would double-merge) …
+            with pytest.raises(ConfigurationError, match="already persisted"):
+                persist_columnar_stats(view, state, backend="sqlite")
+            # … and reopens through the marker, byte-identical.
+            assert_backend_stats_identical(load_chunk_stats(state), reference)
+        finally:
+            trace.close()
+
+    def test_empty_view_rejected(self, tmp_path):
+        with ColumnarTraceWriter(
+            tmp_path / "trace", name="empty", fingerprint_bytes=4
+        ) as writer:
+            writer.add_backup(Backup(label="a", fingerprints=[], sizes=[]))
+        trace = ColumnarTrace.open(tmp_path / "trace")
+        try:
+            with pytest.raises(ConfigurationError, match="empty"):
+                persist_columnar_stats(trace.view(0), tmp_path / "state")
+        finally:
+            trace.close()
+
+
+class TestColumnarCellKind:
+    def test_cell_rows_are_deterministic(self, tmp_path):
+        from repro.scenarios.cells import ensure_cell_kind, execute_cell
+        from repro.scenarios.spec import Cell
+
+        assert ensure_cell_kind("columnar_attack")
+        cell = Cell(
+            kind="columnar_attack",
+            params=(
+                ("directory", os.fspath(tmp_path / "trace")),
+                ("chunks", 3_000),
+                ("backups", 2),
+                ("attack", "locality"),
+                ("jobs", 2),
+            ),
+            tags=(("scale", "unit"),),
+        )
+        first = execute_cell(cell)
+        second = execute_cell(cell)  # reopens the completed trace
+        assert first == second
+        fields = [name for name, _ in first[0]]
+        assert fields == [
+            "auxiliary",
+            "target",
+            "inference_rate",
+            "precision",
+            "correct_pairs",
+            "inferred_pairs",
+            "unique_ciphertext_chunks",
+            "leaked_pairs",
+            "iterations",
+        ]
