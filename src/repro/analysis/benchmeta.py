@@ -16,6 +16,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import platform
+import subprocess
 import sys
 from datetime import datetime, timezone
 from typing import Any, Callable
@@ -25,17 +26,49 @@ from repro.version import __version__
 
 __all__ = [
     "ENVELOPE_SCHEMA",
+    "git_revision",
     "metadata_envelope",
     "peak_rss_bytes",
     "run_isolated",
 ]
 
 #: Bump when the envelope layout changes shape (not when values change).
-ENVELOPE_SCHEMA = 1
+#: Schema 2 adds source provenance: ``git_commit`` / ``git_dirty``.
+ENVELOPE_SCHEMA = 2
+
+
+def git_revision() -> tuple[str | None, bool | None]:
+    """``(commit hash, worktree dirty?)`` of the repo the code runs from.
+
+    Both come back ``None`` outside a git checkout (tarball installs,
+    containers without git) — baselines must still be writable there.
+    """
+    root = os.path.dirname(os.path.abspath(__file__))
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout
+    except (OSError, subprocess.SubprocessError):
+        return None, None
+    return (commit or None), bool(status.strip())
 
 
 def metadata_envelope() -> dict[str, Any]:
     """The shared ``env`` block every ``BENCH_*.json`` baseline embeds."""
+    commit, dirty = git_revision()
     return {
         "schema": ENVELOPE_SCHEMA,
         "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -44,6 +77,8 @@ def metadata_envelope() -> dict[str, Any]:
         "numpy": None if accel.numpy is None else accel.numpy.__version__,
         "platform": platform.machine(),
         "cpu_count": os.cpu_count(),
+        "git_commit": commit,
+        "git_dirty": dirty,
     }
 
 

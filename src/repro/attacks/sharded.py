@@ -43,9 +43,12 @@ from __future__ import annotations
 
 import hashlib
 import os
+import time
 from collections import Counter
 from itertools import islice
 from multiprocessing import get_context
+
+from repro import obs
 
 from repro.attacks.evaluation import InferenceReport
 from repro.attacks.frequency import FINGERPRINT, INSERTION
@@ -103,19 +106,57 @@ def _count_shard(task):
     """Count one contiguous shard of a backup's id column.
 
     ``task`` is ``(ids_path, span_start, start, stop, lead, vocab_size,
-    use_numpy)`` with ``start``/``stop`` view-relative. A shard with
-    ``start > 0`` reads one *lead* element before its range so the
+    use_numpy, shard)`` with ``start``/``stop`` view-relative. A shard
+    with ``start > 0`` reads one *lead* element before its range so the
     boundary adjacency pair is counted by exactly one shard; the lead
     element itself is excluded from the frequency/first tables (it belongs
     to the previous shard).
+
+    Returns ``(payload, telemetry)``: the count tables plus, when
+    observability is on, ``(metrics snapshot, span records)`` recorded
+    into **fresh** worker-local structures (forked workers inherit the
+    parent's globals; recording there would double-count after the
+    parent merges the shipped snapshot).
     """
-    ids_path, span_start, start, stop, lead, vocab_size, use_numpy = task
-    with open(ids_path, "rb") as handle:
-        handle.seek((span_start + start - lead) * 4)
-        raw = handle.read((stop - start + lead) * 4)
-    if use_numpy:
-        return _count_shard_numpy(raw, start, stop, lead, vocab_size)
-    return _count_shard_python(raw, start, stop, lead)
+    ids_path, span_start, start, stop, lead, vocab_size, use_numpy, shard = task
+    registry = obs.worker_registry()
+    ring = obs.SpanRing() if obs.tracing_enabled() else None
+    span = ring.span if ring is not None else _null_span
+    with span("count.shard", shard=shard):
+        read_started = time.perf_counter()
+        with open(ids_path, "rb") as handle:
+            handle.seek((span_start + start - lead) * 4)
+            raw = handle.read((stop - start + lead) * 4)
+        count_started = time.perf_counter()
+        if use_numpy:
+            payload = _count_shard_numpy(raw, start, stop, lead, vocab_size)
+        else:
+            payload = _count_shard_python(raw, start, stop, lead)
+    if registry is not None:
+        finished = time.perf_counter()
+        registry.counter("count.chunks", stop - start)
+        registry.observe(
+            "count.shard.phase_s", count_started - read_started, phase="read"
+        )
+        registry.observe(
+            "count.shard.phase_s", finished - count_started, phase="bincount"
+        )
+        from repro.analysis.benchmeta import peak_rss_bytes
+
+        rss = peak_rss_bytes()
+        if rss is not None:
+            registry.gauge_max("count.shard.peak_rss_bytes", rss, stable=False)
+    telemetry = None
+    if registry is not None or ring is not None:
+        telemetry = (
+            registry.snapshot() if registry is not None else None,
+            ring.records() if ring is not None else None,
+        )
+    return payload, telemetry
+
+
+def _null_span(name, **tags):
+    return obs.NULL_SPAN
 
 
 def _count_shard_numpy(raw, start, stop, lead, vocab_size):
@@ -465,13 +506,29 @@ def sharded_count(view: ColumnarBackupView, jobs: int = 1):
     use_numpy = numpy is not None
     tasks = [
         (ids_path, view.start, start, stop, 1 if start else 0,
-         trace.num_unique, use_numpy)
-        for start, stop in _shard_ranges(total, jobs)
+         trace.num_unique, use_numpy, shard)
+        for shard, (start, stop) in enumerate(_shard_ranges(total, jobs))
     ]
-    results = _run_tasks(tasks)
-    if use_numpy:
-        return _merge_numpy(view, results, total)
-    return _merge_python(view, results)
+    obs.counter("count.backups")
+    obs.gauge_max("count.shards", len(tasks), stable=False)
+    results = []
+    for payload, telemetry in _run_tasks(tasks):
+        if telemetry is not None:
+            snapshot, spans = telemetry
+            obs.merge_snapshot(snapshot)
+            obs.merge_spans(spans)
+        results.append(payload)
+    merge_started = time.perf_counter()
+    with obs.span("count.merge", label=view.label, shards=len(tasks)):
+        if use_numpy:
+            merged = _merge_numpy(view, results, total)
+        else:
+            merged = _merge_python(view, results)
+    obs.observe(
+        "count.shard.phase_s", time.perf_counter() - merge_started,
+        phase="merge",
+    )
+    return merged
 
 
 def _merge_numpy(view, results, total):
@@ -494,7 +551,12 @@ def _merge_numpy(view, results, total):
     present = numpy.flatnonzero(counts)
     # First positions are unique stream indices: this argsort IS the
     # insertion sequence of a single-threaded COUNT.
+    argsort_started = time.perf_counter()
     order = present[numpy.argsort(first[present], kind="stable")]
+    obs.observe(
+        "count.shard.phase_s", time.perf_counter() - argsort_started,
+        phase="argsort",
+    )
     ordered_ids = order
     ordered_counts = counts[order]
     ordered_first = first[order]

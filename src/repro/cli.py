@@ -20,6 +20,14 @@ Subcommands:
 * ``bench`` — time the hot paths (chunking, COUNT, service ingest)
   against their reference implementations and write the
   ``BENCH_hotpaths.json`` perf baseline.
+* ``obs`` — render or diff the metrics snapshot JSON the ``--metrics``
+  flag exports.
+
+``attack``, ``figure``, ``sweep``, ``serve-sim`` and ``serve-net`` all
+take ``--metrics FILE`` (export a merged metrics-registry snapshot),
+``--trace-out FILE`` (export the span ring as JSONL) and ``--log-json``
+(structured logs on stderr).  All three are off by default, and leaving
+them off keeps every report byte-identical to an uninstrumented build.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.analysis import figures as figure_drivers
 from repro.analysis.reporting import render_table, save_result
 from repro.analysis.workloads import (
@@ -76,6 +85,70 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError("must be >= 1")
     return value
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """The observability trio, shared by every instrumented subcommand.
+
+    All default to off; the command's report output is byte-identical
+    with and without them (exports go to separate files / stderr).
+    """
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--metrics",
+        metavar="FILE",
+        default=None,
+        help=(
+            "enable the metrics registry and write the merged snapshot "
+            "JSON to FILE on exit (inspect with 'freqdedup obs')"
+        ),
+    )
+    group.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help=(
+            "enable span tracing and write the span ring to FILE as "
+            "JSONL on exit"
+        ),
+    )
+    group.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON logs on stderr",
+    )
+
+
+def _obs_enable(args: argparse.Namespace) -> None:
+    """Turn on whichever observability planes the flags requested.
+
+    Runs before dispatch so ``obs.enable`` can export ``REPRO_OBS`` to
+    spawn-started workers; with no flags given nothing is touched and
+    every ``obs`` call in the handlers stays a no-op.
+    """
+    metrics = getattr(args, "metrics", None) is not None
+    tracing = getattr(args, "trace_out", None) is not None
+    logging = bool(getattr(args, "log_json", False))
+    if metrics or tracing or logging:
+        obs.enable(metrics=metrics, tracing=tracing, logging=logging)
+
+
+def _obs_export(args: argparse.Namespace) -> None:
+    """Write the requested snapshot/trace files after the handler ran.
+
+    Runs in a ``finally`` so a partial run (e.g. identity-mode exit 1)
+    still exports what it recorded.  Paths go to stderr to keep stdout
+    (the report the goldens pin) untouched.
+    """
+    metrics_path = getattr(args, "metrics", None)
+    if metrics_path and obs.enabled():
+        with open(metrics_path, "wb") as handle:
+            handle.write(obs.snapshot_bytes(obs.snapshot()) + b"\n")
+        print(f"metrics snapshot -> {metrics_path}", file=sys.stderr)
+    trace_path = getattr(args, "trace_out", None)
+    if trace_path and obs.tracing_enabled():
+        count = obs.export_trace(trace_path)
+        print(f"{count} spans -> {trace_path}", file=sys.stderr)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -240,6 +313,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="which node's shard the adversary observes (default 0)",
     )
+    _add_obs_flags(attack)
 
     figure = sub.add_parser(
         "figure", help="regenerate a paper figure (or 'all')"
@@ -260,6 +334,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="on-disk cell cache; reruns skip completed cells",
     )
+    _add_obs_flags(figure)
 
     sweep = sub.add_parser(
         "sweep",
@@ -311,6 +386,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--json", metavar="FILE", help="also write rows as JSON to FILE"
     )
+    _add_obs_flags(sweep)
 
     serve = sub.add_parser(
         "serve-sim",
@@ -429,6 +505,7 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--json", metavar="FILE", help="write the full JSON report to FILE"
     )
+    _add_obs_flags(serve)
 
     net = sub.add_parser(
         "serve-net",
@@ -526,6 +603,7 @@ def _build_parser() -> argparse.ArgumentParser:
     net.add_argument(
         "--json", metavar="FILE", help="write the JSON report to FILE"
     )
+    _add_obs_flags(net)
 
     storage = sub.add_parser(
         "storage", help="run the DDFS metadata-access experiment"
@@ -586,6 +664,26 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the summary as JSON (stable key order, scriptable)",
     )
+
+    obs_cmd = sub.add_parser(
+        "obs",
+        help="render or diff metrics snapshot JSON from --metrics",
+        description=(
+            "Inspect the snapshot files the --metrics flag exports: "
+            "pretty-print one as counter/gauge/histogram tables, or show "
+            "the per-metric delta between two runs."
+        ),
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    obs_render = obs_sub.add_parser(
+        "render", help="pretty-print one snapshot"
+    )
+    obs_render.add_argument("snapshot", help="snapshot JSON path")
+    obs_diff = obs_sub.add_parser(
+        "diff", help="per-metric delta between two snapshots"
+    )
+    obs_diff.add_argument("left", help="baseline snapshot JSON path")
+    obs_diff.add_argument("right", help="comparison snapshot JSON path")
     return parser
 
 
@@ -1201,6 +1299,10 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
             else:
                 report = run_loadgen(address, config, processes=args.clients)
                 report["mode"] = "loadgen"
+            if obs.enabled():
+                # Final server-side engine gauges (cache, bloom FPs,
+                # metadata bytes) into the snapshot --metrics exports.
+                frontend.service.publish_metrics()
     finally:
         if scratch is not None:
             shutil.rmtree(scratch, ignore_errors=True)
@@ -1279,6 +1381,27 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.render import (
+        diff_snapshots,
+        load_snapshot,
+        render_snapshot,
+    )
+
+    try:
+        if args.obs_command == "render":
+            print(render_snapshot(load_snapshot(args.snapshot)))
+        else:
+            print(
+                diff_snapshots(
+                    load_snapshot(args.left), load_snapshot(args.right)
+                )
+            )
+    except (OSError, ConfigurationError) as error:
+        raise SystemExit(f"obs: {error}") from None
+    return 0
+
+
 _HANDLERS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
@@ -1290,12 +1413,17 @@ _HANDLERS = {
     "storage": _cmd_storage,
     "bench": _cmd_bench,
     "report": _cmd_report,
+    "obs": _cmd_obs,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    _obs_enable(args)
+    try:
+        return _HANDLERS[args.command](args)
+    finally:
+        _obs_export(args)
 
 
 if __name__ == "__main__":

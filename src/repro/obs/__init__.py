@@ -1,0 +1,222 @@
+"""``repro.obs`` — unified observability: metrics, spans, structured logs.
+
+One process-global switchboard.  Everything is **off by default** and
+every recording call is a cheap no-op while disabled, so instrumentation
+lives unconditionally in the hot paths without perturbing the
+byte-identity guarantees the rest of the repo is built on:
+
+    from repro import obs
+
+    obs.counter("serve.frames", kind="UPLOAD_BATCH")
+    obs.observe("serve.latency_s", dt, kind="UPLOAD_BATCH")
+    with obs.span("count.shard", shard=i):
+        ...
+    obs.get_logger("runner").info("cell done", extra={"cell": key})
+
+Enable with :func:`enable` (the CLI's ``--metrics``/``--trace-out``
+flags call it) or via the ``REPRO_OBS`` environment variable
+(``metrics``, ``trace``, ``logs``, or a comma list; ``all`` / ``1`` for
+everything).  ``enable`` also exports ``REPRO_OBS`` so worker processes
+started with the *spawn* method see the same switches; *fork* workers
+(the repo default) inherit the flags as live memory state.
+
+Worker processes must not report into their inherited copy of the global
+registry — the parent would never see it.  The pattern, used by the
+sharded COUNT, scenario cells, and loadgen workers, is
+:func:`worker_registry` → record locally → ship ``registry.snapshot()``
+back in the return value → parent calls :func:`merge_snapshot`.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs import logs as _logs
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_S,
+    SIZE_BUCKETS_BYTES,
+    SNAPSHOT_SCHEMA,
+    MetricsRegistry,
+    snapshot_bytes,
+)
+from repro.obs.tracing import (
+    NULL_SPAN,
+    SpanRing,
+    export_jsonl,
+)
+
+__all__ = [
+    "LATENCY_BUCKETS_S",
+    "SIZE_BUCKETS_BYTES",
+    "SNAPSHOT_SCHEMA",
+    "MetricsRegistry",
+    "SpanRing",
+    "counter",
+    "disable",
+    "enable",
+    "enabled",
+    "export_trace",
+    "gauge",
+    "gauge_max",
+    "get_logger",
+    "merge_snapshot",
+    "observe",
+    "registry",
+    "reset",
+    "snapshot",
+    "snapshot_bytes",
+    "span",
+    "span_ring",
+    "tracing_enabled",
+    "worker_registry",
+]
+
+ENV_VAR = "REPRO_OBS"
+
+_metrics_on = False
+_tracing_on = False
+_registry = MetricsRegistry()
+_ring = SpanRing()
+
+get_logger = _logs.get_logger
+
+
+def _parse_env(value: str) -> tuple[bool, bool, bool]:
+    tokens = {token.strip() for token in value.lower().split(",") if token.strip()}
+    if tokens & {"1", "all", "on", "true"}:
+        return True, True, True
+    return "metrics" in tokens, "trace" in tokens, "logs" in tokens
+
+
+def enable(
+    *,
+    metrics: bool = True,
+    tracing: bool = False,
+    logging: bool = False,
+) -> None:
+    """Turn on the requested subsystems (additive; never turns one off)."""
+    global _metrics_on, _tracing_on
+    _metrics_on = _metrics_on or metrics
+    _tracing_on = _tracing_on or tracing
+    if logging:
+        _logs.configure()
+    tokens = []
+    if _metrics_on:
+        tokens.append("metrics")
+    if _tracing_on:
+        tokens.append("trace")
+    if logging:
+        tokens.append("logs")
+    if tokens:
+        os.environ[ENV_VAR] = ",".join(tokens)
+
+
+def disable() -> None:
+    """All subsystems off; recorded state is kept until :func:`reset`."""
+    global _metrics_on, _tracing_on
+    _metrics_on = False
+    _tracing_on = False
+    _logs.deconfigure()
+    os.environ.pop(ENV_VAR, None)
+
+
+def reset() -> None:
+    """Clear recorded metrics and spans (switch state unchanged)."""
+    _registry.clear()
+    _ring.clear()
+
+
+def enabled() -> bool:
+    return _metrics_on
+
+
+def tracing_enabled() -> bool:
+    return _tracing_on
+
+
+# -- recording facade (no-ops while disabled) -------------------------------
+
+
+def counter(name: str, value: int = 1, *, stable: bool = True, **labels) -> None:
+    if _metrics_on:
+        _registry.counter(name, value, stable=stable, **labels)
+
+
+def gauge(name: str, value: float, *, stable: bool = True, **labels) -> None:
+    if _metrics_on:
+        _registry.gauge(name, value, stable=stable, **labels)
+
+
+def gauge_max(name: str, value: float, *, stable: bool = True, **labels) -> None:
+    if _metrics_on:
+        _registry.gauge_max(name, value, stable=stable, **labels)
+
+
+def observe(
+    name: str,
+    value: float,
+    *,
+    buckets: tuple[float, ...] = LATENCY_BUCKETS_S,
+    stable: bool = False,
+    **labels,
+) -> None:
+    if _metrics_on:
+        _registry.observe(name, value, buckets=buckets, stable=stable, **labels)
+
+
+def span(name: str, **tags):
+    if _tracing_on:
+        return _ring.span(name, **tags)
+    return NULL_SPAN
+
+
+# -- snapshot / merge / export ----------------------------------------------
+
+
+def registry() -> MetricsRegistry:
+    return _registry
+
+
+def span_ring() -> SpanRing:
+    return _ring
+
+
+def snapshot(stable_only: bool = False) -> dict:
+    return _registry.snapshot(stable_only=stable_only)
+
+
+def merge_snapshot(snap: dict | None) -> None:
+    if snap:
+        _registry.merge_snapshot(snap)
+
+
+def merge_spans(records: list[dict] | None) -> None:
+    if records:
+        _ring.extend(records)
+
+
+def export_trace(path) -> int:
+    return export_jsonl(_ring, path)
+
+
+def worker_registry() -> MetricsRegistry | None:
+    """A fresh registry for a worker process to record into, or ``None``
+    when metrics are off.
+
+    Forked workers inherit the parent's global registry *contents*;
+    recording there would double-count once the parent merges the
+    shipped snapshot.  Workers record into this fresh registry and
+    return ``registry.snapshot()`` alongside their payload.
+    """
+    if _metrics_on:
+        return MetricsRegistry()
+    return None
+
+
+# Honor REPRO_OBS at import so fork/spawn children and test subprocesses
+# come up with the same switches as the parent that exported it.
+_env_value = os.environ.get(ENV_VAR)
+if _env_value:
+    _env_metrics, _env_trace, _env_logs = _parse_env(_env_value)
+    if _env_metrics or _env_trace or _env_logs:
+        enable(metrics=_env_metrics, tracing=_env_trace, logging=_env_logs)

@@ -1,0 +1,83 @@
+"""Structured JSON logging on stdlib ``logging``.
+
+All repro loggers hang off the ``"repro"`` root (``get_logger("serve")``
+→ ``repro.serve``), so one handler/formatter pair configured on that
+root covers every subsystem.  At import time the root gets a
+``NullHandler`` and ``propagate = False`` — with observability disabled
+nothing reaches stderr and library users keep full control.
+
+:func:`configure` (called from ``obs.enable``) attaches a
+:class:`JsonFormatter` handler writing one JSON object per line:
+``{"lvl", "logger", "msg", ...extra}``.  Call-site fields ride in the
+standard ``extra=`` dict and are merged flat into the record, so
+``log.info("cell done", extra={"cell": key, "dur_s": d})`` renders as a
+machine-parseable event without a custom API.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+
+ROOT_NAME = "repro"
+
+#: LogRecord attributes that are plumbing, not payload — everything else
+#: on the record (i.e. ``extra=`` fields) is exported.
+_RESERVED = frozenset(
+    logging.LogRecord(
+        "", 0, "", 0, "", (), None
+    ).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line; ``extra=`` fields merged flat."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "lvl": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED:
+                payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = record.exc_info[0].__name__
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+_root = logging.getLogger(ROOT_NAME)
+_root.addHandler(logging.NullHandler())
+_root.propagate = False
+
+_active_handler: logging.Handler | None = None
+
+
+def get_logger(subsystem: str) -> logging.Logger:
+    """The logger for one subsystem: ``get_logger("serve")`` → ``repro.serve``."""
+    if not subsystem:
+        return _root
+    return _root.getChild(subsystem)
+
+
+def configure(level: int = logging.INFO, stream=None) -> None:
+    """Attach the JSON handler to the repro root (idempotent)."""
+    global _active_handler
+    if _active_handler is not None:
+        return
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(JsonFormatter())
+    _root.addHandler(handler)
+    _root.setLevel(level)
+    _active_handler = handler
+
+
+def deconfigure() -> None:
+    """Detach the JSON handler (back to import-time silence)."""
+    global _active_handler
+    if _active_handler is not None:
+        _root.removeHandler(_active_handler)
+        _active_handler = None
+    _root.setLevel(logging.NOTSET)

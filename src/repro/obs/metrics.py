@@ -1,0 +1,286 @@
+"""Process-local metrics registry with deterministic snapshot/merge.
+
+Three instrument kinds, all held in one :class:`MetricsRegistry`:
+
+* **counters** — monotonically increasing integers (requests served,
+  chunks counted); merge by addition.
+* **gauges** — last-known absolute values (stored bytes, queue depth);
+  merge by **maximum**, so merging N worker snapshots reports the
+  high-water mark rather than an order-dependent last-writer value.
+* **histograms** — fixed-bucket distributions (request latency, shard
+  phase timings); bucket counts and totals add, min/max take min/max.
+  Buckets are pinned per metric at first observation, so every process
+  observing ``serve.latency_s`` aggregates into the same boundaries and
+  shard/worker snapshots merge without resampling.
+
+Determinism is the design constraint, not an afterthought: the sharded
+COUNT and the scenario runner must produce the **same snapshot bytes at
+any ``--jobs`` value** for everything that is a property of the workload
+rather than of the schedule.  Two mechanisms deliver that:
+
+* snapshots serialize metrics in sorted key order with plain-JSON
+  values, so equal registries render equal bytes;
+* every metric is recorded as either **stable** (schedule-invariant:
+  totals, unique counts, cache hits) or **volatile** (wall-clock
+  timings, RSS, per-shard splits).  :meth:`MetricsRegistry.snapshot`
+  with ``stable_only=True`` drops the volatile section — that filtered
+  snapshot is what the ``--jobs 1`` vs ``--jobs 4`` identity tests
+  compare, while the full snapshot keeps the timings an operator wants.
+
+Label sets attach to any metric (``counter("serve.errors", code=...,
+cls=...)``) and become part of the flat snapshot key
+(``name|k=v,k2=v2``), keeping the JSON schema one level deep and
+mergeable with a dict union.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+
+from repro.common.errors import ConfigurationError
+
+#: Bump when the snapshot layout changes shape (not when values change).
+SNAPSHOT_SCHEMA = 1
+
+#: Default histogram buckets for second-valued timings: ~100 µs to ~100 s
+#: in quarter-decade steps — wide enough for a socket round-trip and a
+#: 10⁷-chunk COUNT phase alike.
+LATENCY_BUCKETS_S = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+)
+
+#: Default buckets for byte-valued sizes: 1 KiB to 64 GiB in powers of 4.
+SIZE_BUCKETS_BYTES = tuple(1024 * 4**exponent for exponent in range(13))
+
+_SECTIONS = ("counters", "gauges", "histograms")
+
+
+def metric_key(name: str, labels: dict | None = None) -> str:
+    """The flat snapshot key for ``name`` under ``labels``.
+
+    ``name|k=v,k2=v2`` with labels sorted by key — equal (name, labels)
+    pairs always render the same key, whatever order call sites pass
+    keyword labels in.
+    """
+    if not labels:
+        return name
+    rendered = ",".join(
+        f"{key}={labels[key]}" for key in sorted(labels)
+    )
+    return f"{name}|{rendered}"
+
+
+class Histogram:
+    """One fixed-bucket distribution.
+
+    ``buckets`` are inclusive upper bounds; values above the last bound
+    land in an implicit overflow bucket, so ``counts`` has
+    ``len(buckets) + 1`` slots and never loses an observation.
+    """
+
+    __slots__ = ("buckets", "counts", "count", "total", "low", "high")
+
+    def __init__(self, buckets: tuple[float, ...]):
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.low: float | None = None
+        self.high: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.low is None or value < self.low:
+            self.low = value
+        if self.high is None or value > self.high:
+            self.high = value
+
+    def merge(self, state: dict) -> None:
+        """Fold a snapshot-form histogram (same buckets) into this one."""
+        if tuple(state["buckets"]) != self.buckets:
+            raise ConfigurationError(
+                "cannot merge histograms with different bucket boundaries"
+            )
+        for index, count in enumerate(state["counts"]):
+            self.counts[index] += count
+        self.count += state["count"]
+        self.total += state["total"]
+        if state["count"]:
+            if self.low is None or state["min"] < self.low:
+                self.low = state["min"]
+            if self.high is None or state["max"] > self.high:
+                self.high = state["max"]
+
+    def quantile(self, fraction: float) -> float:
+        """The upper bound of the bucket holding the ``fraction``-quantile
+        observation (bucket-resolution percentiles for rendering)."""
+        if self.count == 0:
+            return 0.0
+        rank = max(1, round(fraction * self.count))
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank:
+                if index < len(self.buckets):
+                    return self.buckets[index]
+                return self.high if self.high is not None else 0.0
+        return self.high if self.high is not None else 0.0
+
+    def state(self) -> dict:
+        """The JSON-safe snapshot form (what :meth:`merge` consumes)."""
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": round(self.total, 9),
+            "min": self.low,
+            "max": self.high,
+        }
+
+
+class MetricsRegistry:
+    """Counters, gauges, and histograms behind one snapshot/merge seam."""
+
+    def __init__(self):
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._volatile: set[str] = set()
+
+    # -- recording ----------------------------------------------------------
+
+    def counter(
+        self, name: str, value: int = 1, *, stable: bool = True, **labels
+    ) -> None:
+        """Add ``value`` to a counter (defaults to +1)."""
+        key = metric_key(name, labels)
+        self._counters[key] = self._counters.get(key, 0) + value
+        if not stable:
+            self._volatile.add(key)
+
+    def gauge(
+        self, name: str, value: float, *, stable: bool = True, **labels
+    ) -> None:
+        """Set a gauge to ``value`` (absolute, last observation wins)."""
+        key = metric_key(name, labels)
+        self._gauges[key] = value
+        if not stable:
+            self._volatile.add(key)
+
+    def gauge_max(
+        self, name: str, value: float, *, stable: bool = True, **labels
+    ) -> None:
+        """Raise a gauge to ``value`` if it exceeds the current reading
+        (high-water marks: queue depth, peak RSS)."""
+        key = metric_key(name, labels)
+        current = self._gauges.get(key)
+        if current is None or value > current:
+            self._gauges[key] = value
+        if not stable:
+            self._volatile.add(key)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        *,
+        buckets: tuple[float, ...] = LATENCY_BUCKETS_S,
+        stable: bool = False,
+        **labels,
+    ) -> None:
+        """Record one histogram observation.
+
+        Histograms default to **volatile** — the common case is a timing —
+        pass ``stable=True`` for schedule-invariant distributions (sizes,
+        per-request chunk counts).
+        """
+        key = metric_key(name, labels)
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = self._histograms[key] = Histogram(tuple(buckets))
+        histogram.observe(value)
+        if not stable:
+            self._volatile.add(key)
+
+    # -- snapshot / merge ---------------------------------------------------
+
+    def snapshot(self, stable_only: bool = False) -> dict:
+        """The registry as a deterministic JSON-safe dict.
+
+        Keys in every section are sorted; ``stable_only=True`` drops the
+        volatile metrics (timings, RSS, per-shard splits) — the form the
+        ``--jobs`` identity tests compare byte-for-byte.
+        """
+        volatile = self._volatile
+
+        def keep(key: str) -> bool:
+            return not (stable_only and key in volatile)
+
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "counters": {
+                key: value
+                for key, value in sorted(self._counters.items())
+                if keep(key)
+            },
+            "gauges": {
+                key: value
+                for key, value in sorted(self._gauges.items())
+                if keep(key)
+            },
+            "histograms": {
+                key: histogram.state()
+                for key, histogram in sorted(self._histograms.items())
+                if keep(key)
+            },
+            "volatile": sorted(
+                key for key in volatile if not stable_only
+            ),
+        }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold another registry's snapshot into this one.
+
+        Counters add, gauges take the maximum, histograms add bucket-wise
+        (same boundaries required).  Merging is commutative and
+        associative over these semantics, so shard/worker snapshots can
+        arrive in any completion order and still produce identical
+        merged state.
+        """
+        for key, value in snapshot.get("counters", {}).items():
+            self._counters[key] = self._counters.get(key, 0) + value
+        for key, value in snapshot.get("gauges", {}).items():
+            current = self._gauges.get(key)
+            if current is None or value > current:
+                self._gauges[key] = value
+        for key, state in snapshot.get("histograms", {}).items():
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = Histogram(
+                    tuple(state["buckets"])
+                )
+            histogram.merge(state)
+        self._volatile.update(snapshot.get("volatile", ()))
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._volatile.clear()
+
+    def __len__(self) -> int:
+        return (
+            len(self._counters) + len(self._gauges) + len(self._histograms)
+        )
+
+
+def snapshot_bytes(snapshot: dict) -> bytes:
+    """Canonical serialized form (sorted keys, compact separators) — what
+    the determinism tests compare and ``--metrics`` writes."""
+    return json.dumps(
+        snapshot, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")

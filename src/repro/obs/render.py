@@ -1,0 +1,128 @@
+"""Render and diff metrics snapshots for the ``freqdedup obs`` CLI."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.common.errors import ConfigurationError
+from repro.obs.metrics import SNAPSHOT_SCHEMA, Histogram
+
+
+def load_snapshot(path: str | Path) -> dict:
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read snapshot {path}: {exc}") from exc
+    if not isinstance(data, dict) or "counters" not in data:
+        raise ConfigurationError(f"{path} is not a metrics snapshot")
+    schema = data.get("schema")
+    if schema != SNAPSHOT_SCHEMA:
+        raise ConfigurationError(
+            f"{path}: snapshot schema {schema!r}, expected {SNAPSHOT_SCHEMA}"
+        )
+    return data
+
+
+def _histogram_from_state(state: dict) -> Histogram:
+    histogram = Histogram(tuple(state["buckets"]))
+    histogram.merge(state)
+    return histogram
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def render_snapshot(snapshot: dict) -> str:
+    """Human-oriented text table: counters, gauges, histogram summaries."""
+    lines: list[str] = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    volatile = set(snapshot.get("volatile", ()))
+
+    def mark(key: str) -> str:
+        return " ~" if key in volatile else ""
+
+    if counters:
+        lines.append("counters:")
+        width = max(len(key) for key in counters)
+        for key, value in counters.items():
+            lines.append(f"  {key:<{width}}  {value}{mark(key)}")
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(key) for key in gauges)
+        for key, value in gauges.items():
+            lines.append(f"  {key:<{width}}  {_format_value(value)}{mark(key)}")
+    if histograms:
+        lines.append("histograms:")
+        for key, state in histograms.items():
+            histogram = _histogram_from_state(state)
+            count = state["count"]
+            mean = state["total"] / count if count else 0.0
+            lines.append(
+                f"  {key}{mark(key)}: n={count} mean={mean:.6g}"
+                f" min={_format_value(state['min'])}"
+                f" p50<={_format_value(histogram.quantile(0.50))}"
+                f" p99<={_format_value(histogram.quantile(0.99))}"
+                f" max={_format_value(state['max'])}"
+            )
+    if not lines:
+        lines.append("(empty snapshot)")
+    return "\n".join(lines)
+
+
+def diff_snapshots(left: dict, right: dict) -> str:
+    """Per-metric delta between two snapshots (right minus left).
+
+    Counters and gauges report numeric deltas; histograms report the
+    count/total delta.  Metrics present on only one side are flagged.
+    Returns ``"(no differences)"`` when everything matches.
+    """
+    lines: list[str] = []
+    for section in ("counters", "gauges"):
+        left_map = left.get(section, {})
+        right_map = right.get(section, {})
+        for key in sorted(set(left_map) | set(right_map)):
+            if key not in left_map:
+                lines.append(
+                    f"{section}/{key}: only right"
+                    f" ({_format_value(right_map[key])})"
+                )
+            elif key not in right_map:
+                lines.append(
+                    f"{section}/{key}: only left"
+                    f" ({_format_value(left_map[key])})"
+                )
+            elif left_map[key] != right_map[key]:
+                delta = right_map[key] - left_map[key]
+                lines.append(
+                    f"{section}/{key}: {_format_value(left_map[key])}"
+                    f" -> {_format_value(right_map[key])}"
+                    f" ({'+' if delta >= 0 else ''}{_format_value(delta)})"
+                )
+    left_hists = left.get("histograms", {})
+    right_hists = right.get("histograms", {})
+    for key in sorted(set(left_hists) | set(right_hists)):
+        if key not in left_hists:
+            lines.append(f"histograms/{key}: only right")
+        elif key not in right_hists:
+            lines.append(f"histograms/{key}: only left")
+        else:
+            lstate, rstate = left_hists[key], right_hists[key]
+            if lstate != rstate:
+                dcount = rstate["count"] - lstate["count"]
+                dtotal = rstate["total"] - lstate["total"]
+                lines.append(
+                    f"histograms/{key}: n {lstate['count']} -> {rstate['count']}"
+                    f" ({'+' if dcount >= 0 else ''}{dcount}),"
+                    f" total {_format_value(lstate['total'])}"
+                    f" -> {_format_value(rstate['total'])}"
+                    f" ({'+' if dtotal >= 0 else ''}{_format_value(dtotal)})"
+                )
+    if not lines:
+        return "(no differences)"
+    return "\n".join(lines)

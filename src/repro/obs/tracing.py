@@ -1,0 +1,104 @@
+"""Lightweight span tracing into a bounded ring buffer.
+
+``with span("count.shard", shard=3):`` times a region and appends one
+record to a process-local ring (a ``deque(maxlen=...)``), so tracing is
+safe to leave on indefinitely — memory is bounded and old spans fall off
+the back.  When tracing is disabled the context manager is a shared
+singleton no-op: the per-span cost is one attribute load and a truthiness
+check, cheap enough to leave call sites unconditional.
+
+Records are plain dicts ``{"seq", "name", "dur_s", **tags}`` where
+``seq`` is a process-local monotonic index (ordering without wall-clock
+timestamps, which would break reproducible exports).  Export is JSONL —
+one span per line, in ring order — via :func:`export_jsonl`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from contextlib import contextmanager
+
+#: Ring capacity: big enough to hold a full loadgen run's serve spans,
+#: small enough (~1 MB of dicts) to never matter.
+DEFAULT_RING_CAPACITY = 4096
+
+
+class _NullSpan:
+    """The shared disabled-mode context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class SpanRing:
+    """Bounded span buffer for one process."""
+
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY):
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self._seq = 0
+        self._dropped = 0
+
+    @contextmanager
+    def span(self, name: str, **tags):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            duration = time.perf_counter() - start
+            if len(self._ring) == self._ring.maxlen:
+                self._dropped += 1
+            record = {"seq": self._seq, "name": name}
+            if tags:
+                record.update(tags)
+            record["dur_s"] = round(duration, 9)
+            self._ring.append(record)
+            self._seq += 1
+
+    def records(self) -> list[dict]:
+        return list(self._ring)
+
+    def extend(self, records: list[dict]) -> None:
+        """Absorb spans shipped back from a worker process.
+
+        Worker ``seq`` values are remapped onto this ring's sequence so
+        the merged export stays monotonically ordered.
+        """
+        for record in records:
+            if len(self._ring) == self._ring.maxlen:
+                self._dropped += 1
+            merged = dict(record)
+            merged["seq"] = self._seq
+            self._ring.append(merged)
+            self._seq += 1
+
+    @property
+    def dropped(self) -> int:
+        return self._dropped
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self._seq = 0
+        self._dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+def export_jsonl(ring: SpanRing, path) -> int:
+    """Write the ring to ``path`` as JSONL; returns the span count."""
+    records = ring.records()
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+    return len(records)

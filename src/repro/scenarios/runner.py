@@ -26,13 +26,21 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
+from repro import obs
 from repro.scenarios.cache import ResultCache, cell_key
 from repro.scenarios.cells import execute_cell, warm_workloads
 from repro.scenarios.spec import Cell, Scenario, Tags
+
+_log = obs.get_logger("runner")
+
+#: A cell slower than this multiple of the batch mean is logged as a
+#: straggler (process mode only — serial runs have no co-runners to lag).
+_STRAGGLER_FACTOR = 2.0
 
 
 @dataclass(frozen=True)
@@ -55,6 +63,7 @@ class RunStats:
 
     def note(self, source: str) -> None:
         self.total += 1
+        obs.counter("runner.cells", source=source)
         if source == "executed":
             self.executed += 1
         elif source == "cache":
@@ -95,6 +104,35 @@ def rows_from(
                     )
             rows.append(row)
     return rows
+
+
+def _record_cell_metrics(cell: Cell, rows, elapsed: float) -> None:
+    """The per-cell registry marks, identical on the serial and process
+    paths so stable snapshots match at any ``jobs``."""
+    obs.counter("runner.cells_executed", kind=cell.kind)
+    obs.counter("runner.rows", len(rows), kind=cell.kind)
+    obs.observe("runner.cell_s", elapsed, kind=cell.kind)
+
+
+def _run_cell_job(cell: Cell):
+    """Worker-side cell execution; returns ``(rows, metrics snapshot)``.
+
+    The fork-inherited global registry is cleared first, so the snapshot
+    shipped back contains exactly this cell's recordings (including
+    metrics the cell body itself records, e.g. the sharded COUNT's) —
+    the parent merge then sees the same stable content a serial run
+    records directly.  Pool workers run jobs sequentially, so clearing
+    per job cannot race another cell in this process.
+    """
+    observing = obs.enabled()
+    if observing:
+        obs.registry().clear()
+    started = time.perf_counter()
+    rows = execute_cell(cell)
+    if not observing:
+        return rows, None
+    _record_cell_metrics(cell, rows, time.perf_counter() - started)
+    return rows, obs.snapshot()
 
 
 class Runner:
@@ -166,7 +204,17 @@ class Runner:
         if self.jobs == 1 or len(keyed_cells) == 1:
             computed = {}
             for key, cell in keyed_cells.items():
-                rows = execute_cell(cell)
+                _log.info("cell start", extra={"kind": cell.kind})
+                started = time.perf_counter()
+                with obs.span("runner.cell", kind=cell.kind):
+                    rows = execute_cell(cell)
+                elapsed = time.perf_counter() - started
+                if obs.enabled():
+                    _record_cell_metrics(cell, rows, elapsed)
+                _log.info(
+                    "cell done",
+                    extra={"kind": cell.kind, "dur_s": round(elapsed, 6)},
+                )
                 computed[key] = rows
                 self._persist(cell, rows, key=key)
             return computed
@@ -188,13 +236,19 @@ class Runner:
             context = None
         computed: dict[str, tuple[Tags, ...]] = {}
         workers = min(self.jobs, len(keyed_cells))
+        durations: dict[str, float] = {}
         with ProcessPoolExecutor(
             max_workers=workers, mp_context=context
         ) as executor:
+            submitted = time.perf_counter()
             futures = {
-                executor.submit(execute_cell, cell): key
+                executor.submit(_run_cell_job, cell): key
                 for key, cell in keyed_cells.items()
             }
+            _log.info(
+                "batch start",
+                extra={"cells": len(futures), "workers": workers},
+            )
             remaining = set(futures)
             first_error: BaseException | None = None
             while remaining:
@@ -202,7 +256,7 @@ class Runner:
                 for future in done:
                     key = futures[future]
                     try:
-                        rows = future.result()
+                        rows, snapshot = future.result()
                     except BaseException as error:  # noqa: BLE001
                         # Keep persisting the cells that did complete —
                         # the retry then resumes instead of recomputing
@@ -210,12 +264,39 @@ class Runner:
                         if first_error is None:
                             first_error = error
                         continue
+                    obs.merge_snapshot(snapshot)
+                    # Parent-side wall time since submission: includes
+                    # pool queueing, which is what straggler detection
+                    # should see.
+                    elapsed = time.perf_counter() - submitted
+                    durations[key] = elapsed
+                    _log.info(
+                        "cell done",
+                        extra={
+                            "kind": keyed_cells[key].kind,
+                            "dur_s": round(elapsed, 6),
+                            "pending": len(remaining),
+                        },
+                    )
                     computed[key] = rows
                     # Persist as results arrive, not at the end: an
                     # interrupted run keeps every completed cell.
                     self._persist(keyed_cells[key], rows, key=key)
             if first_error is not None:
                 raise first_error
+        if len(durations) > 1:
+            mean = sum(durations.values()) / len(durations)
+            for key, elapsed in durations.items():
+                if elapsed > _STRAGGLER_FACTOR * mean:
+                    obs.counter("runner.stragglers", stable=False)
+                    _log.warning(
+                        "straggler cell",
+                        extra={
+                            "kind": keyed_cells[key].kind,
+                            "dur_s": round(elapsed, 6),
+                            "mean_s": round(mean, 6),
+                        },
+                    )
         return computed
 
     def _persist(

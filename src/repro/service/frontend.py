@@ -58,8 +58,10 @@ import asyncio
 import contextlib
 import json
 import threading
+import time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.common.errors import (
     ConfigurationError,
     QuotaExceededError,
@@ -81,6 +83,8 @@ from repro.service.traffic import UPLOAD, Request
 # Address tuples: ("unix", path) or ("tcp", host, port).  Plain tuples so
 # they pickle into load-generator worker processes unchanged.
 Address = tuple
+
+_log = obs.get_logger("serve")
 
 
 @dataclass(frozen=True)
@@ -123,9 +127,15 @@ class FrontendStats:
     restores: int = 0
     slow_reader_aborts: int = 0
     errors: dict[str, int] = field(default_factory=dict)
+    errors_by_class: dict[str, int] = field(
+        default_factory=lambda: dict.fromkeys(wire.ERROR_CLASSES, 0)
+    )
 
     def count_error(self, code: str) -> None:
         self.errors[code] = self.errors.get(code, 0) + 1
+        cls = wire.error_class(code)
+        self.errors_by_class[cls] = self.errors_by_class.get(cls, 0) + 1
+        obs.counter("serve.errors", code=code, cls=cls)
 
 
 class _SlowReaderAbort(Exception):
@@ -220,6 +230,7 @@ class DedupFrontend:
             await self._process(queue, writer)
         except _SlowReaderAbort:
             self.stats.slow_reader_aborts += 1
+            _log.warning("slow reader aborted")
         finally:
             # Close the transport BEFORE reaping the pump: a bare
             # cancel() can be absorbed by wait_for when the read
@@ -326,6 +337,10 @@ class DedupFrontend:
             if tag == "fatal":
                 _, code, message = event
                 self.stats.count_error(code)
+                _log.warning(
+                    "fatal transport error",
+                    extra={"code": code, "detail": message},
+                )
                 await self._send(
                     writer, wire.ERROR, wire.error_payload(code, message)
                 )
@@ -339,8 +354,18 @@ class DedupFrontend:
                 continue
             _, kind, payload = event
             self.stats.frames_in += 1
-            response_kind, response_payload, close_after = self._serve(
-                kind, payload
+            frame_name = wire.FRAME_NAMES.get(kind, f"0x{kind:02x}")
+            obs.counter("serve.frames", kind=frame_name)
+            obs.gauge_max("serve.queue_depth", queue.qsize() + 1, stable=False)
+            started = time.perf_counter()
+            with obs.span("serve.frame", kind=frame_name):
+                response_kind, response_payload, close_after = self._serve(
+                    kind, payload
+                )
+            obs.observe(
+                "serve.latency_s",
+                time.perf_counter() - started,
+                kind=frame_name,
             )
             await self._send(writer, response_kind, response_payload)
             if close_after:
@@ -481,7 +506,7 @@ class DedupFrontend:
     def stats_payload(self) -> dict[str, object]:
         """The STATS response: serving counters + store totals."""
         stats = self.stats
-        return {
+        payload: dict[str, object] = {
             "sessions_opened": stats.sessions_opened,
             "sessions_closed": stats.sessions_closed,
             "active_sessions": self.admission.active_sessions,
@@ -493,11 +518,18 @@ class DedupFrontend:
             "skipped_restores": self.skipped_restores,
             "slow_reader_aborts": stats.slow_reader_aborts,
             "errors": dict(sorted(stats.errors.items())),
+            "errors_by_class": dict(sorted(stats.errors_by_class.items())),
             "admission": self.admission.snapshot(),
             "tenants": len(self.service.tenants()),
             "stored_bytes": self.service.stored_bytes,
             "unique_chunks_stored": self.service.unique_chunks_stored(),
         }
+        if obs.enabled():
+            # Telemetry rides in the STATS frame only while metrics are
+            # on, so the disabled-mode payload stays byte-identical.
+            self.service.publish_metrics()
+            payload["metrics"] = obs.snapshot()
+        return payload
 
 
 # -- running a frontend -------------------------------------------------------

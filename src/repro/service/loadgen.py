@@ -28,6 +28,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.common.errors import StorageError
 from repro.datasets.model import Backup
 from repro.service import protocol as wire
@@ -191,6 +192,9 @@ class WorkerReport:
     ok: int
     errors: dict[str, int] = field(default_factory=dict)
     latencies: list[float] = field(default_factory=list)
+    # Client-side metrics snapshot, shipped back for the parent merge
+    # (None while metrics are off).
+    metrics: dict | None = None
 
 
 def _replay_worker(
@@ -203,6 +207,7 @@ def _replay_worker(
     ``worker`` modulo ``processes``.
     """
     report = WorkerReport(worker=worker, tenants=0, sessions=0, requests=0, ok=0)
+    registry = obs.worker_registry()
     by_tenant: dict[int, dict[int, list]] = {}
     for request in traffic_requests(config):
         if request.tenant % processes != worker:
@@ -219,13 +224,28 @@ def _replay_worker(
                 for request in by_tenant[tenant][round_index]:
                     started = time.perf_counter()
                     kind, payload = _send_request(client, request)
-                    report.latencies.append(time.perf_counter() - started)
+                    elapsed = time.perf_counter() - started
+                    report.latencies.append(elapsed)
                     report.requests += 1
+                    if registry is not None:
+                        registry.observe(
+                            "loadgen.latency_s", elapsed, kind=request.kind
+                        )
                     if kind == wire.OK:
                         report.ok += 1
+                        if registry is not None:
+                            registry.counter("loadgen.ok", kind=request.kind)
                     else:
                         code = str(payload.get("code"))
                         report.errors[code] = report.errors.get(code, 0) + 1
+                        if registry is not None:
+                            registry.counter(
+                                "loadgen.errors",
+                                code=code,
+                                cls=wire.error_class(code),
+                            )
+    if registry is not None:
+        report.metrics = registry.snapshot()
     return report
 
 
@@ -248,8 +268,10 @@ def run_loadgen(
 
     Returns:
         A JSON-safe report: processes, tenants, sessions, requests, ok,
-        per-code error counts, elapsed seconds, sustained requests per
-        second, and latency percentiles (p50/p90/p99/max, milliseconds).
+        per-code and per-error-class counts, elapsed seconds, sustained
+        requests per second, and latency percentiles (p50/p90/p99/max,
+        milliseconds).  With metrics enabled, each worker's client-side
+        registry snapshot is merged into the process-global registry.
     """
     processes = max(1, int(processes))
     started = time.perf_counter()
@@ -271,9 +293,12 @@ def run_loadgen(
         latency for report in reports for latency in report.latencies
     )
     errors: dict[str, int] = {}
+    errors_by_class = dict.fromkeys(wire.ERROR_CLASSES, 0)
     for report in reports:
         for code, count in report.errors.items():
             errors[code] = errors.get(code, 0) + count
+            errors_by_class[wire.error_class(code)] += count
+        obs.merge_snapshot(report.metrics)
     requests = sum(report.requests for report in reports)
     return {
         "processes": processes,
@@ -282,6 +307,7 @@ def run_loadgen(
         "requests": requests,
         "ok": sum(report.ok for report in reports),
         "errors": dict(sorted(errors.items())),
+        "errors_by_class": dict(sorted(errors_by_class.items())),
         "elapsed_s": round(elapsed, 6),
         "requests_per_s": round(requests / elapsed, 3) if elapsed > 0 else 0.0,
         "latency_ms": {

@@ -86,6 +86,28 @@ E_PROTOCOL = "protocol"
 
 FATAL_CODES = frozenset({E_OVERSIZED, E_IDLE, E_PROTOCOL})
 
+# Every error code falls into exactly one class: admission rejections
+# (the token bucket, quota, or queue said no — retry later), transport
+# violations (fatal, connection closed after the answer), and session
+# errors (the request was wrong but the session survives).
+ADMISSION_CODES = frozenset({E_RATE_LIMITED, E_QUOTA, E_BUSY})
+
+CLASS_ADMISSION = "admission"
+CLASS_SESSION = "session"
+CLASS_TRANSPORT = "transport"
+
+ERROR_CLASSES = (CLASS_ADMISSION, CLASS_SESSION, CLASS_TRANSPORT)
+
+
+def error_class(code: str) -> str:
+    """The class an error code belongs to (unknown codes count as
+    session errors — survivable and visible, never silently fatal)."""
+    if code in ADMISSION_CODES:
+        return CLASS_ADMISSION
+    if code in FATAL_CODES:
+        return CLASS_TRANSPORT
+    return CLASS_SESSION
+
 
 class ProtocolError(ReproError):
     """A frame or payload violated the wire protocol.

@@ -59,6 +59,7 @@ from repro.defenses.pipeline import (
 )
 from repro.defenses.segmentation import SegmentationSpec
 from repro.storage.ddfs import DDFSEngine
+from repro.storage.metrics import publish_engine_metrics
 from repro.service.traffic import RESTORE, UPLOAD
 
 
@@ -443,6 +444,17 @@ class DedupService:
     def unique_chunks_stored(self) -> int:
         """Unique chunks the shared store holds (all nodes)."""
         return self._tier.unique_chunks_stored()
+
+    def publish_metrics(self) -> None:
+        """Surface storage-tier running totals in the metrics registry
+        (per node when clustered); no-op while metrics are off."""
+        if self.engine is not None:
+            publish_engine_metrics(self.engine)
+        elif self.cluster is not None:
+            for node_id in sorted(self.cluster.nodes):
+                publish_engine_metrics(
+                    self.cluster.nodes[node_id].engine, node=node_id
+                )
 
     def close(self) -> None:
         """Seal open containers and release index-backend resources."""

@@ -25,6 +25,7 @@ import dataclasses
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 
+from repro import obs
 from repro.common.errors import QuotaExceededError
 from repro.defenses.pipeline import DefenseScheme
 from repro.scenarios.spec import Cell, Tags
@@ -485,6 +486,11 @@ def service_report(
     from repro.scenarios.runner import Runner, rows_from
 
     trace = simulate(config)
+    if obs.enabled():
+        # Engine-lifetime gauges (cache hit/miss, bloom FPs, metadata
+        # bytes) for the --metrics snapshot; a no-op on the pinned
+        # report itself.
+        trace.service.publish_metrics()
     results = Runner(jobs=jobs, cache=cache).run_cells(
         list(attack_cells(config))
     )

@@ -70,6 +70,10 @@ class DDFSEngine:
             entry_bytes, store=index_backend, path=index_path
         )
         self._pending_container_fingerprints: list[bytes] = []
+        # Engine-lifetime bloom false positives (per-backup reports reset
+        # their own counter; the service path has no report, so telemetry
+        # reads this running total instead).
+        self.bloom_false_positives = 0
 
     # -- chunk path -----------------------------------------------------------
 
@@ -107,6 +111,7 @@ class DDFSEngine:
         # S3: possible duplicate — confirm against the on-disk index.
         container_id = self.index.lookup(fingerprint)
         if container_id is None:
+            self.bloom_false_positives += 1
             if report is not None:
                 report.bloom_false_positives += 1
             self._store_unique(fingerprint, size, data, report)
@@ -182,6 +187,7 @@ class DDFSEngine:
                 sealed_containers += 1
         if probes:
             self.index.charge_index_probes(probes)
+            self.bloom_false_positives += probes
         if report is not None:
             report.total_chunks += len(fingerprints)
             report.logical_bytes += stored_bytes

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
+
 
 @dataclass
 class MetadataAccessStats:
@@ -65,3 +67,23 @@ class BackupWriteReport:
         if self.stored_bytes == 0:
             return 0.0
         return self.logical_bytes / self.stored_bytes
+
+
+def publish_engine_metrics(engine, **labels) -> None:
+    """Surface one engine's running totals in the metrics registry.
+
+    Publishes the S1 cache hit/miss totals, the engine-lifetime bloom
+    false positives, and the §7.4.2 metadata-access byte breakdown as
+    **gauges** (absolute running totals — republishing is idempotent and
+    merging worker snapshots takes the high-water mark).  Labels
+    (``node=2``) distinguish cluster nodes.  No-op while metrics are off.
+    """
+    if not obs.enabled():
+        return
+    obs.gauge("ddfs.cache.hits", engine.cache.hits, **labels)
+    obs.gauge("ddfs.cache.misses", engine.cache.misses, **labels)
+    obs.gauge(
+        "ddfs.bloom.false_positives", engine.bloom_false_positives, **labels
+    )
+    for category, moved in engine.index.stats.breakdown().items():
+        obs.gauge("ddfs.metadata_bytes", moved, access=category, **labels)

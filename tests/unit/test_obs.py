@@ -1,0 +1,559 @@
+"""Observability layer tests: registry semantics, merge determinism,
+and the metrics-off byte-identity guarantee.
+
+Three families:
+
+* **registry/ring semantics** — counters add, gauges take max,
+  histograms merge bucket-wise with pinned boundaries; the span ring is
+  bounded and remaps worker sequences; the facade is a no-op while
+  disabled.
+* **merge determinism** — the sharded COUNT and the scenario runner
+  produce byte-identical *stable* snapshots at ``jobs=1`` and
+  ``jobs=4`` (volatile timings/RSS differ; schedule-invariant content
+  must not).
+* **byte-identity** — with observability off (and on), the CLI's
+  attack/figure/serve-sim reports match the goldens captured before the
+  instrumentation existed: metrics must never leak into report bytes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.common.errors import ConfigurationError
+from repro.obs.metrics import (
+    SNAPSHOT_SCHEMA,
+    Histogram,
+    MetricsRegistry,
+    metric_key,
+    snapshot_bytes,
+)
+from repro.obs.render import diff_snapshots, load_snapshot, render_snapshot
+from repro.obs.tracing import NULL_SPAN, SpanRing, export_jsonl
+from repro.service import protocol as wire
+
+GOLDEN_DIR = "tests/data"
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs(monkeypatch):
+    """Every test starts and ends with observability off and empty.
+
+    ``obs`` is process-global state; without this, a test that enables
+    metrics would leak recordings (and the exported ``REPRO_OBS`` env
+    var) into every later test in the process.
+    """
+    monkeypatch.delenv(obs.ENV_VAR, raising=False)
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+# ---------------------------------------------------------------------------
+# Registry semantics
+
+
+class TestMetricKey:
+    def test_bare_name(self):
+        assert metric_key("serve.frames") == "serve.frames"
+
+    def test_labels_sorted_by_key(self):
+        assert (
+            metric_key("serve.errors", {"code": "busy", "cls": "admission"})
+            == metric_key("serve.errors", {"cls": "admission", "code": "busy"})
+            == "serve.errors|cls=admission,code=busy"
+        )
+
+
+class TestHistogram:
+    def test_observe_buckets_and_overflow(self):
+        histogram = Histogram((1.0, 2.0))
+        for value in (0.5, 1.5, 99.0):
+            histogram.observe(value)
+        assert histogram.counts == [1, 1, 1]  # overflow slot never loses
+        assert histogram.count == 3
+        assert histogram.low == 0.5
+        assert histogram.high == 99.0
+
+    def test_quantile_is_bucket_resolution(self):
+        histogram = Histogram((1.0, 2.0, 4.0))
+        for value in (0.5, 0.6, 1.5, 3.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.5) == 1.0
+        assert histogram.quantile(1.0) == 4.0
+
+    def test_merge_requires_same_buckets(self):
+        histogram = Histogram((1.0, 2.0))
+        other = Histogram((1.0, 3.0))
+        other.observe(0.5)
+        with pytest.raises(ConfigurationError):
+            histogram.merge(other.state())
+
+    def test_merge_adds_counts_and_widens_extremes(self):
+        left = Histogram((1.0, 2.0))
+        left.observe(0.5)
+        right = Histogram((1.0, 2.0))
+        right.observe(1.5)
+        right.observe(9.0)
+        left.merge(right.state())
+        assert left.counts == [1, 1, 1]
+        assert left.count == 3
+        assert (left.low, left.high) == (0.5, 9.0)
+
+
+class TestMetricsRegistry:
+    def test_counter_adds_and_gauge_last_wins(self):
+        registry = MetricsRegistry()
+        registry.counter("requests")
+        registry.counter("requests", 4)
+        registry.gauge("depth", 7)
+        registry.gauge("depth", 3)
+        registry.gauge_max("peak", 5)
+        registry.gauge_max("peak", 2)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"requests": 5}
+        assert snapshot["gauges"] == {"depth": 3, "peak": 5}
+
+    def test_stable_only_drops_volatile(self):
+        registry = MetricsRegistry()
+        registry.counter("chunks", 10)
+        registry.gauge_max("rss", 123, stable=False)
+        registry.observe("latency_s", 0.01)  # histograms default volatile
+        stable = registry.snapshot(stable_only=True)
+        assert stable["counters"] == {"chunks": 10}
+        assert stable["gauges"] == {}
+        assert stable["histograms"] == {}
+        assert stable["volatile"] == []
+        full = registry.snapshot()
+        assert set(full["volatile"]) == {"rss", "latency_s"}
+
+    def test_merge_semantics(self):
+        parent = MetricsRegistry()
+        parent.counter("chunks", 10)
+        parent.gauge_max("peak", 5)
+        parent.observe("t", 0.5, buckets=(1.0, 2.0))
+        worker = MetricsRegistry()
+        worker.counter("chunks", 7)
+        worker.gauge_max("peak", 9)
+        worker.observe("t", 1.5, buckets=(1.0, 2.0))
+        parent.merge_snapshot(worker.snapshot())
+        snapshot = parent.snapshot()
+        assert snapshot["counters"] == {"chunks": 17}
+        assert snapshot["gauges"] == {"peak": 9}
+        assert snapshot["histograms"]["t"]["count"] == 2
+
+    def test_merge_order_independent(self):
+        shards = []
+        for index in range(3):
+            registry = MetricsRegistry()
+            registry.counter("chunks", 100 + index)
+            registry.gauge_max("peak", 10 * index)
+            registry.observe("t", 0.1 * (index + 1))
+            shards.append(registry.snapshot())
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for snapshot in shards:
+            forward.merge_snapshot(snapshot)
+        for snapshot in reversed(shards):
+            backward.merge_snapshot(snapshot)
+        assert snapshot_bytes(forward.snapshot()) == snapshot_bytes(
+            backward.snapshot()
+        )
+
+    def test_snapshot_bytes_insertion_order_independent(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("a")
+        first.counter("b")
+        second.counter("b")
+        second.counter("a")
+        assert snapshot_bytes(first.snapshot()) == snapshot_bytes(
+            second.snapshot()
+        )
+
+    def test_snapshot_schema_and_clear(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        assert registry.snapshot()["schema"] == SNAPSHOT_SCHEMA
+        assert len(registry) == 1
+        registry.clear()
+        assert len(registry) == 0
+
+
+# ---------------------------------------------------------------------------
+# Facade switch behavior
+
+
+class TestFacadeSwitch:
+    def test_disabled_calls_are_noops(self):
+        obs.counter("x")
+        obs.gauge("y", 1)
+        obs.observe("z", 0.1)
+        assert len(obs.registry()) == 0
+        assert obs.span("s") is NULL_SPAN
+        assert obs.worker_registry() is None
+
+    def test_enable_records_and_exports_env(self):
+        import os
+
+        obs.enable(metrics=True, tracing=True)
+        obs.counter("x")
+        with obs.span("s", shard=1):
+            pass
+        assert obs.snapshot()["counters"] == {"x": 1}
+        assert len(obs.span_ring()) == 1
+        assert "metrics" in os.environ[obs.ENV_VAR]
+        assert "trace" in os.environ[obs.ENV_VAR]
+        obs.disable()
+        assert obs.ENV_VAR not in os.environ
+
+    def test_worker_registry_is_fresh(self):
+        obs.enable()
+        obs.counter("parent.only")
+        worker = obs.worker_registry()
+        assert worker is not obs.registry()
+        assert len(worker) == 0
+        worker.counter("child.only")
+        obs.merge_snapshot(worker.snapshot())
+        assert obs.snapshot()["counters"] == {
+            "child.only": 1,
+            "parent.only": 1,
+        }
+
+    def test_merge_none_is_noop(self):
+        obs.enable()
+        obs.merge_snapshot(None)
+        obs.merge_spans(None)
+        assert len(obs.registry()) == 0
+
+    def test_env_parse_tokens(self):
+        from repro.obs import _parse_env
+
+        assert _parse_env("metrics") == (True, False, False)
+        assert _parse_env("metrics,trace") == (True, True, False)
+        assert _parse_env("all") == (True, True, True)
+        assert _parse_env("1") == (True, True, True)
+        assert _parse_env("nonsense") == (False, False, False)
+
+
+class TestSpanRing:
+    def test_records_in_order_with_tags(self):
+        ring = SpanRing()
+        with ring.span("a", shard=0):
+            pass
+        with ring.span("b"):
+            pass
+        records = ring.records()
+        assert [record["name"] for record in records] == ["a", "b"]
+        assert records[0]["shard"] == 0
+        assert [record["seq"] for record in records] == [0, 1]
+        assert all(record["dur_s"] >= 0 for record in records)
+
+    def test_bounded_with_drop_accounting(self):
+        ring = SpanRing(capacity=2)
+        for _ in range(5):
+            with ring.span("s"):
+                pass
+        assert len(ring) == 2
+        assert ring.dropped == 3
+
+    def test_extend_remaps_worker_sequences(self):
+        ring = SpanRing()
+        with ring.span("parent"):
+            pass
+        ring.extend([{"seq": 0, "name": "child", "dur_s": 0.1}])
+        assert [record["seq"] for record in ring.records()] == [0, 1]
+
+    def test_export_jsonl(self, tmp_path):
+        ring = SpanRing()
+        with ring.span("a", shard=2):
+            pass
+        path = tmp_path / "trace.jsonl"
+        assert export_jsonl(ring, path) == 1
+        record = json.loads(path.read_text().strip())
+        assert record["name"] == "a"
+        assert record["shard"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Error classes (satellite: FrontendStats breakdown by failure class)
+
+
+class TestErrorClasses:
+    def test_mapping(self):
+        assert wire.error_class(wire.E_RATE_LIMITED) == wire.CLASS_ADMISSION
+        assert wire.error_class(wire.E_QUOTA) == wire.CLASS_ADMISSION
+        assert wire.error_class(wire.E_BUSY) == wire.CLASS_ADMISSION
+        for code in wire.FATAL_CODES:
+            assert wire.error_class(code) == wire.CLASS_TRANSPORT
+        assert wire.error_class(wire.E_NOT_FOUND) == wire.CLASS_SESSION
+        assert wire.error_class("never-seen-before") == wire.CLASS_SESSION
+
+    def test_frontend_stats_breakdown(self):
+        from repro.service.frontend import FrontendStats
+
+        stats = FrontendStats()
+        stats.count_error(wire.E_RATE_LIMITED)
+        stats.count_error(wire.E_RATE_LIMITED)
+        stats.count_error(wire.E_NOT_FOUND)
+        for code in sorted(wire.FATAL_CODES):
+            stats.count_error(code)
+        assert stats.errors_by_class == {
+            wire.CLASS_ADMISSION: 2,
+            wire.CLASS_SESSION: 1,
+            wire.CLASS_TRANSPORT: len(wire.FATAL_CODES),
+        }
+        # All three classes are pre-seeded so the STATS frame shape is
+        # stable even before any error occurs.
+        assert set(FrontendStats().errors_by_class) == set(wire.ERROR_CLASSES)
+
+
+# ---------------------------------------------------------------------------
+# Bench envelope provenance (satellite: git commit + dirty flag)
+
+
+class TestBenchEnvelope:
+    def test_envelope_schema_and_git_fields(self):
+        from repro.analysis.benchmeta import ENVELOPE_SCHEMA, metadata_envelope
+
+        envelope = metadata_envelope()
+        assert envelope["schema"] == ENVELOPE_SCHEMA == 2
+        commit, dirty = envelope["git_commit"], envelope["git_dirty"]
+        if commit is None:
+            # Outside a git checkout both provenance fields are None.
+            assert dirty is None
+        else:
+            assert len(commit) == 40
+            int(commit, 16)
+            assert isinstance(dirty, bool)
+
+
+# ---------------------------------------------------------------------------
+# Snapshot render/diff (the `freqdedup obs` surface)
+
+
+class TestRender:
+    def _snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("count.chunks", 50)
+        registry.gauge_max("rss", 1024, stable=False)
+        registry.observe("phase_s", 0.002, phase="read")
+        return registry.snapshot()
+
+    def test_render_lists_every_section(self):
+        text = render_snapshot(self._snapshot())
+        assert "count.chunks" in text
+        assert "rss" in text and "~" in text  # volatile marker
+        assert "phase_s|phase=read" in text
+
+    def test_diff_reports_deltas_and_silence(self):
+        left = self._snapshot()
+        registry = MetricsRegistry()
+        registry.merge_snapshot(left)
+        registry.counter("count.chunks", 25)
+        delta = diff_snapshots(left, registry.snapshot())
+        assert "count.chunks" in delta
+        assert diff_snapshots(left, left) == "(no differences)"
+
+    def test_load_rejects_non_snapshot(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"not": "a snapshot"}')
+        with pytest.raises(ConfigurationError):
+            load_snapshot(path)
+
+    def test_cli_render_and_diff(self, tmp_path, capsys):
+        path = tmp_path / "snap.json"
+        path.write_bytes(snapshot_bytes(self._snapshot()))
+        assert main(["obs", "render", str(path)]) == 0
+        assert "count.chunks" in capsys.readouterr().out
+        assert main(["obs", "diff", str(path), str(path)]) == 0
+        assert "(no differences)" in capsys.readouterr().out
+
+    def test_cli_rejects_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["obs", "render", str(tmp_path / "absent.json")])
+
+
+# ---------------------------------------------------------------------------
+# Merge determinism: same stable snapshot bytes at any --jobs
+
+
+def _stream_trace(tmp_path):
+    from repro.datasets.columnar import StreamConfig, ensure_stream_columnar
+
+    return ensure_stream_columnar(
+        tmp_path / "trace", StreamConfig(chunks=6_000, backups=2), seed=5
+    )
+
+
+class TestShardedCountDeterminism:
+    def _stable_bytes(self, trace, jobs):
+        from repro.attacks.sharded import sharded_count
+
+        obs.reset()
+        for view in trace.views():
+            sharded_count(view, jobs=jobs)
+        return snapshot_bytes(obs.snapshot(stable_only=True))
+
+    def test_stable_snapshot_identical_across_jobs(self, tmp_path):
+        obs.enable()
+        trace = _stream_trace(tmp_path)
+        try:
+            serial = self._stable_bytes(trace, jobs=1)
+            fanned = self._stable_bytes(trace, jobs=4)
+        finally:
+            trace.close()
+        assert serial == fanned
+        stable = json.loads(serial)
+        assert stable["counters"]["count.backups"] == 2
+        assert stable["counters"]["count.chunks"] == 6_000
+
+    def test_full_snapshot_has_per_shard_phase_timings(self, tmp_path):
+        from repro.attacks.sharded import sharded_count
+
+        obs.enable()
+        trace = _stream_trace(tmp_path)
+        try:
+            sharded_count(trace.view(0), jobs=4)
+        finally:
+            trace.close()
+        snapshot = obs.snapshot()
+        histograms = snapshot["histograms"]
+        for phase in ("read", "bincount", "merge"):
+            key = f"count.shard.phase_s|phase={phase}"
+            assert key in histograms, key
+            assert key in snapshot["volatile"]
+        assert histograms["count.shard.phase_s|phase=read"]["count"] == 4
+
+    def test_worker_spans_merge_into_parent_ring(self, tmp_path):
+        from repro.attacks.sharded import sharded_count
+
+        obs.enable(metrics=True, tracing=True)
+        trace = _stream_trace(tmp_path)
+        try:
+            sharded_count(trace.view(0), jobs=2)
+        finally:
+            trace.close()
+        names = [record["name"] for record in obs.span_ring().records()]
+        assert names.count("count.shard") == 2
+        assert names.count("count.merge") == 1
+
+
+class TestRunnerDeterminism:
+    @staticmethod
+    def _cells():
+        from repro.scenarios.spec import Cell
+
+        return [
+            Cell(
+                kind="attack",
+                params=(
+                    ("dataset", "synthetic"),
+                    ("attack", "basic"),
+                    ("scheme", "mle"),
+                    ("auxiliary", -2),
+                    ("target", -1),
+                    ("seed", seed),
+                    ("u", 1),
+                    ("v", 15),
+                    ("w", 200000),
+                    ("leakage_rate", 0.0),
+                ),
+                tags=(("seed", seed),),
+            )
+            for seed in range(4)
+        ]
+
+    def _stable_bytes(self, jobs):
+        from repro.scenarios.runner import Runner
+
+        obs.reset()
+        results = Runner(jobs=jobs).run_cells(self._cells())
+        rows = [result.rows for result in results]
+        return rows, snapshot_bytes(obs.snapshot(stable_only=True))
+
+    def test_stable_snapshot_identical_across_jobs(self):
+        obs.enable()
+        serial_rows, serial = self._stable_bytes(jobs=1)
+        fanned_rows, fanned = self._stable_bytes(jobs=4)
+        assert serial_rows == fanned_rows
+        assert serial == fanned
+        stable = json.loads(serial)
+        assert stable["counters"]["runner.cells_executed|kind=attack"] == 4
+        assert stable["counters"]["runner.cells|source=executed"] == 4
+
+
+# ---------------------------------------------------------------------------
+# Byte-identity vs pre-observability goldens (metrics off AND on)
+
+
+def _golden(name: str) -> str:
+    with open(f"{GOLDEN_DIR}/{name}", encoding="utf-8") as handle:
+        return handle.read()
+
+
+class TestGoldenIdentity:
+    def test_attack_fsl_matches_golden(self, capsys):
+        assert main(["attack", "fsl", "--attack", "locality"]) == 0
+        assert capsys.readouterr().out == _golden("golden_attack_fsl.txt")
+
+    def test_figure1_matches_golden(self, capsys):
+        assert main(["figure", "1"]) == 0
+        assert capsys.readouterr().out == _golden("golden_figure1.txt")
+
+    def test_figure1_matches_golden_with_metrics_on(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        assert main(["figure", "1", "--metrics", str(metrics)]) == 0
+        assert capsys.readouterr().out == _golden("golden_figure1.txt")
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["schema"] == SNAPSHOT_SCHEMA
+        assert snapshot["counters"]["runner.cells|source=executed"] >= 1
+
+    def test_serve_sim_matches_golden(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        args = [
+            "serve-sim", "--tenants", "6", "--requests", "12",
+            "--seed", "7", "--json", str(report),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        off_bytes = report.read_text()
+        assert off_bytes == _golden("golden_serve_sim.json")
+        metrics = tmp_path / "m.json"
+        assert main(args + ["--metrics", str(metrics)]) == 0
+        capsys.readouterr()
+        assert report.read_text() == off_bytes
+        snapshot = json.loads(metrics.read_text())
+        assert any(
+            key.startswith("ddfs.cache.") for key in snapshot["gauges"]
+        )
+
+    def test_columnar_attack_matches_golden(self, tmp_path, capsys):
+        trace_dir = tmp_path / "stream"
+        assert main(
+            ["generate", "stream", str(trace_dir), "--columnar",
+             "--chunks", "50000", "--seed", "7"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["attack", "--columnar", str(trace_dir)]) == 0
+        off = capsys.readouterr().out
+        assert off == _golden("golden_attack_columnar.txt")
+        metrics = tmp_path / "m.json"
+        trace_out = tmp_path / "t.jsonl"
+        assert main(
+            ["attack", "--columnar", str(trace_dir), "--jobs", "2",
+             "--metrics", str(metrics), "--trace-out", str(trace_out)]
+        ) == 0
+        assert capsys.readouterr().out == off
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["counters"]["count.chunks"] == 50000
+        spans = [
+            json.loads(line)
+            for line in trace_out.read_text().splitlines()
+        ]
+        assert any(span["name"] == "count.shard" for span in spans)
+        assert any(span["name"] == "count.merge" for span in spans)
