@@ -15,6 +15,11 @@ Two phases, both against the asyncio framed-protocol frontend
    1,000 tenant sessions (250 tenants x 4 rounds, one connection per
    tenant-round) from 2 client processes and reports sustained
    requests/sec plus p50/p90/p99/max request latency.
+3. **faulted** — the identity replay again, but under a standard fault
+   plan (periodic server-side drops, one lost answer, a stall) with the
+   retrying client: asserts the served trace *stays* byte-identical,
+   then reports effective req/s, the retry amplification
+   (retries / requests), and the p99 delta vs the clean load run.
 
 Run standalone::
 
@@ -38,12 +43,13 @@ import shutil
 import sys
 import tempfile
 
+from repro import faults
 from repro.service.frontend import (
     FrontendServer,
     build_frontend,
     identity_check,
 )
-from repro.service.loadgen import replay_stream, run_loadgen
+from repro.service.loadgen import RetryPolicy, replay_stream, run_loadgen
 from repro.service.simulate import ServiceConfig, simulate
 
 try:  # pytest imports this module as benchmarks.bench_serve_frontend
@@ -124,6 +130,91 @@ def load_phase(tenants: int, rounds: int, processes: int) -> dict[str, object]:
     return report
 
 
+# The standard chaos shape: periodic server-side connection drops, one
+# lost answer (processed but never delivered — the rid-replay case), and
+# periodic stalls.  All server-side, so one plan covers every client
+# process without coordinating injector state across forks.
+FAULT_RULES = [
+    {"site": "serve.drop", "every": 41, "times": 8},
+    {"site": "serve.drop", "at": 13, "times": 1, "when": "after"},
+    {"site": "serve.stall", "every": 83, "times": 4, "delay_s": 0.005},
+]
+
+
+def faulted_phase(
+    tenants: int, rounds: int, processes: int, clean_load: dict
+) -> dict[str, object]:
+    """The load run again, under the standard fault plan with retries.
+
+    Gates on byte-identity first (a faulted replay that diverges from
+    the simulator makes the perf numbers meaningless), then reports the
+    effective throughput, the retry amplification (retries / requests),
+    and the p99 delta against the clean load phase.
+    """
+    plan = {"seed": 7, "rules": FAULT_RULES}
+
+    # Identity gate: the retrying client under the plan still serves a
+    # byte-identical trace.
+    config = ServiceConfig(tenants=8, rounds=3, seed=7)
+    simulate.cache_clear()
+    frontend = build_frontend(config)
+    scratch = tempfile.mkdtemp(prefix="bench-serve-chaos-id-")
+    faults.install(faults.FaultPlan.from_dict(plan))
+    try:
+        address = ("unix", os.path.join(scratch, "frontend.sock"))
+        with FrontendServer(frontend, address) as bound:
+            counts = replay_stream(bound, config, retry=RetryPolicy(seed=1))
+        check = identity_check(frontend)
+    finally:
+        faults.clear()
+        shutil.rmtree(scratch, ignore_errors=True)
+    assert check["identical"], "faulted replay diverged from the simulator"
+    assert counts["gave_up"] == 0, f"retry budget exhausted: {counts}"
+
+    # Perf under fire: same load shape as the clean phase.
+    config = ServiceConfig(tenants=tenants, rounds=rounds, **LOAD_SHAPE)
+    frontend = build_frontend(config)
+    scratch = tempfile.mkdtemp(prefix="bench-serve-chaos-load-")
+    injector = faults.install(faults.FaultPlan.from_dict(plan))
+    try:
+        address = ("unix", os.path.join(scratch, "frontend.sock"))
+        with FrontendServer(frontend, address) as bound:
+            report = run_loadgen(
+                bound, config, processes=processes, retry=RetryPolicy(seed=1)
+            )
+        injected = sum(
+            site["fired"] for site in injector.summary()["sites"].values()
+        )
+    finally:
+        faults.clear()
+        shutil.rmtree(scratch, ignore_errors=True)
+    retries = report["retries"]
+    assert retries["gave_up"] == 0, f"load run gave up requests: {retries}"
+    assert report["ok"] == report["requests"], report["errors"]
+    amplification = (
+        retries["retries"] / report["requests"] if report["requests"] else 0.0
+    )
+    clean_p99 = clean_load["latency_ms"]["p99"]
+    p99 = report["latency_ms"]["p99"]
+    p99_delta_pct = (p99 - clean_p99) / clean_p99 * 100 if clean_p99 else 0.0
+    print(
+        f"faulted: {injected} faults injected  {retries['retries']} retries "
+        f"({amplification * 100:.2f}% amplification)  "
+        f"{report['requests_per_s']:.0f} req/s  "
+        f"p99 {p99:.2f}ms ({p99_delta_pct:+.1f}% vs clean)"
+    )
+    return {
+        "plan": plan,
+        "identity": {"replay_retries": counts["retries"], "identical": True},
+        "faults_injected": injected,
+        "retries": retries,
+        "retry_amplification": round(amplification, 6),
+        "requests_per_s": report["requests_per_s"],
+        "latency_ms": report["latency_ms"],
+        "p99_delta_pct_vs_clean": round(p99_delta_pct, 1),
+    }
+
+
 def compare(current: dict, baseline_path: str) -> None:
     """Soft-report throughput/latency deltas vs a committed baseline."""
     with open(baseline_path, encoding="utf-8") as handle:
@@ -169,14 +260,18 @@ def main(argv: list[str] | None = None) -> int:
             f"acceptance floor: expected >= 1000 tenant sessions, "
             f"got {load['sessions']}"
         )
+    faulted = faulted_phase(
+        tenants, rounds, processes=max(2, args.processes), clean_load=load
+    )
     payload = {
         "env": bench_envelope(),
-        "version": "1.0.0",
+        "version": "1.1.0",
         "python": platform.python_version(),
         "platform": platform.machine(),
         "quick": args.quick,
         "identity": identity,
         "load": load,
+        "faulted": faulted,
     }
     if args.compare and os.path.exists(args.compare):
         compare(load, args.compare)

@@ -45,10 +45,13 @@ import hashlib
 import os
 import time
 from collections import Counter
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from itertools import islice
 from multiprocessing import get_context
 
-from repro import obs
+from repro import faults, obs
+from repro.faults import WorkerCrashError
 
 from repro.attacks.evaluation import InferenceReport
 from repro.attacks.frequency import FINGERPRINT, INSERTION
@@ -202,15 +205,106 @@ def _count_shard_python(raw, start, stop, lead):
     return (frequency, firsts, pairs)
 
 
+# How many times a crashed shard is re-submitted before the count gives up.
+_WORKER_RETRIES = 3
+
+
+def _count_shard_guarded(task, crash=None):
+    """:func:`_count_shard` behind a parent-decided crash switch.
+
+    The ``count.worker`` fault site is consulted in the *parent* at
+    submission time and the decision shipped here as ``crash`` — forked
+    workers inherit the injector's counters, so evaluating rules in the
+    children would let per-rule ``times`` caps diverge across forks.
+    ``"exit"`` dies the way a real segfault/OOM-kill does (the pool
+    breaks); any other mode raises the detectable
+    :class:`~repro.faults.WorkerCrashError`.
+    """
+    if crash is not None:
+        if crash == "exit":
+            os._exit(3)
+        raise WorkerCrashError(f"injected worker crash (shard {task[7]})")
+    return _count_shard(task)
+
+
+def _run_inline(task):
+    """One shard in-process, with the same crash/retry semantics.
+
+    There is no worker process to sacrifice here, so every crash mode
+    degrades to the detectable error — the retry accounting stays
+    identical between the inline and pooled paths.
+    """
+    for attempt in range(_WORKER_RETRIES + 1):
+        action = faults.fire("count.worker", shard=task[7])
+        if action is None:
+            return _count_shard(task)
+        if attempt == _WORKER_RETRIES:
+            raise WorkerCrashError(
+                f"shard {task[7]} crashed {attempt + 1} times; giving up"
+            )
+        obs.counter("faults.retries", site="count.worker")
+    raise AssertionError("unreachable")
+
+
 def _run_tasks(tasks):
-    if len(tasks) == 1:
-        return [_count_shard(tasks[0])]
+    """Run every count task, surviving injected/real worker crashes.
+
+    Tasks fan out over a fork-context process pool; a shard whose
+    worker raises :class:`~repro.faults.WorkerCrashError` or dies hard
+    (``BrokenProcessPool``) is re-submitted up to ``_WORKER_RETRIES``
+    times, rebuilding the executor when a hard death poisoned it.
+    Results are returned **in task order** regardless of completion or
+    retry order, so the downstream merge stays byte-identical to a
+    fault-free run.
+    """
     try:
         context = get_context("fork")
     except ValueError:  # pragma: no cover - no fork on this platform
-        return [_count_shard(task) for task in tasks]
-    with context.Pool(processes=len(tasks)) as pool:
-        return pool.map(_count_shard, tasks)
+        context = None
+    if len(tasks) == 1 or context is None:
+        return [_run_inline(task) for task in tasks]
+    results = [None] * len(tasks)
+    attempts = [0] * len(tasks)
+    pending = list(range(len(tasks)))
+    executor = ProcessPoolExecutor(max_workers=len(tasks), mp_context=context)
+    try:
+        while pending:
+            submissions = []
+            for index in pending:
+                task = tasks[index]
+                action = faults.fire("count.worker", shard=task[7])
+                crash = (
+                    None if action is None else str(action.get("mode", "raise"))
+                )
+                submissions.append(
+                    (executor.submit(_count_shard_guarded, task, crash), index)
+                )
+            pending = []
+            broken = False
+            for future, index in submissions:
+                try:
+                    results[index] = future.result()
+                except (WorkerCrashError, BrokenProcessPool) as error:
+                    # A hard exit breaks the whole pool: innocent shards
+                    # in this round fail alongside the crasher and are
+                    # retried with it.
+                    broken = broken or isinstance(error, BrokenProcessPool)
+                    attempts[index] += 1
+                    if attempts[index] > _WORKER_RETRIES:
+                        raise WorkerCrashError(
+                            f"shard {tasks[index][7]} crashed "
+                            f"{attempts[index]} times; giving up"
+                        ) from error
+                    obs.counter("faults.retries", site="count.worker")
+                    pending.append(index)
+            if broken and pending:
+                executor.shutdown(wait=False, cancel_futures=True)
+                executor = ProcessPoolExecutor(
+                    max_workers=len(tasks), mp_context=context
+                )
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+    return results
 
 
 # ---------------------------------------------------------------------------

@@ -35,7 +35,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro import obs
+from repro import faults, obs
 from repro.analysis import figures as figure_drivers
 from repro.analysis.reporting import render_table, save_result
 from repro.analysis.workloads import (
@@ -117,6 +117,34 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="emit structured JSON logs on stderr",
     )
+
+
+def _add_faults_flag(parser: argparse.ArgumentParser) -> None:
+    """The fault-injection plan flag, shared by every chaos-capable
+    subcommand.  With no plan the fault plane is a no-op and reports
+    stay byte-identical; with one, retries/failovers keep the *results*
+    byte-identical while a ``faults`` summary section shows what was
+    injected (see docs/robustness.md)."""
+    group = parser.add_argument_group("robustness")
+    group.add_argument(
+        "--faults",
+        metavar="PLAN.json",
+        default=None,
+        help=(
+            "install the deterministic fault-injection plan from "
+            "PLAN.json for this run: seeded connection drops, stalls, "
+            "node kills, disk errors and worker crashes, survived by "
+            "retry/failover (see docs/robustness.md)"
+        ),
+    )
+
+
+def _faults_install(args: argparse.Namespace) -> None:
+    """Install the requested fault plan before dispatch (so every seam
+    in the handler's path sees it); ``main`` clears it on the way out."""
+    path = getattr(args, "faults", None)
+    if path is not None:
+        faults.install(faults.load_plan(path))
 
 
 def _obs_enable(args: argparse.Namespace) -> None:
@@ -314,6 +342,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="which node's shard the adversary observes (default 0)",
     )
     _add_obs_flags(attack)
+    _add_faults_flag(attack)
 
     figure = sub.add_parser(
         "figure", help="regenerate a paper figure (or 'all')"
@@ -335,6 +364,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="on-disk cell cache; reruns skip completed cells",
     )
     _add_obs_flags(figure)
+    _add_faults_flag(figure)
 
     sweep = sub.add_parser(
         "sweep",
@@ -387,6 +417,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", metavar="FILE", help="also write rows as JSON to FILE"
     )
     _add_obs_flags(sweep)
+    _add_faults_flag(sweep)
 
     serve = sub.add_parser(
         "serve-sim",
@@ -604,6 +635,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", metavar="FILE", help="write the JSON report to FILE"
     )
     _add_obs_flags(net)
+    _add_faults_flag(net)
 
     storage = sub.add_parser(
         "storage", help="run the DDFS metadata-access experiment"
@@ -1242,7 +1274,7 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
         build_frontend,
         identity_check,
     )
-    from repro.service.loadgen import replay_stream, run_loadgen
+    from repro.service.loadgen import RetryPolicy, replay_stream, run_loadgen
     from repro.service.simulate import ServiceConfig
 
     rounds = 2
@@ -1293,11 +1325,21 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
                 f"scheme: {args.scheme}  {tier}seed: {args.seed}  "
                 f"listening: {address[0]}://{where}"
             )
+            # Under a fault plan the clients must survive what it
+            # injects: capped-backoff retries with idempotent re-HELLO
+            # resume, seeded from the run seed so reruns are identical.
+            retry = (
+                RetryPolicy(seed=args.seed)
+                if args.faults is not None
+                else None
+            )
             if args.identity:
-                counts = replay_stream(address, config)
+                counts = replay_stream(address, config, retry=retry)
                 report = {"mode": "identity", "replay": counts}
             else:
-                report = run_loadgen(address, config, processes=args.clients)
+                report = run_loadgen(
+                    address, config, processes=args.clients, retry=retry
+                )
                 report["mode"] = "loadgen"
             if obs.enabled():
                 # Final server-side engine gauges (cache, bloom FPs,
@@ -1306,6 +1348,11 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
     finally:
         if scratch is not None:
             shutil.rmtree(scratch, ignore_errors=True)
+    injector = faults.active()
+    if injector is not None:
+        # Server-side injections (client processes count their own
+        # retries into the report's "retries" section).
+        report["faults"] = injector.summary()
     if args.identity:
         check = identity_check(frontend)
         report["identical"] = check["identical"]
@@ -1343,6 +1390,21 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
                     for code, count in report["errors"].items()
                 )
             )
+        retries = report.get("retries")
+        if retries is not None:
+            print(
+                f"retries: {retries['retries']}  "
+                f"reconnects: {retries['reconnects']}  "
+                f"gave_up: {retries['gave_up']}"
+            )
+    if "faults" in report:
+        fired = sum(
+            site["fired"] for site in report["faults"]["sites"].values()
+        )
+        print(
+            f"faults injected: {fired} "
+            f"(plan seed {report['faults']['seed']})"
+        )
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json_module.dump(report, handle, indent=2, sort_keys=True)
@@ -1420,9 +1482,11 @@ _HANDLERS = {
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     _obs_enable(args)
+    _faults_install(args)
     try:
         return _HANDLERS[args.command](args)
     finally:
+        faults.clear()
         _obs_export(args)
 
 

@@ -22,14 +22,27 @@ unique-chunk ingest), plus what only a cluster has:
   incremental rebalancing: only keys whose route changed move, and the
   returned :class:`RebalanceReport` accounts every moved key and byte
   against the theoretical bound (``K/N`` of ``K`` keys for a ring of N
-  nodes; nearly everything for modulo routing).
+  nodes; nearly everything for modulo routing);
+* **failure and failover** — :meth:`kill_node` / :meth:`restart_node`
+  (driven by the ``node.kill`` / ``node.restart`` fault sites during
+  :meth:`ingest`) take a node through ``up → down → degraded → up``.
+  The *metadata plane* — index probes, engine ingest, the authoritative
+  per-node chunk maps and bandwidth meters — is modeled as replicated
+  and stays live while a node is down, so every leakage observable and
+  :meth:`load_report` is byte-identical to a fault-free run.  Only the
+  *data plane* fails over: chunks owned by a down node are physically
+  parked on the next healthy ring successor (shadow
+  ``failover_chunks``), accounted in a :class:`DegradedReport`, and
+  re-homed on rejoin — with the rejoin move asserted against the same
+  ``K/N``-style bound as rebalancing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.common.errors import ConfigurationError
+from repro import faults, obs
+from repro.common.errors import ConfigurationError, StorageError
 from repro.common.units import KiB, MiB
 from repro.storage.ddfs import DDFSEngine
 from repro.cluster.ring import DEFAULT_VNODES, Router, open_router
@@ -44,6 +57,13 @@ class ClusterNode:
     report measures.  ``received_bytes`` counts ingest bandwidth into
     the node (client transfers plus rebalance traffic);
     ``index_probes`` counts dedup-response probes served.
+
+    ``health`` is the failure state (``"up"``, ``"degraded"`` while a
+    rejoin re-homes parked data, ``"down"``).  ``failover_chunks`` is
+    the *shadow* data plane: chunks this node physically holds on
+    behalf of a down owner.  Shadow state never leaks into ``chunks``
+    or the meters, which is what keeps :meth:`DedupCluster.load_report`
+    byte-identical under injected node kills.
     """
 
     node_id: int
@@ -52,6 +72,8 @@ class ClusterNode:
     received_bytes: int = 0
     rebalance_bytes: int = 0
     index_probes: int = 0
+    health: str = "up"
+    failover_chunks: dict[bytes, int] = field(default_factory=dict)
 
     @property
     def stored_bytes(self) -> int:
@@ -99,6 +121,66 @@ class RebalanceReport:
         for ring routing (vnode placement has variance, hence the slack)."""
         bound = self.theoretical_fraction * self.total_keys * slack + absolute
         return self.moved_keys <= bound
+
+
+@dataclass(frozen=True)
+class DegradedReport:
+    """Accounting for one node's down → rejoined excursion.
+
+    ``unreachable_keys`` is the size of the node's shard at kill time
+    (the keys a client could not physically reach, even though the
+    replicated metadata plane kept answering for them).
+    ``failover_keys`` / ``failover_bytes`` is the data-plane traffic
+    parked on ring successors while the node was down, and
+    ``failover_probes`` the extra placement probes spent skipping
+    unhealthy nodes to find each chunk a home.  ``rejoin_moved_keys`` /
+    ``rejoin_moved_bytes`` is the re-homing move at restart.
+    ``killed_after_ingests`` / ``rejoined_after_ingests`` anchor the
+    outage window in ingest-call time (deterministic, not wall-clock).
+    """
+
+    node_id: int
+    killed_after_ingests: int
+    rejoined_after_ingests: int
+    unreachable_keys: int
+    failover_keys: int
+    failover_bytes: int
+    failover_probes: int
+    rejoin_moved_keys: int
+    rejoin_moved_bytes: int
+
+    def within_bound(
+        self,
+        total_keys: int,
+        nodes: int,
+        slack: float = 1.5,
+        absolute: int = 16,
+    ) -> bool:
+        """Whether the rejoin move stayed within the ``K/N`` bound.
+
+        ``total_keys`` is the number of keys ingested during the outage
+        window; the down node owns an expected ``1/nodes`` of them, so
+        the re-homed shadow data must fit ``total_keys / nodes × slack
+        + absolute`` — the same shape as
+        :meth:`RebalanceReport.within_bound`.
+        """
+        if nodes < 1:
+            raise ConfigurationError("nodes must be >= 1")
+        bound = total_keys / nodes * slack + absolute
+        return self.rejoin_moved_keys <= bound
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "node": self.node_id,
+            "killed_after_ingests": self.killed_after_ingests,
+            "rejoined_after_ingests": self.rejoined_after_ingests,
+            "unreachable_keys": self.unreachable_keys,
+            "failover_keys": self.failover_keys,
+            "failover_bytes": self.failover_bytes,
+            "failover_probes": self.failover_probes,
+            "rejoin_moved_keys": self.rejoin_moved_keys,
+            "rejoin_moved_bytes": self.rejoin_moved_bytes,
+        }
 
 
 class DedupCluster:
@@ -151,6 +233,9 @@ class DedupCluster:
             node_id: self._new_node(node_id) for node_id in range(nodes)
         }
         self.rebalances: list[RebalanceReport] = []
+        self.degraded_reports: list[DegradedReport] = []
+        self._degraded: dict[int, dict[str, int]] = {}
+        self._ingest_calls = 0
 
     def _new_node(self, node_id: int) -> ClusterNode:
         path = None
@@ -214,7 +299,20 @@ class DedupCluster:
         The batch is split per node preserving stream order, so each
         node's containers fill in the order its chunks arrived — chunk
         locality survives sharding *within* a shard.
+
+        Each call is one tick of the ``node.kill`` / ``node.restart``
+        fault sites, so an installed :class:`~repro.faults.FaultPlan`
+        can fail a node after exactly N ingests and rejoin it M ingests
+        later.  The metadata plane below runs unchanged either way;
+        only the shadow data-plane placement differs for down owners.
         """
+        self._ingest_calls += 1
+        kill = faults.fire("node.kill", ingest=self._ingest_calls)
+        if kill is not None:
+            self.kill_node(int(kill.get("node", 0)))
+        restart = faults.fire("node.restart", ingest=self._ingest_calls)
+        if restart is not None:
+            self.restart_node(int(restart.get("node", 0)))
         per_node: dict[int, tuple[list[bytes], list[int]]] = {}
         for fingerprint, size in zip(fingerprints, sizes):
             node_id = self.router.node_of(fingerprint)
@@ -230,6 +328,8 @@ class DedupCluster:
             for fingerprint, size in zip(node_fps, node_sizes):
                 node.chunks[fingerprint] = size
             node.received_bytes += sum(node_sizes)
+            if node.health == "down":
+                self._park_failover(node, node_fps, node_sizes)
 
     def store_stream(self, fingerprints, sizes) -> int:
         """Deduplicate-and-store a raw chunk stream (bench/test path).
@@ -280,6 +380,133 @@ class DedupCluster:
             node = self.nodes[node_id]
             node.engine.finish_backup()
             node.engine.index.close()
+
+    # -- failure and failover ------------------------------------------------
+
+    def kill_node(self, node_id: int) -> None:
+        """Mark a node down and open its :class:`DegradedReport` window.
+
+        Idempotent — killing an already-down node is a no-op.  The node
+        stays a router member (its metadata is replicated), but until
+        :meth:`restart_node` every chunk routed to it is physically
+        parked on the next healthy successor.
+        """
+        if node_id not in self.nodes:
+            raise ConfigurationError(f"node {node_id} does not exist")
+        node = self.nodes[node_id]
+        if node.health == "down":
+            return
+        node.health = "down"
+        self._degraded[node_id] = {
+            "killed_after_ingests": self._ingest_calls,
+            "unreachable_keys": len(node.chunks),
+            "failover_keys": 0,
+            "failover_bytes": 0,
+            "failover_probes": 0,
+        }
+
+    def restart_node(self, node_id: int) -> DegradedReport | None:
+        """Rejoin a down node: re-home its parked shadow data.
+
+        The node passes through ``degraded`` while every
+        ``failover_chunks`` entry it owns is pulled back from its
+        holders (the authoritative ``chunks`` map never left, so the
+        move is pure data-plane traffic), then returns to ``up``.
+        Returns the completed :class:`DegradedReport`, or ``None`` if
+        the node was not down.
+        """
+        if node_id not in self.nodes:
+            raise ConfigurationError(f"node {node_id} does not exist")
+        node = self.nodes[node_id]
+        if node.health != "down":
+            return None
+        node.health = "degraded"
+        moved_keys = 0
+        moved_bytes = 0
+        for holder_id in sorted(self.nodes):
+            holder = self.nodes[holder_id]
+            if holder_id == node_id or not holder.failover_chunks:
+                continue
+            returning = [
+                (fingerprint, size)
+                for fingerprint, size in holder.failover_chunks.items()
+                if self.router.node_of(fingerprint) == node_id
+            ]
+            for fingerprint, size in returning:
+                del holder.failover_chunks[fingerprint]
+                moved_keys += 1
+                moved_bytes += size
+        node.health = "up"
+        record = self._degraded.pop(node_id)
+        report = DegradedReport(
+            node_id=node_id,
+            killed_after_ingests=record["killed_after_ingests"],
+            rejoined_after_ingests=self._ingest_calls,
+            unreachable_keys=record["unreachable_keys"],
+            failover_keys=record["failover_keys"],
+            failover_bytes=record["failover_bytes"],
+            failover_probes=record["failover_probes"],
+            rejoin_moved_keys=moved_keys,
+            rejoin_moved_bytes=moved_bytes,
+        )
+        self.degraded_reports.append(report)
+        return report
+
+    def _park_failover(
+        self, owner: ClusterNode, fingerprints: list[bytes], sizes: list[int]
+    ) -> None:
+        """Physically park a down owner's chunks on healthy successors."""
+        record = self._degraded[owner.node_id]
+        for fingerprint, size in zip(fingerprints, sizes):
+            holder, probes = self._pick_failover(fingerprint, owner.node_id)
+            holder.failover_chunks[fingerprint] = size
+            record["failover_keys"] += 1
+            record["failover_bytes"] += size
+            record["failover_probes"] += probes
+            obs.counter("faults.failovers", node=str(owner.node_id))
+
+    def _pick_failover(
+        self, fingerprint: bytes, owner_id: int
+    ) -> tuple[ClusterNode, int]:
+        """The first healthy node clockwise past the owner, plus how
+        many placement probes it took to find (each unhealthy candidate
+        examined costs one probe — the bandwidth price of failover)."""
+        probes = 0
+        for candidate_id in self.router.successors(fingerprint):
+            if candidate_id == owner_id:
+                continue
+            probes += 1
+            candidate = self.nodes[candidate_id]
+            if candidate.health != "down":
+                return candidate, probes
+        raise StorageError(
+            f"no healthy node to fail over to for owner {owner_id}"
+        )
+
+    def health_report(self) -> dict[str, object]:
+        """Node health plus degradation accounting (JSON-serializable).
+
+        Separate from :meth:`load_report` by design: the load report's
+        shape is pinned by goldens and must stay byte-identical under
+        injected faults, while this report only exists to *show* them.
+        """
+        active = [
+            {"node": node_id, **dict(record)}
+            for node_id, record in sorted(self._degraded.items())
+        ]
+        return {
+            "health": {
+                str(node_id): self.nodes[node_id].health
+                for node_id in sorted(self.nodes)
+            },
+            "parked_chunks": sum(
+                len(node.failover_chunks) for node in self.nodes.values()
+            ),
+            "active": active,
+            "degraded": [
+                report.to_dict() for report in self.degraded_reports
+            ],
+        }
 
     # -- elastic membership --------------------------------------------------
 

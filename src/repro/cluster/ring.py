@@ -54,6 +54,8 @@ class Router(Protocol):
 
     def node_of(self, key: bytes) -> int: ...
 
+    def successors(self, key: bytes): ...
+
     def add_node(self, node_id: int) -> None: ...
 
     def remove_node(self, node_id: int) -> None: ...
@@ -147,6 +149,25 @@ class HashRing:
             index = 0  # wrap: past the last token the ring restarts
         return self._owners[index]
 
+    def successors(self, key: bytes):
+        """Distinct owners clockwise from ``key``'s position.
+
+        The first yielded node is :meth:`node_of`; the rest are the
+        ring-order failover sequence — the nodes whose ranges would
+        absorb the key if the ones before them were down.  Every member
+        appears exactly once.
+        """
+        if not self._tokens:
+            raise ConfigurationError("the ring has no nodes")
+        start = bisect_right(self._tokens, _hash64(key))
+        count = len(self._tokens)
+        seen: set[int] = set()
+        for step in range(count):
+            owner = self._owners[(start + step) % count]
+            if owner not in seen:
+                seen.add(owner)
+                yield owner
+
 
 class ModuloRouter:
     """The modulo-routing baseline: ``crc32(fp) % N``.
@@ -182,6 +203,18 @@ class ModuloRouter:
         if not self._node_ids:
             raise ConfigurationError("the router has no nodes")
         return self._node_ids[zlib.crc32(key) % len(self._node_ids)]
+
+    def successors(self, key: bytes):
+        """Members starting at the owner, cycling in ascending-id order.
+
+        Modulo routing has no ring geometry, so the failover sequence is
+        simply the sorted member list rotated to start at the owner.
+        """
+        if not self._node_ids:
+            raise ConfigurationError("the router has no nodes")
+        start = zlib.crc32(key) % len(self._node_ids)
+        for step in range(len(self._node_ids)):
+            yield self._node_ids[(start + step) % len(self._node_ids)]
 
 
 def open_router(

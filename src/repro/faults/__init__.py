@@ -1,0 +1,332 @@
+"""Deterministic fault injection for the serve/COUNT/scenario stack.
+
+A :class:`FaultPlan` is a seeded schedule of failures — connection drops,
+read/write stalls, frame corruption, node kills and restarts, disk-write
+errors, worker-process crashes — expressed as declarative rules over
+named *sites*.  Code that can fail hosts a one-line seam::
+
+    action = faults.fire("serve.drop", kind=frame_name)
+    if action is not None:
+        ...  # fail the way the site fails
+
+With no plan installed (the default), :func:`fire` returns ``None``
+without any work beyond a global ``is None`` check, so the fault plane
+costs nothing in production paths and every fault-free run is
+byte-identical to a build without it.
+
+Determinism
+-----------
+
+Nothing here reads the clock: rules trigger on per-site **event
+counters** ("the 500th ingest", "every 37th frame") and probabilistic
+rules draw from a per-rule :class:`random.Random` seeded from
+``(plan seed, rule index)``, so the same plan over the same workload
+injects the same faults, every run, on every machine — which is what
+lets the chaos tests assert *byte-identical* output between a faulted
+run (with retries) and a fault-free run.
+
+Rule schema (one JSON object per rule)::
+
+    {"site": "serve.drop", "every": 37}
+    {"site": "node.kill", "at": 5, "times": 1, "node": 1}
+    {"site": "count.worker", "at": 1, "times": 1, "mode": "exit"}
+    {"site": "client.drop", "probability": 0.1, "times": 3}
+
+Trigger fields (ANDed together; a rule with none fires on every event):
+
+* ``at`` — fire on exactly the N-th matching event (1-based);
+* ``every`` — fire on every N-th matching event;
+* ``after`` — fire on every matching event *after* the N-th;
+* ``probability`` — fire with probability p (seeded, deterministic);
+* ``times`` — cap on total firings of this rule (``1`` = fire once);
+* ``match`` — ``{tag: value}`` equality filters over the tags the call
+  site passes to :func:`fire`.
+
+Every other key (``mode``, ``node``, ``delay_s``, ...) is carried
+verbatim into the returned :class:`FaultAction` for the seam to
+interpret.  Fired faults count into :mod:`repro.obs` under
+``faults.injected`` (tagged by site); retry loops across the stack
+count ``faults.retries`` and the cluster counts ``faults.failovers``.
+
+Workers forked by the COUNT/scenario pools inherit the installed plan,
+but crash decisions are made in the *parent* at submission time (and
+passed to the worker), so per-rule state never diverges across forks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.common.errors import ConfigurationError, ReproError
+
+__all__ = [
+    "FaultAction",
+    "FaultPlan",
+    "FaultRule",
+    "Injector",
+    "WorkerCrashError",
+    "active",
+    "backoff_delay",
+    "clear",
+    "fire",
+    "install",
+    "load_plan",
+]
+
+_TRIGGER_FIELDS = frozenset(
+    {"site", "at", "every", "after", "probability", "times", "match"}
+)
+
+
+class WorkerCrashError(ReproError):
+    """An injected (or detected) worker-process crash."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One declarative fault rule (see the module docstring schema)."""
+
+    site: str
+    at: int | None = None
+    every: int | None = None
+    after: int | None = None
+    probability: float | None = None
+    times: int | None = None
+    match: dict = field(default_factory=dict)
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.site:
+            raise ConfigurationError("a fault rule needs a 'site'")
+        for name, value in (("at", self.at), ("every", self.every)):
+            if value is not None and value < 1:
+                raise ConfigurationError(f"rule {name!r} must be >= 1")
+        if self.after is not None and self.after < 0:
+            raise ConfigurationError("rule 'after' must be >= 0")
+        if self.probability is not None and not (
+            0.0 <= self.probability <= 1.0
+        ):
+            raise ConfigurationError("rule 'probability' must be in [0, 1]")
+        if self.times is not None and self.times < 1:
+            raise ConfigurationError("rule 'times' must be >= 1")
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "FaultRule":
+        if not isinstance(raw, dict):
+            raise ConfigurationError(f"fault rule must be an object: {raw!r}")
+        match = raw.get("match", {})
+        if not isinstance(match, dict):
+            raise ConfigurationError("rule 'match' must be an object")
+        params = {
+            key: value
+            for key, value in raw.items()
+            if key not in _TRIGGER_FIELDS
+        }
+        return cls(
+            site=str(raw.get("site", "")),
+            at=raw.get("at"),
+            every=raw.get("every"),
+            after=raw.get("after"),
+            probability=raw.get("probability"),
+            times=raw.get("times"),
+            match=dict(match),
+            params=params,
+        )
+
+    def to_dict(self) -> dict:
+        raw: dict = {"site": self.site}
+        for name in ("at", "every", "after", "probability", "times"):
+            value = getattr(self, name)
+            if value is not None:
+                raw[name] = value
+        if self.match:
+            raw["match"] = dict(self.match)
+        raw.update(self.params)
+        return raw
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded schedule of fault rules."""
+
+    seed: int = 0
+    rules: tuple[FaultRule, ...] = ()
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "FaultPlan":
+        if not isinstance(raw, dict):
+            raise ConfigurationError("a fault plan must be a JSON object")
+        rules = raw.get("rules", [])
+        if not isinstance(rules, list):
+            raise ConfigurationError("plan 'rules' must be a list")
+        return cls(
+            seed=int(raw.get("seed", 0)),
+            rules=tuple(FaultRule.from_dict(rule) for rule in rules),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+
+def load_plan(path: str | os.PathLike) -> FaultPlan:
+    """Read a :class:`FaultPlan` from a JSON file."""
+    with open(path, encoding="utf-8") as handle:
+        try:
+            raw = json.load(handle)
+        except ValueError as error:
+            raise ConfigurationError(
+                f"fault plan {os.fspath(path)!r} is not valid JSON: {error}"
+            ) from None
+    return FaultPlan.from_dict(raw)
+
+
+class FaultAction:
+    """One fired fault: the rule's free-form params plus provenance."""
+
+    __slots__ = ("site", "rule_index", "event", "params")
+
+    def __init__(self, site: str, rule_index: int, event: int, params: dict):
+        self.site = site
+        self.rule_index = rule_index
+        self.event = event
+        self.params = params
+
+    def get(self, key: str, default=None):
+        return self.params.get(key, default)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultAction(site={self.site!r}, rule={self.rule_index}, "
+            f"event={self.event}, params={self.params!r})"
+        )
+
+
+class Injector:
+    """Evaluates a :class:`FaultPlan` against a stream of site events.
+
+    All state is event-count based: per-site event counters, per-rule
+    firing counts, and one seeded RNG per probabilistic rule.  The same
+    plan over the same event stream fires the same faults.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._events: dict[str, int] = {}
+        self._fired: dict[str, int] = {}
+        self._rule_fired: list[int] = [0] * len(plan.rules)
+        self._rngs: list[random.Random | None] = [
+            random.Random(f"{plan.seed}:{index}")
+            if rule.probability is not None
+            else None
+            for index, rule in enumerate(plan.rules)
+        ]
+
+    def fire(self, site: str, **tags) -> FaultAction | None:
+        """Record one event at ``site``; return the first firing rule."""
+        count = self._events.get(site, 0) + 1
+        self._events[site] = count
+        for index, rule in enumerate(self.plan.rules):
+            if rule.site != site:
+                continue
+            if rule.match and any(
+                tags.get(key) != value for key, value in rule.match.items()
+            ):
+                continue
+            if rule.times is not None and self._rule_fired[index] >= rule.times:
+                continue
+            if rule.at is not None and count != rule.at:
+                continue
+            if rule.every is not None and count % rule.every != 0:
+                continue
+            if rule.after is not None and count <= rule.after:
+                continue
+            if rule.probability is not None:
+                rng = self._rngs[index]
+                assert rng is not None
+                if rng.random() >= rule.probability:
+                    continue
+            self._rule_fired[index] += 1
+            self._fired[site] = self._fired.get(site, 0) + 1
+            obs.counter("faults.injected", site=site)
+            return FaultAction(site, index, count, rule.params)
+        return None
+
+    def summary(self) -> dict[str, object]:
+        """Per-site event/fired counts plus per-rule firing totals."""
+        sites = sorted(set(self._events) | set(self._fired))
+        return {
+            "seed": self.plan.seed,
+            "sites": {
+                site: {
+                    "events": self._events.get(site, 0),
+                    "fired": self._fired.get(site, 0),
+                }
+                for site in sites
+            },
+            "rules": [
+                {"rule": rule.to_dict(), "fired": fired}
+                for rule, fired in zip(self.plan.rules, self._rule_fired)
+            ],
+        }
+
+
+# -- the process-global switchboard (mirrors repro.obs) -----------------------
+
+_INSTALLED: Injector | None = None
+
+
+def install(plan: FaultPlan | Injector) -> Injector:
+    """Install a plan process-wide; forked workers inherit it."""
+    global _INSTALLED
+    _INSTALLED = plan if isinstance(plan, Injector) else Injector(plan)
+    return _INSTALLED
+
+
+def clear() -> None:
+    """Remove the installed plan; every seam goes back to no-op."""
+    global _INSTALLED
+    _INSTALLED = None
+
+
+def active() -> Injector | None:
+    """The installed injector, or ``None``."""
+    return _INSTALLED
+
+
+def fire(site: str, **tags) -> FaultAction | None:
+    """Consult the installed injector; no-op (``None``) when none is."""
+    injector = _INSTALLED
+    if injector is None:
+        return None
+    return injector.fire(site, **tags)
+
+
+# -- deterministic retry backoff ----------------------------------------------
+
+
+def backoff_delay(
+    attempt: int,
+    base: float = 0.01,
+    cap: float = 0.25,
+    seed: int = 0,
+    key: str = "",
+) -> float:
+    """Capped exponential backoff with deterministic jitter.
+
+    ``attempt`` is 0-based (the delay before retry N+1).  The jitter
+    draws from a :class:`random.Random` seeded by ``(seed, key,
+    attempt)``, so a retried request backs off identically on every run
+    — no wall-clock, no shared RNG state.
+    """
+    if attempt < 0:
+        raise ConfigurationError("attempt must be >= 0")
+    ceiling = min(cap, base * (2**attempt))
+    jitter = random.Random(f"{seed}|{key}|{attempt}").random()
+    return ceiling * (0.5 + 0.5 * jitter)

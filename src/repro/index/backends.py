@@ -39,10 +39,12 @@ import heapq
 import os
 import sqlite3
 import struct
+import time
 import zlib
 from pathlib import Path
 from typing import Iterable, Iterator, Protocol, Sequence, runtime_checkable
 
+from repro import obs
 from repro.common.errors import ConfigurationError, StorageError
 
 __all__ = [
@@ -156,6 +158,12 @@ class MemoryBackend:
         self.close()
 
 
+# Bounded retry for "database is locked" write failures: attempts past
+# the connection's own busy timeout, with exponential backoff between.
+_LOCKED_RETRIES = 5
+_LOCKED_BACKOFF_S = 0.01
+
+
 class SQLiteBackend:
     """Single-table SQLite backend with WAL journaling and batched writes.
 
@@ -166,22 +174,42 @@ class SQLiteBackend:
     column and upserts keep the original row, which preserves
     first-insertion iteration order across process restarts.
 
+    A file-backed store can be opened by several processes (the cluster
+    nodes of one host, a concurrent bench); SQLite then serializes
+    writers and throws ``OperationalError: database is locked`` past
+    the busy timeout.  Writes here sit behind both defences: the
+    connection-level busy timeout (``busy_timeout_s``, also applied as
+    ``PRAGMA busy_timeout``), and a bounded exponential-backoff retry
+    (``_LOCKED_RETRIES``) that converts persistent lock-out into a
+    clean :class:`~repro.common.errors.StorageError` instead of an
+    sqlite3 internal leaking upward.
+
     Args:
         path: database file; ``None`` keeps the store in ``:memory:``.
         batch_size: buffered puts per ``executemany`` drain.
+        busy_timeout_s: how long SQLite itself blocks on a locked
+            database before raising (per attempt).
     """
 
     def __init__(
         self,
         path: str | os.PathLike | None = None,
         batch_size: int = 4096,
+        busy_timeout_s: float = 5.0,
     ):
         if batch_size < 1:
             raise ConfigurationError("batch_size must be >= 1")
+        if busy_timeout_s < 0:
+            raise ConfigurationError("busy_timeout_s must be >= 0")
         if path is not None:
             Path(path).parent.mkdir(parents=True, exist_ok=True)
         self._path = str(path) if path is not None else ":memory:"
-        self._conn: sqlite3.Connection | None = sqlite3.connect(self._path)
+        self._conn: sqlite3.Connection | None = sqlite3.connect(
+            self._path, timeout=busy_timeout_s
+        )
+        self._conn.execute(
+            f"PRAGMA busy_timeout = {int(busy_timeout_s * 1000)}"
+        )
         if path is not None:
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute("PRAGMA synchronous=NORMAL")
@@ -215,20 +243,53 @@ class SQLiteBackend:
         if not self._pending:
             return
         assert self._conn is not None
-        self._conn.executemany(
-            "INSERT INTO kv (key, value) VALUES (?, ?)"
-            " ON CONFLICT(key) DO UPDATE SET value = excluded.value",
-            list(self._pending.items()),
-        )
-        self._conn.commit()
+
+        def drain() -> None:
+            self._conn.executemany(
+                "INSERT INTO kv (key, value) VALUES (?, ?)"
+                " ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+                list(self._pending.items()),
+            )
+            self._conn.commit()
+
+        self._write_retry(drain)
         self._pending.clear()
+
+    def _write_retry(self, operation):
+        """Run a write transaction, retrying lock contention.
+
+        Lock-out past the busy timeout is transient by definition
+        (another writer holds the database), so each retry backs off
+        exponentially; a database still locked after every attempt
+        surfaces as a :class:`StorageError`.  Any other
+        ``OperationalError`` propagates untouched.
+        """
+        for attempt in range(_LOCKED_RETRIES + 1):
+            try:
+                return operation()
+            except sqlite3.OperationalError as error:
+                if "locked" not in str(error) and "busy" not in str(error):
+                    raise
+                if attempt == _LOCKED_RETRIES:
+                    raise StorageError(
+                        f"sqlite database stayed locked through "
+                        f"{attempt + 1} attempts: {error}"
+                    ) from error
+                obs.counter("faults.retries", site="sqlite.locked")
+                time.sleep(_LOCKED_BACKOFF_S * (2**attempt))
 
     def delete(self, key: bytes) -> bool:
         self._drain()
         assert self._conn is not None
-        cursor = self._conn.execute("DELETE FROM kv WHERE key = ?", (key,))
-        self._conn.commit()
-        return cursor.rowcount > 0
+
+        def remove() -> bool:
+            cursor = self._conn.execute(
+                "DELETE FROM kv WHERE key = ?", (key,)
+            )
+            self._conn.commit()
+            return cursor.rowcount > 0
+
+        return self._write_retry(remove)
 
     # -- read path ----------------------------------------------------------
 

@@ -9,8 +9,16 @@ then miss instead of serving wrong rows.
 
 Entries are one JSON file per cell, written atomically (temp file +
 ``os.replace``) so concurrent runners and interrupted runs can never leave
-a half-written entry that later loads: a torn or corrupt file is treated
-as a miss and recomputed.
+a half-written entry that later loads.  Each entry additionally carries a
+SHA-256 checksum of its rows payload, verified on load: a torn, truncated
+or bit-flipped file — anything that survives JSON parsing but is not what
+was written — is treated as a miss and recomputed, never served.
+
+Persistence itself is best-effort: a cache that cannot be written
+(injected via the ``disk.write`` fault site, or a genuinely full/broken
+disk) degrades the run to uncached, it does not fail it — one bounded
+retry, then :meth:`ResultCache.store` returns ``None`` and the rows flow
+on unpersisted.
 """
 
 from __future__ import annotations
@@ -21,11 +29,18 @@ import os
 import tempfile
 from pathlib import Path
 
+from repro import faults, obs
 from repro.scenarios.spec import Cell, Tags
 
-CACHE_VERSION = 1
+# Version 2: entries carry a rows checksum (verified on load).
+CACHE_VERSION = 2
 
 _PRIMITIVES = (str, int, float, bool, type(None))
+
+#: One retry before a failing store degrades to not-persisting.
+_STORE_RETRIES = 1
+
+_log = obs.get_logger("cache")
 
 
 def cell_key(cell: Cell) -> str:
@@ -53,6 +68,16 @@ def _freeze_rows(rows: object) -> tuple[Tags, ...]:
     )
 
 
+def _rows_payload(rows: object) -> str:
+    """The canonical JSON encoding of an entry's rows — what the entry
+    checksum covers, identical at store and load time."""
+    return json.dumps(rows, separators=(",", ":"))
+
+
+def _rows_checksum(rows_json: str) -> str:
+    return hashlib.sha256(rows_json.encode("utf-8")).hexdigest()
+
+
 class ResultCache:
     """A directory of completed cell results, keyed by :func:`cell_key`."""
 
@@ -65,7 +90,8 @@ class ResultCache:
 
     def load(self, cell: Cell, key: str | None = None) -> tuple[Tags, ...] | None:
         """Return the cell's cached field rows, or ``None`` on any miss
-        (absent, torn, corrupt, or belonging to a different cell).
+        (absent, torn, corrupt, checksum mismatch, or belonging to a
+        different cell).
 
         ``key`` is the cell's precomputed :func:`cell_key`, if the caller
         already has it."""
@@ -80,24 +106,65 @@ class ResultCache:
             or payload.get("params") != [list(pair) for pair in cell.params]
         ):
             return None
+        rows = payload.get("rows")
+        if rows is None:
+            return None
+        if payload.get("checksum") != _rows_checksum(_rows_payload(rows)):
+            # A corrupted entry (truncation caught above by the JSON
+            # parse; bit flips caught here) is discarded so the runner
+            # recomputes instead of serving damaged rows.
+            obs.counter("cache.corrupt_entries")
+            _log.warning("corrupt cache entry", extra={"path": str(path)})
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
         try:
-            return _freeze_rows(payload["rows"])
-        except (KeyError, TypeError, ValueError):
+            return _freeze_rows(rows)
+        except (TypeError, ValueError):
             return None
 
     def store(
         self, cell: Cell, rows: tuple[Tags, ...], key: str | None = None
-    ) -> Path:
-        """Persist a completed cell's rows atomically; returns the path."""
+    ) -> Path | None:
+        """Persist a completed cell's rows atomically; returns the path.
+
+        A write failure (the ``disk.write`` fault site, or a real
+        ``OSError``) is retried once, then the store degrades to a
+        no-op (``None``): caching is an optimisation, never a reason to
+        lose an already-computed result.
+        """
         path = self._path(key or cell_key(cell))
+        rows_raw = [[[key, value] for key, value in row] for row in rows]
+        rows_json = _rows_payload(rows_raw)
         payload = json.dumps(
             {
                 "kind": cell.kind,
                 "params": [[key, value] for key, value in cell.params],
-                "rows": [[[key, value] for key, value in row] for row in rows],
+                "rows": rows_raw,
+                "checksum": _rows_checksum(rows_json),
             },
             separators=(",", ":"),
         )
+        for attempt in range(_STORE_RETRIES + 1):
+            try:
+                if faults.fire("disk.write", key=path.name) is not None:
+                    raise OSError("injected disk write failure")
+                self._write_atomic(path, payload)
+                return path
+            except OSError as error:
+                obs.counter("cache.store_errors")
+                if attempt < _STORE_RETRIES:
+                    obs.counter("faults.retries", site="disk.write")
+                    continue
+                _log.warning(
+                    "cache store failed; continuing uncached",
+                    extra={"path": str(path), "error": str(error)},
+                )
+        return None
+
+    def _write_atomic(self, path: Path, payload: str) -> None:
         # ".tmp" suffix: never matches the "*.json" glob in __len__, so a
         # killed writer can't inflate the completed-cell count.
         fd, tmp_name = tempfile.mkstemp(
@@ -113,7 +180,6 @@ class ResultCache:
             except OSError:
                 pass
             raise
-        return path
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.json"))

@@ -28,10 +28,12 @@ import multiprocessing
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
-from repro import obs
+from repro import faults, obs
+from repro.faults import WorkerCrashError
 from repro.scenarios.cache import ResultCache, cell_key
 from repro.scenarios.cells import execute_cell, warm_workloads
 from repro.scenarios.spec import Cell, Scenario, Tags
@@ -41,6 +43,9 @@ _log = obs.get_logger("runner")
 #: A cell slower than this multiple of the batch mean is logged as a
 #: straggler (process mode only — serial runs have no co-runners to lag).
 _STRAGGLER_FACTOR = 2.0
+
+#: How many times a crashed cell is re-run before the scenario gives up.
+_CELL_RETRIES = 3
 
 
 @dataclass(frozen=True)
@@ -114,7 +119,7 @@ def _record_cell_metrics(cell: Cell, rows, elapsed: float) -> None:
     obs.observe("runner.cell_s", elapsed, kind=cell.kind)
 
 
-def _run_cell_job(cell: Cell):
+def _run_cell_job(cell: Cell, crash: str | None = None):
     """Worker-side cell execution; returns ``(rows, metrics snapshot)``.
 
     The fork-inherited global registry is cleared first, so the snapshot
@@ -123,7 +128,16 @@ def _run_cell_job(cell: Cell):
     the parent merge then sees the same stable content a serial run
     records directly.  Pool workers run jobs sequentially, so clearing
     per job cannot race another cell in this process.
+
+    ``crash`` is the parent's ``cell.crash`` fault decision, made at
+    submission time so per-rule state never diverges across forks:
+    ``"exit"`` dies like a segfault (breaking the pool), any other mode
+    raises the detectable :class:`~repro.faults.WorkerCrashError`.
     """
+    if crash is not None:
+        if crash == "exit":
+            os._exit(3)
+        raise WorkerCrashError(f"injected cell crash ({cell.kind})")
     observing = obs.enabled()
     if observing:
         obs.registry().clear()
@@ -205,6 +219,7 @@ class Runner:
             computed = {}
             for key, cell in keyed_cells.items():
                 _log.info("cell start", extra={"kind": cell.kind})
+                self._survive_serial_crashes(cell)
                 started = time.perf_counter()
                 with obs.span("runner.cell", kind=cell.kind):
                     rows = execute_cell(cell)
@@ -219,6 +234,29 @@ class Runner:
                 self._persist(cell, rows, key=key)
             return computed
         return self._execute_processes(keyed_cells)
+
+    @staticmethod
+    def _survive_serial_crashes(cell: Cell) -> None:
+        """The serial path's ``cell.crash`` seam: there is no worker to
+        kill in-process, so every crash mode degrades to a detectable
+        pre-execution failure — retried with the same cap and counters
+        as the pool path, keeping retry accounting identical."""
+        for attempt in range(_CELL_RETRIES + 1):
+            action = faults.fire("cell.crash", kind=cell.kind)
+            if action is None:
+                return
+            if attempt == _CELL_RETRIES:
+                raise WorkerCrashError(
+                    f"cell {cell.kind} crashed {attempt + 1} times; giving up"
+                )
+            obs.counter("faults.retries", site="cell.crash")
+
+    def _submit_cell(self, executor: ProcessPoolExecutor, cell: Cell):
+        """Submit one cell, consulting the ``cell.crash`` site in the
+        parent (see :func:`_run_cell_job` for why)."""
+        action = faults.fire("cell.crash", kind=cell.kind)
+        crash = None if action is None else str(action.get("mode", "raise"))
+        return executor.submit(_run_cell_job, cell, crash)
 
     def _execute_processes(
         self, keyed_cells: dict[str, Cell]
@@ -237,26 +275,71 @@ class Runner:
         computed: dict[str, tuple[Tags, ...]] = {}
         workers = min(self.jobs, len(keyed_cells))
         durations: dict[str, float] = {}
-        with ProcessPoolExecutor(
-            max_workers=workers, mp_context=context
-        ) as executor:
+        attempts: dict[str, int] = {}
+        deferred: list[str] = []
+        executor = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        try:
             submitted = time.perf_counter()
             futures = {
-                executor.submit(_run_cell_job, cell): key
+                self._submit_cell(executor, cell): key
                 for key, cell in keyed_cells.items()
             }
             _log.info(
                 "batch start",
                 extra={"cells": len(futures), "workers": workers},
             )
-            remaining = set(futures)
             first_error: BaseException | None = None
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+            while futures or deferred:
+                if not futures:
+                    # A hard worker death poisoned the pool; it is fully
+                    # drained now, so rebuild and resubmit every cell it
+                    # took down.
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = ProcessPoolExecutor(
+                        max_workers=workers, mp_context=context
+                    )
+                    futures = {
+                        self._submit_cell(executor, keyed_cells[key]): key
+                        for key in deferred
+                    }
+                    deferred = []
+                    continue
+                done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
                 for future in done:
-                    key = futures[future]
+                    key = futures.pop(future)
                     try:
                         rows, snapshot = future.result()
+                    except (WorkerCrashError, BrokenProcessPool) as error:
+                        # A crashed worker is survivable: re-run the
+                        # cell up to the retry cap.  A hard exit breaks
+                        # the whole pool, so its victims are deferred
+                        # until the pool drains and is rebuilt.
+                        count = attempts.get(key, 0) + 1
+                        attempts[key] = count
+                        if count > _CELL_RETRIES:
+                            if first_error is None:
+                                first_error = error
+                            continue
+                        obs.counter("faults.retries", site="cell.crash")
+                        _log.warning(
+                            "cell crashed; retrying",
+                            extra={
+                                "kind": keyed_cells[key].kind,
+                                "attempt": count,
+                            },
+                        )
+                        if isinstance(error, BrokenProcessPool):
+                            deferred.append(key)
+                        else:
+                            try:
+                                futures[
+                                    self._submit_cell(
+                                        executor, keyed_cells[key]
+                                    )
+                                ] = key
+                            except BrokenProcessPool:
+                                deferred.append(key)
+                        continue
                     except BaseException as error:  # noqa: BLE001
                         # Keep persisting the cells that did complete —
                         # the retry then resumes instead of recomputing
@@ -275,7 +358,7 @@ class Runner:
                         extra={
                             "kind": keyed_cells[key].kind,
                             "dur_s": round(elapsed, 6),
-                            "pending": len(remaining),
+                            "pending": len(futures),
                         },
                     )
                     computed[key] = rows
@@ -284,6 +367,8 @@ class Runner:
                     self._persist(keyed_cells[key], rows, key=key)
             if first_error is not None:
                 raise first_error
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
         if len(durations) > 1:
             mean = sum(durations.values()) / len(durations)
             for key, elapsed in durations.items():

@@ -61,7 +61,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
-from repro import obs
+from repro import faults, obs
 from repro.common.errors import (
     ConfigurationError,
     QuotaExceededError,
@@ -104,6 +104,9 @@ class FrontendConfig:
             identity mode requires 0.
         burst: per-tenant token-bucket capacity.
         max_sessions: global concurrent-session cap (``busy`` beyond).
+        shutdown_grace: seconds a graceful shutdown waits for live
+            sessions to finish their queued batches before cancelling
+            them (:meth:`DedupFrontend.drain`).
     """
 
     max_frame_bytes: int = wire.DEFAULT_MAX_FRAME_BYTES
@@ -113,6 +116,7 @@ class FrontendConfig:
     rate_limit: float = 0.0
     burst: float = 32.0
     max_sessions: int = 4096
+    shutdown_grace: float = 5.0
 
 
 @dataclass
@@ -177,6 +181,13 @@ class DedupFrontend:
             **kwargs,
         )
         self._connections: set[asyncio.Task] = set()
+        # Idempotent retry support: responses to requests that carried a
+        # client-generated ``rid`` are remembered, so a client resending
+        # after a lost response gets the original answer verbatim — the
+        # engine and meter never see the request twice.  Bounded FIFO;
+        # fault-free clients send no rid, so the cache stays empty.
+        self._rid_cache: dict[str, tuple[int, dict]] = {}
+        self.final_stats: dict[str, object] | None = None
 
     # -- the served trace ---------------------------------------------------
 
@@ -261,6 +272,41 @@ class DedupFrontend:
         if tasks:
             await asyncio.gather(*tasks, return_exceptions=True)
         self._connections.clear()
+
+    async def drain(self, grace: float | None = None) -> dict[str, object]:
+        """Graceful shutdown: finish queued batches, then stop.
+
+        The caller has already closed the listener (no new sessions);
+        live sessions keep serving their pipelined frames for up to
+        ``grace`` seconds (``config.shutdown_grace`` by default), then
+        stragglers are cancelled.  The final STATS payload is captured
+        in :attr:`final_stats`, logged, and returned — the serving
+        tier's last words, emitted exactly once per lifetime.
+        """
+        grace = self.config.shutdown_grace if grace is None else grace
+        tasks = [task for task in self._connections if not task.done()]
+        if tasks and grace > 0:
+            done, pending = await asyncio.wait(tasks, timeout=grace)
+            if pending:
+                obs.counter("serve.drain_cancelled", len(pending))
+                _log.warning(
+                    "drain grace expired",
+                    extra={"cancelled_sessions": len(pending)},
+                )
+        await self.shutdown()
+        self.final_stats = self.stats_payload()
+        obs.counter("serve.drains")
+        _log.info(
+            "frontend drained",
+            extra={
+                "sessions_closed": self.stats.sessions_closed,
+                "frames_in": self.stats.frames_in,
+                "frames_out": self.stats.frames_out,
+                "uploads": self.stats.uploads,
+                "restores": self.stats.restores,
+            },
+        )
+        return self.final_stats
 
     async def _pump_frames(
         self, reader: asyncio.StreamReader, queue: asyncio.Queue
@@ -357,6 +403,18 @@ class DedupFrontend:
             frame_name = wire.FRAME_NAMES.get(kind, f"0x{kind:02x}")
             obs.counter("serve.frames", kind=frame_name)
             obs.gauge_max("serve.queue_depth", queue.qsize() + 1, stable=False)
+            # Injected server-side faults: a drop abruptly aborts the
+            # connection (before serving by default, so the request
+            # never executed — or after, exercising the rid-replay
+            # path); a stall delays the response without touching it.
+            drop = faults.fire("serve.drop", kind=frame_name)
+            if drop is not None and drop.get("when", "before") == "before":
+                _log.warning("injected drop", extra={"kind": frame_name})
+                writer.transport.abort()
+                return
+            stall = faults.fire("serve.stall", kind=frame_name)
+            if stall is not None:
+                await asyncio.sleep(float(stall.get("delay_s", 0.05)))
             started = time.perf_counter()
             with obs.span("serve.frame", kind=frame_name):
                 response_kind, response_payload, close_after = self._serve(
@@ -367,6 +425,14 @@ class DedupFrontend:
                 time.perf_counter() - started,
                 kind=frame_name,
             )
+            if drop is not None:
+                # when == "after": the request was served (and its rid
+                # response remembered) but the answer is lost in flight.
+                _log.warning(
+                    "injected drop after serve", extra={"kind": frame_name}
+                )
+                writer.transport.abort()
+                return
             await self._send(writer, response_kind, response_payload)
             if close_after:
                 return
@@ -399,11 +465,13 @@ class DedupFrontend:
                 return wire.OK, self.stats_payload(), False
             if kind == wire.CLOSE:
                 return wire.OK, {"closed": True}, True
-            self.stats.count_error(wire.E_PROTOCOL)
+            # Unreachable for wire traffic (decode_body refuses unknown
+            # kinds before they queue), kept for in-process callers.
+            self.stats.count_error(wire.E_UNKNOWN_KIND)
             return (
                 wire.ERROR,
                 wire.error_payload(
-                    wire.E_PROTOCOL, f"unknown frame kind 0x{kind:02x}"
+                    wire.E_UNKNOWN_KIND, f"unknown frame kind 0x{kind:02x}"
                 ),
                 True,
             )
@@ -436,8 +504,36 @@ class DedupFrontend:
             False,
         )
 
+    # Bounded FIFO over remembered rid responses; old enough entries can
+    # only belong to requests whose retries have long since resolved.
+    _RID_CACHE_LIMIT = 4096
+
+    def _replayed(self, payload: dict) -> tuple[int, dict] | None:
+        """The remembered response for a retried rid, if any."""
+        rid = payload.get("rid")
+        if isinstance(rid, str) and rid in self._rid_cache:
+            obs.counter("serve.rid_replays")
+            return self._rid_cache[rid]
+        return None
+
+    def _remember(self, payload: dict, kind: int, response: dict) -> None:
+        """Remember a rid request's final response for idempotent replay.
+
+        Admission rejections are deliberately *not* remembered — a retry
+        should re-attempt admission, not replay the rejection.
+        """
+        rid = payload.get("rid")
+        if not isinstance(rid, str):
+            return
+        if len(self._rid_cache) >= self._RID_CACHE_LIMIT:
+            self._rid_cache.pop(next(iter(self._rid_cache)))
+        self._rid_cache[rid] = (kind, response)
+
     def _serve_upload(self, payload: dict) -> tuple[int, dict, bool]:
         tenant, round_index, label, backup = wire.parse_upload(payload)
+        replayed = self._replayed(payload)
+        if replayed is not None:
+            return (*replayed, False)
         if not self.admission.admit_request(tenant):
             self.stats.count_error(wire.E_RATE_LIMITED)
             return (
@@ -461,20 +557,25 @@ class DedupFrontend:
         except QuotaExceededError as error:
             self.rejected_uploads += 1
             self.stats.count_error(wire.E_QUOTA)
-            return wire.ERROR, wire.error_payload(wire.E_QUOTA, str(error)), False
+            response = wire.error_payload(wire.E_QUOTA, str(error))
+            self._remember(payload, wire.ERROR, response)
+            return wire.ERROR, response, False
         except ConfigurationError as error:
             self.stats.count_error(wire.E_CONFLICT)
-            return (
-                wire.ERROR,
-                wire.error_payload(wire.E_CONFLICT, str(error)),
-                False,
-            )
+            response = wire.error_payload(wire.E_CONFLICT, str(error))
+            self._remember(payload, wire.ERROR, response)
+            return wire.ERROR, response, False
         self.meter.observe_upload(request, result)
         self.stats.uploads += 1
-        return wire.OK, wire.observables_payload(result.observables), False
+        response = wire.observables_payload(result.observables)
+        self._remember(payload, wire.OK, response)
+        return wire.OK, response, False
 
     def _serve_restore(self, payload: dict) -> tuple[int, dict, bool]:
         tenant, label = wire.parse_restore(payload)
+        replayed = self._replayed(payload)
+        if replayed is not None:
+            return (*replayed, False)
         if not self.admission.admit_request(tenant):
             self.stats.count_error(wire.E_RATE_LIMITED)
             return (
@@ -494,14 +595,14 @@ class DedupFrontend:
             # as not_found — counted identically (skipped_restores).
             self.skipped_restores += 1
             self.stats.count_error(wire.E_NOT_FOUND)
-            return (
-                wire.ERROR,
-                wire.error_payload(wire.E_NOT_FOUND, str(error)),
-                False,
-            )
+            response = wire.error_payload(wire.E_NOT_FOUND, str(error))
+            self._remember(payload, wire.ERROR, response)
+            return wire.ERROR, response, False
         self.meter.observe_restore(observables)
         self.stats.restores += 1
-        return wire.OK, wire.observables_payload(observables), False
+        response = wire.observables_payload(observables)
+        self._remember(payload, wire.OK, response)
+        return wire.OK, response, False
 
     def stats_payload(self) -> dict[str, object]:
         """The STATS response: serving counters + store totals."""
@@ -627,9 +728,13 @@ class FrontendServer:
         try:
             await self._stop
         finally:
+            # Graceful drain: the listener is closed first (no new
+            # sessions), live sessions finish their queued batches up
+            # to the grace period, and the final STATS snapshot lands
+            # in ``frontend.final_stats``.
             server.close()
             await server.wait_closed()
-            await self.frontend.shutdown()
+            await self.frontend.drain()
 
     def stop(self) -> None:
         """Stop the listener and join the serving thread."""

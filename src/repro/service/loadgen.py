@@ -28,12 +28,41 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
-from repro import obs
+from repro import faults, obs
 from repro.common.errors import StorageError
 from repro.datasets.model import Backup
 from repro.service import protocol as wire
 from repro.service.simulate import ServiceConfig, traffic_requests
 from repro.service.traffic import UPLOAD
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped-exponential retry for the frame client.
+
+    ``attempts`` is the total number of tries per request; backoff
+    before retry *i* is :func:`repro.faults.backoff_delay` of attempt
+    ``i`` — capped exponential with jitter drawn deterministically from
+    ``(seed, request id, attempt)``, so retried runs stay reproducible.
+    """
+
+    attempts: int = 5
+    backoff_base: float = 0.01
+    backoff_cap: float = 0.25
+    seed: int = 0
+
+    def delay(self, attempt: int, key: str) -> float:
+        return faults.backoff_delay(
+            attempt,
+            base=self.backoff_base,
+            cap=self.backoff_cap,
+            seed=self.seed,
+            key=key,
+        )
+
+
+class GaveUpError(StorageError):
+    """A request exhausted its retry budget without a final answer."""
 
 
 class FrontendClient:
@@ -42,20 +71,48 @@ class FrontendClient:
     Args:
         address: ``("unix", path)`` or ``("tcp", host, port)``.
         timeout: socket timeout in seconds for connect/send/recv.
+
+    With a :class:`RetryPolicy` (:meth:`request_with_retry`), a dropped
+    connection or fatal transport answer triggers reconnect + re-HELLO
+    (sessions are stateless beyond the handshake, so resume is just a
+    new handshake) and an idempotent resend: the request carries a
+    client-unique ``rid`` the server uses to replay the original
+    response if the first send actually executed.  ``retries``,
+    ``reconnects`` and ``gave_up`` count the policy's work.
     """
 
     def __init__(self, address, timeout: float = 30.0):
         self.address = address
+        self.timeout = timeout
+        self.retries = 0
+        self.reconnects = 0
+        self.gave_up = 0
+        self._hello_client: str | None = None
+        self._connect()
+
+    def _connect(self) -> None:
+        address = self.address
         if address[0] == "unix":
             self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            self._sock.settimeout(timeout)
+            self._sock.settimeout(self.timeout)
             self._sock.connect(address[1])
         elif address[0] == "tcp":
             self._sock = socket.create_connection(
-                (address[1], address[2]), timeout=timeout
+                (address[1], address[2]), timeout=self.timeout
             )
         else:
             raise StorageError(f"unknown address kind {address[0]!r}")
+
+    def reconnect(self) -> None:
+        """Tear down the socket and resume: fresh connection, re-HELLO."""
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._connect()
+        self.reconnects += 1
+        if self._hello_client is not None:
+            self.hello(self._hello_client)
 
     # -- raw transport (the robustness tests poke the framing layer) --------
 
@@ -85,7 +142,65 @@ class FrontendClient:
         self._sock.sendall(wire.encode_frame(kind, payload))
         return self.recv_frame()
 
+    def request_with_retry(
+        self, kind: int, payload: dict, policy: RetryPolicy, rid: str
+    ) -> tuple[int, dict]:
+        """Send idempotently under ``policy``: retry lost connections.
+
+        The payload is stamped with ``rid`` so a resend after a lost
+        *response* replays the server's remembered answer instead of
+        re-executing.  A fatal transport answer (the server closes the
+        connection after it) also retries — the session is gone either
+        way.  Raises :class:`GaveUpError` after the attempt budget.
+        """
+        payload = dict(payload)
+        payload["rid"] = rid
+        failure: Exception | None = None
+        for attempt in range(max(1, policy.attempts)):
+            if attempt:
+                self.retries += 1
+                time.sleep(policy.delay(attempt - 1, rid))
+                try:
+                    self.reconnect()
+                except (OSError, StorageError) as error:
+                    failure = error
+                    continue
+            try:
+                drop = faults.fire("client.drop", rid=rid)
+                if drop is not None:
+                    # Injected client-side connection loss: kill our
+                    # half mid-request, exactly like a flaky network.
+                    self._sock.close()
+                    raise ConnectionError("injected client-side drop")
+                corrupt = faults.fire("client.corrupt", rid=rid)
+                if corrupt is not None:
+                    # Injected stream corruption: a header claiming an
+                    # absurd frame.  The server answers a fatal
+                    # oversized_frame and closes; recover by retrying.
+                    self.send_raw(wire.HEADER.pack(0xFFFFFFF))
+                    self.recv_frame()
+                    raise ConnectionError("injected corrupt frame")
+                response_kind, response = self.request(kind, payload)
+            except (ConnectionError, OSError) as error:
+                failure = error
+                continue
+            if (
+                response_kind == wire.ERROR
+                and response.get("code") in wire.FATAL_CODES
+            ):
+                failure = ConnectionError(
+                    f"fatal server answer: {response.get('code')}"
+                )
+                continue
+            return response_kind, response
+        self.gave_up += 1
+        raise GaveUpError(
+            f"request {rid} gave up after {policy.attempts} attempts: "
+            f"{failure}"
+        )
+
     def hello(self, client: str = "freqdedup-loadgen") -> dict:
+        self._hello_client = client
         kind, payload = self.request(wire.HELLO, wire.hello_payload(client))
         if kind != wire.OK:
             raise StorageError(
@@ -93,6 +208,34 @@ class FrontendClient:
                 f"{payload.get('message')}"
             )
         return payload
+
+    def hello_with_retry(self, client: str, policy: RetryPolicy) -> dict:
+        """HELLO under ``policy``: a dropped handshake reconnects and
+        re-greets.  HELLO opens no state worth replaying, so a plain
+        resend on a fresh connection is already idempotent."""
+        failure: Exception | None = None
+        for attempt in range(max(1, policy.attempts)):
+            if attempt:
+                self.retries += 1
+                time.sleep(policy.delay(attempt - 1, "hello"))
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+                try:
+                    self._connect()
+                    self.reconnects += 1
+                except OSError as error:
+                    failure = error
+                    continue
+            try:
+                return self.hello(client)
+            except (ConnectionError, OSError) as error:
+                failure = error
+        self.gave_up += 1
+        raise GaveUpError(
+            f"HELLO gave up after {policy.attempts} attempts: {failure}"
+        )
 
     def upload(
         self, tenant: int, round_index: int, label: str, backup: Backup
@@ -130,18 +273,32 @@ class FrontendClient:
         self.close(polite=exc_info[0] is None)
 
 
-def _send_request(client: FrontendClient, request) -> tuple[int, dict]:
+def _send_request(
+    client: FrontendClient,
+    request,
+    retry: RetryPolicy | None = None,
+    rid: str | None = None,
+) -> tuple[int, dict]:
     if request.kind == UPLOAD:
-        return client.upload(
+        kind, payload = wire.UPLOAD_BATCH, wire.upload_payload(
             request.tenant, request.round, request.label, request.backup
         )
-    return client.restore(request.tenant, request.restore_label)
+    else:
+        kind, payload = wire.RESTORE, wire.restore_payload(
+            request.tenant, request.restore_label
+        )
+    if retry is None:
+        return client.request(kind, payload)
+    assert rid is not None
+    return client.request_with_retry(kind, payload, retry, rid)
 
 
 # -- identity replay ----------------------------------------------------------
 
 
-def replay_stream(address, config: ServiceConfig) -> dict[str, object]:
+def replay_stream(
+    address, config: ServiceConfig, retry: RetryPolicy | None = None
+) -> dict[str, object]:
     """Replay the full interleaved stream, in order, over one connection.
 
     This is identity mode's client half: the global serving order equals
@@ -149,10 +306,17 @@ def replay_stream(address, config: ServiceConfig) -> dict[str, object]:
     simulator byte for byte.  Quota rejections and failed restores are
     counted exactly the way the simulator counts them.
 
+    With a :class:`RetryPolicy`, every request goes through the
+    idempotent retry path (reconnect, re-HELLO, rid resend) so injected
+    drops and stalls don't break the replay — and because the resends
+    are idempotent, the served trace *still* matches the simulator.
+
     Returns:
         ``{"requests", "uploads", "restores", "rejected_uploads",
         "skipped_restores", "errors"}`` — ``errors`` counts any response
-        code other than the two expected rejection codes.
+        code other than the two expected rejection codes.  With a retry
+        policy, also ``{"retries", "reconnects", "gave_up"}`` (the
+        fault-free report shape is unchanged).
     """
     requests = traffic_requests(config)
     counts = {
@@ -164,9 +328,18 @@ def replay_stream(address, config: ServiceConfig) -> dict[str, object]:
         "errors": 0,
     }
     with FrontendClient(address) as client:
-        client.hello("freqdedup-replay")
-        for request in requests:
-            kind, payload = _send_request(client, request)
+        if retry is None:
+            client.hello("freqdedup-replay")
+        else:
+            client.hello_with_retry("freqdedup-replay", retry)
+        for index, request in enumerate(requests):
+            try:
+                kind, payload = _send_request(
+                    client, request, retry, f"replay-{index}"
+                )
+            except GaveUpError:
+                counts["errors"] += 1
+                continue
             if kind == wire.OK:
                 counts["uploads" if request.kind == UPLOAD else "restores"] += 1
             elif payload.get("code") == wire.E_QUOTA:
@@ -175,6 +348,10 @@ def replay_stream(address, config: ServiceConfig) -> dict[str, object]:
                 counts["skipped_restores"] += 1
             else:
                 counts["errors"] += 1
+        if retry is not None:
+            counts["retries"] = client.retries
+            counts["reconnects"] = client.reconnects
+            counts["gave_up"] = client.gave_up
     return counts
 
 
@@ -192,13 +369,21 @@ class WorkerReport:
     ok: int
     errors: dict[str, int] = field(default_factory=dict)
     latencies: list[float] = field(default_factory=list)
+    # Retry accounting (zero unless the run carried a RetryPolicy).
+    retries: int = 0
+    reconnects: int = 0
+    gave_up: int = 0
     # Client-side metrics snapshot, shipped back for the parent merge
     # (None while metrics are off).
     metrics: dict | None = None
 
 
 def _replay_worker(
-    address, config: ServiceConfig, worker: int, processes: int
+    address,
+    config: ServiceConfig,
+    worker: int,
+    processes: int,
+    retry: RetryPolicy | None = None,
 ) -> WorkerReport:
     """Replay this worker's tenant partition, one session per round.
 
@@ -219,11 +404,23 @@ def _replay_worker(
     for tenant in sorted(by_tenant):
         for round_index in sorted(by_tenant[tenant]):
             with FrontendClient(address) as client:
-                client.hello(f"loadgen-w{worker}")
+                if retry is None:
+                    client.hello(f"loadgen-w{worker}")
+                else:
+                    client.hello_with_retry(f"loadgen-w{worker}", retry)
                 report.sessions += 1
-                for request in by_tenant[tenant][round_index]:
+                for sequence, request in enumerate(
+                    by_tenant[tenant][round_index]
+                ):
+                    rid = f"w{worker}-t{tenant}-r{round_index}-{sequence}"
                     started = time.perf_counter()
-                    kind, payload = _send_request(client, request)
+                    try:
+                        kind, payload = _send_request(
+                            client, request, retry, rid
+                        )
+                    except GaveUpError:
+                        kind = wire.ERROR
+                        payload = {"code": "gave_up"}
                     elapsed = time.perf_counter() - started
                     report.latencies.append(elapsed)
                     report.requests += 1
@@ -244,6 +441,11 @@ def _replay_worker(
                                 code=code,
                                 cls=wire.error_class(code),
                             )
+                report.retries += client.retries
+                report.reconnects += client.reconnects
+                report.gave_up += client.gave_up
+                if registry is not None and client.retries:
+                    registry.counter("loadgen.retries", client.retries)
     if registry is not None:
         report.metrics = registry.snapshot()
     return report
@@ -258,7 +460,10 @@ def percentile(values: list[float], quantile: float) -> float:
 
 
 def run_loadgen(
-    address, config: ServiceConfig, processes: int = 2
+    address,
+    config: ServiceConfig,
+    processes: int = 2,
+    retry: RetryPolicy | None = None,
 ) -> dict[str, object]:
     """Replay ``config``'s traffic from ``processes`` client processes.
 
@@ -276,7 +481,7 @@ def run_loadgen(
     processes = max(1, int(processes))
     started = time.perf_counter()
     if processes == 1:
-        reports = [_replay_worker(address, config, 0, 1)]
+        reports = [_replay_worker(address, config, 0, 1, retry)]
     else:
         with ProcessPoolExecutor(max_workers=processes) as pool:
             reports = list(
@@ -286,6 +491,7 @@ def run_loadgen(
                     [config] * processes,
                     range(processes),
                     [processes] * processes,
+                    [retry] * processes,
                 )
             )
     elapsed = time.perf_counter() - started
@@ -300,7 +506,20 @@ def run_loadgen(
             errors_by_class[wire.error_class(code)] += count
         obs.merge_snapshot(report.metrics)
     requests = sum(report.requests for report in reports)
+    retry_section = (
+        {
+            "retries": {
+                "attempts": retry.attempts,
+                "retries": sum(report.retries for report in reports),
+                "reconnects": sum(report.reconnects for report in reports),
+                "gave_up": sum(report.gave_up for report in reports),
+            }
+        }
+        if retry is not None
+        else {}
+    )
     return {
+        **retry_section,
         "processes": processes,
         "tenants": sum(report.tenants for report in reports),
         "sessions": sum(report.sessions for report in reports),

@@ -83,20 +83,26 @@ E_BUSY = "busy"
 E_OVERSIZED = "oversized_frame"
 E_IDLE = "idle_timeout"
 E_PROTOCOL = "protocol"
+E_UNKNOWN_KIND = "unknown_frame_kind"
 
-FATAL_CODES = frozenset({E_OVERSIZED, E_IDLE, E_PROTOCOL})
+FATAL_CODES = frozenset({E_OVERSIZED, E_IDLE, E_PROTOCOL, E_UNKNOWN_KIND})
 
 # Every error code falls into exactly one class: admission rejections
-# (the token bucket, quota, or queue said no — retry later), transport
-# violations (fatal, connection closed after the answer), and session
-# errors (the request was wrong but the session survives).
+# (the token bucket, quota, or queue said no — retry later), garbage
+# (a frame kind outside the protocol — a corrupted stream or a peer
+# speaking something else entirely; fatal, and classed on its own so
+# corruption is distinguishable from protocol-aware transport abuse),
+# transport violations (fatal, connection closed after the answer),
+# and session errors (the request was wrong but the session survives).
 ADMISSION_CODES = frozenset({E_RATE_LIMITED, E_QUOTA, E_BUSY})
+GARBAGE_CODES = frozenset({E_UNKNOWN_KIND})
 
 CLASS_ADMISSION = "admission"
+CLASS_GARBAGE = "garbage"
 CLASS_SESSION = "session"
 CLASS_TRANSPORT = "transport"
 
-ERROR_CLASSES = (CLASS_ADMISSION, CLASS_SESSION, CLASS_TRANSPORT)
+ERROR_CLASSES = (CLASS_ADMISSION, CLASS_GARBAGE, CLASS_SESSION, CLASS_TRANSPORT)
 
 
 def error_class(code: str) -> str:
@@ -104,6 +110,8 @@ def error_class(code: str) -> str:
     session errors — survivable and visible, never silently fatal)."""
     if code in ADMISSION_CODES:
         return CLASS_ADMISSION
+    if code in GARBAGE_CODES:
+        return CLASS_GARBAGE
     if code in FATAL_CODES:
         return CLASS_TRANSPORT
     return CLASS_SESSION
@@ -133,12 +141,19 @@ def decode_body(body: bytes) -> tuple[int, dict]:
     """Decode a frame body (everything after the length header).
 
     Raises:
-        ProtocolError: the body is empty, the payload is not valid JSON,
-            or the payload is not a JSON object.
+        ProtocolError: the body is empty, the kind byte is not a frame
+            kind this protocol defines (``unknown_frame_kind`` — the
+            stream is corrupt or the peer speaks something else, so the
+            code is fatal and classed as garbage), the payload is not
+            valid JSON, or the payload is not a JSON object.
     """
     if not body:
         raise ProtocolError("empty frame body", code=E_PROTOCOL)
     kind = body[0]
+    if kind not in FRAME_NAMES:
+        raise ProtocolError(
+            f"unknown frame kind 0x{kind:02x}", code=E_UNKNOWN_KIND
+        )
     try:
         payload = json.loads(body[1:].decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:

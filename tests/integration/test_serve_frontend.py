@@ -178,14 +178,18 @@ class TestProtocolRobustness:
             assert kind == wire.OK
 
     def test_unknown_frame_kind_is_fatal(self, frontend_address):
-        _, address = frontend_address
+        # An undefined kind byte means the stream is garbage (corrupt,
+        # or not this protocol at all): dedicated code, fatal, and
+        # classed as "garbage" rather than generic transport abuse.
+        frontend, address = frontend_address
         with FrontendClient(address) as client:
             client.hello()
             kind, payload = client.request(0x7F, {})
             assert kind == wire.ERROR
-            assert payload["code"] == wire.E_PROTOCOL
+            assert payload["code"] == wire.E_UNKNOWN_KIND
             with pytest.raises(ConnectionError):
                 client.request(wire.STATS, {})
+        assert frontend.stats.errors_by_class[wire.CLASS_GARBAGE] == 1
 
     def test_oversized_frame_refused_without_reading(self):
         config = ServiceConfig(tenants=4, rounds=2, seed=1)

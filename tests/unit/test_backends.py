@@ -185,6 +185,77 @@ class TestPersistence:
         reopened.close()
 
 
+class TestSQLiteLockedRetry:
+    """The busy-timeout + bounded-retry path for concurrent writers."""
+
+    def test_busy_timeout_validated(self):
+        with pytest.raises(ConfigurationError):
+            SQLiteBackend(busy_timeout_s=-1.0)
+
+    def test_busy_timeout_pragma_applied(self, tmp_path):
+        with SQLiteBackend(
+            tmp_path / "store.db", busy_timeout_s=2.5
+        ) as store:
+            (timeout_ms,) = store._conn.execute(
+                "PRAGMA busy_timeout"
+            ).fetchone()
+            assert timeout_ms == 2500
+
+    def test_transient_lock_is_retried(self, tmp_path):
+        import sqlite3
+
+        store = SQLiteBackend(tmp_path / "store.db")
+        calls = []
+
+        def flaky_drain():
+            calls.append(1)
+            if len(calls) < 3:
+                raise sqlite3.OperationalError("database is locked")
+            return "committed"
+
+        assert store._write_retry(flaky_drain) == "committed"
+        assert len(calls) == 3
+        store.close()
+
+    def test_non_lock_errors_propagate_untouched(self, tmp_path):
+        import sqlite3
+
+        store = SQLiteBackend(tmp_path / "store.db")
+
+        def broken():
+            raise sqlite3.OperationalError("no such table: kv")
+
+        with pytest.raises(sqlite3.OperationalError):
+            store._write_retry(broken)
+        store.close()
+
+    def test_persistent_lock_surfaces_storage_error(
+        self, tmp_path, monkeypatch
+    ):
+        import sqlite3
+
+        import repro.index.backends as backends_module
+
+        # No real sleeping through the exponential backoff schedule.
+        monkeypatch.setattr(backends_module.time, "sleep", lambda _s: None)
+        path = tmp_path / "store.db"
+        store = SQLiteBackend(path, busy_timeout_s=0.005)
+        store.put(b"k", b"v")
+        # A second connection holds an exclusive write lock across every
+        # retry, so the drain must give up with a clean StorageError
+        # rather than leaking sqlite3.OperationalError upward.
+        blocker = sqlite3.connect(path, timeout=0.005)
+        blocker.execute("PRAGMA busy_timeout = 5")
+        blocker.execute("BEGIN EXCLUSIVE")
+        try:
+            with pytest.raises(StorageError):
+                store.flush()
+        finally:
+            blocker.rollback()
+            blocker.close()
+            store.close()
+
+
 class TestShardedBackend:
     def test_partitions_across_shards(self):
         shards = [MemoryBackend() for _ in range(4)]

@@ -1,0 +1,203 @@
+"""Tests for the deterministic fault-injection plane (repro.faults)."""
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.common.errors import ConfigurationError
+from repro.faults import (
+    FaultPlan,
+    FaultRule,
+    Injector,
+    backoff_delay,
+    load_plan,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    """No test leaves a plan installed for the rest of the suite."""
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def plan(*rules, seed=0):
+    return FaultPlan(
+        seed=seed, rules=tuple(FaultRule.from_dict(rule) for rule in rules)
+    )
+
+
+class TestRuleSchema:
+    def test_roundtrip_preserves_triggers_and_params(self):
+        raw = {
+            "site": "node.kill",
+            "at": 5,
+            "times": 1,
+            "node": 2,
+            "match": {"kind": "upload_batch"},
+        }
+        rule = FaultRule.from_dict(raw)
+        assert rule.site == "node.kill"
+        assert rule.at == 5
+        assert rule.times == 1
+        assert rule.match == {"kind": "upload_batch"}
+        # Non-trigger keys ride along as free-form action params.
+        assert rule.params == {"node": 2}
+        assert rule.to_dict() == raw
+
+    def test_plan_roundtrip(self):
+        original = plan(
+            {"site": "serve.drop", "every": 37},
+            {"site": "client.drop", "probability": 0.25, "times": 3},
+            seed=11,
+        )
+        assert FaultPlan.from_dict(original.to_dict()) == original
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            {},  # no site
+            {"site": "x", "at": 0},
+            {"site": "x", "every": 0},
+            {"site": "x", "after": -1},
+            {"site": "x", "probability": 1.5},
+            {"site": "x", "times": 0},
+            {"site": "x", "match": "not-a-dict"},
+        ],
+    )
+    def test_invalid_rules_refused(self, raw):
+        with pytest.raises(ConfigurationError):
+            FaultRule.from_dict(raw)
+
+    def test_load_plan_from_json_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(
+            json.dumps(
+                {"seed": 9, "rules": [{"site": "serve.stall", "at": 2}]}
+            )
+        )
+        loaded = load_plan(path)
+        assert loaded.seed == 9
+        assert loaded.rules[0].site == "serve.stall"
+
+    def test_load_plan_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("{nope")
+        with pytest.raises(ConfigurationError):
+            load_plan(path)
+
+
+class TestTriggers:
+    def fired_events(self, injector, site, count, **tags):
+        return [
+            event
+            for event in range(1, count + 1)
+            if injector.fire(site, **tags) is not None
+        ]
+
+    def test_at_fires_exactly_once(self):
+        injector = Injector(plan({"site": "s", "at": 3}))
+        assert self.fired_events(injector, "s", 10) == [3]
+
+    def test_every_fires_periodically(self):
+        injector = Injector(plan({"site": "s", "every": 4}))
+        assert self.fired_events(injector, "s", 12) == [4, 8, 12]
+
+    def test_after_fires_on_every_later_event(self):
+        injector = Injector(plan({"site": "s", "after": 7}))
+        assert self.fired_events(injector, "s", 10) == [8, 9, 10]
+
+    def test_times_caps_firings(self):
+        injector = Injector(plan({"site": "s", "every": 2, "times": 2}))
+        assert self.fired_events(injector, "s", 10) == [2, 4]
+
+    def test_sites_count_independently(self):
+        injector = Injector(plan({"site": "a", "at": 2}, {"site": "b", "at": 2}))
+        assert injector.fire("a") is None
+        assert injector.fire("b") is None
+        assert injector.fire("a") is not None
+        assert injector.fire("b") is not None
+
+    def test_match_filters_on_tags(self):
+        injector = Injector(
+            plan({"site": "s", "match": {"kind": "upload_batch"}, "times": 1})
+        )
+        assert injector.fire("s", kind="restore") is None
+        assert injector.fire("s", kind="upload_batch") is not None
+
+    def test_first_matching_rule_wins_and_params_flow(self):
+        injector = Injector(
+            plan(
+                {"site": "s", "at": 2, "mode": "exit"},
+                {"site": "s", "mode": "raise"},
+            )
+        )
+        first = injector.fire("s")
+        second = injector.fire("s")
+        assert first.get("mode") == "raise"  # rule 0 requires event 2
+        assert second.get("mode") == "exit"
+        assert second.rule_index == 0
+
+    def test_probability_is_deterministic_across_injectors(self):
+        schedule = plan({"site": "s", "probability": 0.3}, seed=42)
+        left = Injector(schedule)
+        right = Injector(schedule)
+        fired_left = [left.fire("s") is not None for _ in range(200)]
+        fired_right = [right.fire("s") is not None for _ in range(200)]
+        assert fired_left == fired_right
+        assert 20 < sum(fired_left) < 120  # p=0.3 over 200 events
+
+    def test_probability_depends_on_seed(self):
+        base = {"site": "s", "probability": 0.3}
+        left = Injector(plan(dict(base), seed=1))
+        right = Injector(plan(dict(base), seed=2))
+        assert [left.fire("s") is not None for _ in range(200)] != [
+            right.fire("s") is not None for _ in range(200)
+        ]
+
+    def test_summary_accounts_events_and_firings(self):
+        injector = Injector(plan({"site": "s", "every": 2}))
+        for _ in range(5):
+            injector.fire("s")
+        injector.fire("other")
+        summary = injector.summary()
+        assert summary["sites"]["s"] == {"events": 5, "fired": 2}
+        assert summary["sites"]["other"] == {"events": 1, "fired": 0}
+        assert summary["rules"][0]["fired"] == 2
+
+
+class TestGlobalSwitchboard:
+    def test_fire_is_noop_without_plan(self):
+        assert faults.active() is None
+        assert faults.fire("anything") is None
+
+    def test_install_and_clear(self):
+        injector = faults.install(plan({"site": "s", "at": 1}))
+        assert faults.active() is injector
+        assert faults.fire("s") is not None
+        faults.clear()
+        assert faults.active() is None
+        assert faults.fire("s") is None
+
+
+class TestBackoff:
+    def test_deterministic_for_same_key(self):
+        delays = [backoff_delay(a, seed=3, key="rid-1") for a in range(5)]
+        again = [backoff_delay(a, seed=3, key="rid-1") for a in range(5)]
+        assert delays == again
+
+    def test_grows_exponentially_then_caps(self):
+        base, cap = 0.01, 0.25
+        for attempt in range(10):
+            delay = backoff_delay(attempt, base=base, cap=cap, key="k")
+            ceiling = min(cap, base * 2**attempt)
+            assert 0.5 * ceiling <= delay <= ceiling
+
+    def test_jitter_varies_by_key(self):
+        assert backoff_delay(2, key="a") != backoff_delay(2, key="b")
+
+    def test_negative_attempt_refused(self):
+        with pytest.raises(ConfigurationError):
+            backoff_delay(-1)

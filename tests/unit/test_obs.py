@@ -288,8 +288,13 @@ class TestErrorClasses:
         assert wire.error_class(wire.E_RATE_LIMITED) == wire.CLASS_ADMISSION
         assert wire.error_class(wire.E_QUOTA) == wire.CLASS_ADMISSION
         assert wire.error_class(wire.E_BUSY) == wire.CLASS_ADMISSION
-        for code in wire.FATAL_CODES:
+        for code in wire.FATAL_CODES - wire.GARBAGE_CODES:
             assert wire.error_class(code) == wire.CLASS_TRANSPORT
+        # Garbage (an undefined frame kind) is fatal but classed on its
+        # own, so stream corruption is distinguishable from
+        # protocol-aware transport abuse.
+        assert wire.error_class(wire.E_UNKNOWN_KIND) == wire.CLASS_GARBAGE
+        assert wire.E_UNKNOWN_KIND in wire.FATAL_CODES
         assert wire.error_class(wire.E_NOT_FOUND) == wire.CLASS_SESSION
         assert wire.error_class("never-seen-before") == wire.CLASS_SESSION
 
@@ -304,10 +309,13 @@ class TestErrorClasses:
             stats.count_error(code)
         assert stats.errors_by_class == {
             wire.CLASS_ADMISSION: 2,
+            wire.CLASS_GARBAGE: len(wire.GARBAGE_CODES),
             wire.CLASS_SESSION: 1,
-            wire.CLASS_TRANSPORT: len(wire.FATAL_CODES),
+            wire.CLASS_TRANSPORT: len(
+                wire.FATAL_CODES - wire.GARBAGE_CODES
+            ),
         }
-        # All three classes are pre-seeded so the STATS frame shape is
+        # All four classes are pre-seeded so the STATS frame shape is
         # stable even before any error occurs.
         assert set(FrontendStats().errors_by_class) == set(wire.ERROR_CLASSES)
 

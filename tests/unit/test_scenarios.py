@@ -303,6 +303,76 @@ class TestResultCache:
         assert loaded == rows
         assert json.dumps(loaded) == json.dumps(rows)
 
+    def test_truncated_entry_detected_and_recomputed(self, tmp_path):
+        # Truncation tears the JSON, which the parse already catches —
+        # but a truncated-then-"repaired" file (valid JSON, damaged
+        # rows) must fall to the checksum.
+        cache = ResultCache(tmp_path)
+        cell = Cell(kind="echo", params=(("x", 1),))
+        path = cache.store(cell, ((("value", 2), ("rate", 0.5)),))
+        raw = path.read_text(encoding="utf-8")
+        path.write_text(raw[: len(raw) // 2], encoding="utf-8")
+        assert cache.load(cell) is None
+
+    def test_bit_flip_detected_discarded_recomputed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = Cell(kind="echo", params=(("x", 1),))
+        rows = ((("value", 271828),),)
+        path = cache.store(cell, rows)
+        # Flip one digit inside the rows payload: still valid JSON, still
+        # this cell's kind/params, but not what was computed.
+        damaged = path.read_text(encoding="utf-8").replace("271828", "271829")
+        path.write_text(damaged, encoding="utf-8")
+        assert cache.load(cell) is None
+        # The corrupt entry was discarded on detection...
+        assert len(cache) == 0
+        # ...so recomputing and re-storing serves clean rows again.
+        cache.store(cell, rows)
+        assert cache.load(cell) == rows
+
+    def test_version1_entries_miss_after_checksum_upgrade(self, tmp_path):
+        # Entries written before CACHE_VERSION 2 carry no checksum; the
+        # version bump re-keys them so they miss instead of loading.
+        cache = ResultCache(tmp_path)
+        cell = Cell(kind="echo", params=(("x", 1),))
+        legacy = {
+            "kind": "echo",
+            "params": [["x", 1]],
+            "rows": [[["value", 2]]],
+        }
+        cache._path(cell_key(cell)).write_text(
+            json.dumps(legacy), encoding="utf-8"
+        )
+        assert cache.load(cell) is None
+
+    def test_store_survives_injected_disk_errors(self, tmp_path):
+        from repro import faults
+
+        cache = ResultCache(tmp_path)
+        cell = Cell(kind="echo", params=(("x", 1),))
+        rows = ((("value", 2),),)
+        try:
+            # First write attempt fails, the bounded retry lands it.
+            faults.install(
+                faults.FaultPlan.from_dict(
+                    {"rules": [{"site": "disk.write", "at": 1, "times": 1}]}
+                )
+            )
+            assert cache.store(cell, rows) is not None
+            assert cache.load(cell) == rows
+            # A persistently failing disk degrades the store to a no-op
+            # instead of raising: the rows are computed, just uncached.
+            other = Cell(kind="echo", params=(("x", 2),))
+            faults.install(
+                faults.FaultPlan.from_dict(
+                    {"rules": [{"site": "disk.write"}]}
+                )
+            )
+            assert cache.store(other, rows) is None
+            assert cache.load(other) is None
+        finally:
+            faults.clear()
+
 
 class TestRowsFrom:
     def test_fields_shadow_tags(self):
@@ -415,6 +485,50 @@ class TestRunner:
     def test_jobs_validated(self):
         with pytest.raises(ValueError):
             Runner(jobs=0)
+
+    @pytest.mark.parametrize("mode", ("raise", "exit"))
+    @pytest.mark.parametrize("jobs", (1, 2))
+    def test_injected_cell_crash_retried_identically(
+        self, echo_kind, jobs, mode
+    ):
+        from repro import faults
+
+        cells = echo_cells([4, 5, 6, 7])
+        clean = Runner(jobs=jobs).run_cells(cells)
+        try:
+            faults.install(
+                faults.FaultPlan.from_dict(
+                    {
+                        "rules": [
+                            {
+                                "site": "cell.crash",
+                                "at": 2,
+                                "times": 1,
+                                "mode": mode,
+                            }
+                        ]
+                    }
+                )
+            )
+            crashed = Runner(jobs=jobs).run_cells(cells)
+        finally:
+            faults.clear()
+        assert [r.rows for r in crashed] == [r.rows for r in clean]
+
+    def test_cell_crash_exhausts_retries(self, echo_kind):
+        from repro import faults
+        from repro.faults import WorkerCrashError
+
+        try:
+            faults.install(
+                faults.FaultPlan.from_dict(
+                    {"rules": [{"site": "cell.crash"}]}  # crash every time
+                )
+            )
+            with pytest.raises(WorkerCrashError):
+                Runner(jobs=1).run_cells(echo_cells([1]))
+        finally:
+            faults.clear()
 
 
 class TestBuildAttack:
