@@ -1,0 +1,148 @@
+"""Defense-frontier bench: the tunable leakage/cost sweep as a gate.
+
+Runs the ``defense_frontier`` grid (:mod:`repro.analysis.frontier`) and
+asserts the acceptance properties the committed
+``BENCH_defense_frontier.json`` baseline demonstrates:
+
+1. **Leakage monotonicity** — attack inference is non-increasing in the
+   obfuscation knob ``t``, and dedup-signal recall is non-increasing in
+   the randomized-response knob ``p`` (sample-wise, not just in
+   expectation — the shaping layer's CRN coupling makes this exact).
+2. **Cost provenance** — every row's cost columns (stored/transferred
+   bytes) are populated from the ``frontier.*`` counters the cells
+   record through :mod:`repro.obs`; an empty cost column means the
+   metrics plumbing broke.
+3. **Drift** (``--compare``) — rows shared with the committed baseline
+   must match exactly (the grid is deterministic); the baseline is
+   pruned to the rows the current grid produced, so a ``--quick`` smoke
+   subset gates against the full committed report.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_defense_frontier.py \
+        [--quick] [--jobs N] [--output FILE] [--compare BASELINE]
+
+``--quick`` shrinks to the CI smoke grid (2 obfuscation knobs x 2
+attacks, one shaping policy against its honest anchor).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.analysis.frontier import (
+    DEFAULT_ATTACKS,
+    DEFAULT_DATASETS,
+    DEFAULT_POLICIES,
+    DEFAULT_SCHEMES,
+    compare_reports,
+    frontier_report,
+)
+
+QUICK_SCHEMES = ("obfuscate:2", "obfuscate:4")
+QUICK_ATTACKS = ("basic", "locality")
+QUICK_POLICIES = ("honest", "rr:0.5")
+
+_IDENTITY = {
+    "storage": ("dataset", "scheme", "attack"),
+    "bandwidth": ("scheme", "policy"),
+}
+
+
+def prune_baseline(baseline: dict, current: dict) -> dict:
+    """The baseline restricted to the rows the current grid produced,
+    so a smoke subset compares against the full committed report."""
+    pruned = dict(baseline)
+    for section, identity in _IDENTITY.items():
+        produced = {
+            tuple(row[key] for key in identity)
+            for row in current.get(section, ())
+        }
+        pruned[section] = [
+            row
+            for row in baseline.get(section, ())
+            if tuple(row[key] for key in identity) in produced
+        ]
+    return pruned
+
+
+def check_monotonicity(report: dict) -> list[str]:
+    problems = []
+    for section in ("storage", "bandwidth"):
+        entries = report["monotonicity"][section]
+        if not entries:
+            problems.append(f"{section}: no monotonicity axis evaluated")
+        for entry in entries:
+            if not entry["non_increasing"]:
+                problems.append(f"{section}: monotonicity violated: {entry}")
+    return problems
+
+
+def check_cost_columns(report: dict) -> list[str]:
+    problems = []
+    for row in report["storage"]:
+        if not row.get("stored_bytes") or not row.get("baseline_bytes"):
+            problems.append(f"storage: empty cost columns in {row}")
+    for row in report["bandwidth"]:
+        if not row.get("transferred_bytes") or not row.get("honest_bytes"):
+            problems.append(f"bandwidth: empty cost columns in {row}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--output", metavar="FILE")
+    parser.add_argument("--compare", metavar="FILE")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        schemes, attacks, policies = (
+            QUICK_SCHEMES, QUICK_ATTACKS, QUICK_POLICIES,
+        )
+    else:
+        schemes, attacks, policies = (
+            DEFAULT_SCHEMES, DEFAULT_ATTACKS, DEFAULT_POLICIES,
+        )
+
+    started = time.perf_counter()
+    report = frontier_report(
+        datasets=DEFAULT_DATASETS,
+        schemes=schemes,
+        attacks=attacks,
+        policies=policies,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+    elapsed = time.perf_counter() - started
+    print(
+        f"frontier grid: {len(report['storage'])} storage rows, "
+        f"{len(report['bandwidth'])} bandwidth rows in {elapsed:.1f}s"
+    )
+
+    problems = check_monotonicity(report) + check_cost_columns(report)
+    if args.compare:
+        with open(args.compare, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        drifts = compare_reports(report, prune_baseline(baseline, report))
+        problems += [f"drift vs {args.compare}: {drift}" for drift in drifts]
+        if not drifts:
+            print(f"no drift vs {args.compare}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote -> {args.output}")
+
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

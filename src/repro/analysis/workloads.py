@@ -141,9 +141,15 @@ def series_chunking(name: str) -> str:
 
 @lru_cache(maxsize=None)
 def encrypted_series(
-    dataset: str, scheme: DefenseScheme = DefenseScheme.MLE
+    dataset: str, scheme: DefenseScheme | str = DefenseScheme.MLE
 ) -> EncryptedSeries:
-    """Memoised defense-pipeline output for a canonical dataset."""
+    """Memoised defense-pipeline output for a canonical dataset.
+
+    ``scheme`` takes anything :class:`DefensePipeline` accepts: an enum
+    member, a plain name, or a parameterized obfuscation spec like
+    ``"obfuscate:4"`` (``DefenseScheme`` is a str-enum, so enum and
+    plain-name spellings share one cache entry).
+    """
     series = series_by_name(dataset)
     pipeline = DefensePipeline(
         scheme, segmentation=scaled_segmentation(series), seed=7

@@ -16,6 +16,9 @@ Subcommands:
   asyncio framed-protocol frontend: multi-process load generation with
   req/s + latency percentiles, or ``--identity`` differential replay
   against the simulator.
+* ``frontier`` — sweep the tunable defenses (``obfuscate:t`` encryption,
+  dedup-response shaping) into a leakage/cost tradeoff frontier with
+  cost columns sourced from the ``repro.obs`` metrics layer.
 * ``storage`` — run the DDFS metadata-access experiment.
 * ``bench`` — time the hot paths (chunking, COUNT, service ingest)
   against their reference implementations and write the
@@ -281,6 +284,17 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=[scheme.value for scheme in DefenseScheme],
         default="mle",
     )
+    attack.add_argument(
+        "--obfuscate-t",
+        type=_positive_int,
+        default=None,
+        metavar="T",
+        help=(
+            "ciphertext variants per plaintext chunk for --scheme "
+            "obfuscate (default 2); higher flattens the COUNT histogram "
+            "at the cost of per-variant dedup"
+        ),
+    )
     attack.add_argument("--auxiliary", type=int, default=-2)
     attack.add_argument("--target", type=int, default=-1)
     attack.add_argument("--leakage-rate", type=float, default=0.0)
@@ -463,6 +477,24 @@ def _build_parser() -> argparse.ArgumentParser:
         default="mle",
     )
     serve.add_argument(
+        "--obfuscate-t",
+        type=_positive_int,
+        default=None,
+        metavar="T",
+        help="ciphertext variants for --scheme obfuscate (default 2)",
+    )
+    serve.add_argument(
+        "--shaping",
+        default="honest",
+        metavar="SPEC",
+        help=(
+            "dedup-response shaping policy: 'honest' (default), 'rr:P' "
+            "(re-request each deduplicated chunk with probability P), or "
+            "'quantize:B' (pad each upload's transfer to a multiple of "
+            "B bytes); shaping pads the wire, never the store"
+        ),
+    )
+    serve.add_argument(
         "--attack",
         choices=("basic", "locality", "advanced"),
         default="advanced",
@@ -574,6 +606,23 @@ def _build_parser() -> argparse.ArgumentParser:
         default="mle",
     )
     net.add_argument(
+        "--obfuscate-t",
+        type=_positive_int,
+        default=None,
+        metavar="T",
+        help="ciphertext variants for --scheme obfuscate (default 2)",
+    )
+    net.add_argument(
+        "--shaping",
+        default="honest",
+        metavar="SPEC",
+        help=(
+            "dedup-response shaping policy ('honest', 'rr:P', "
+            "'quantize:B'); shaped responses stay byte-identical "
+            "between the socket frontend and the simulator"
+        ),
+    )
+    net.add_argument(
         "--quota-mib",
         type=float,
         default=None,
@@ -636,6 +685,81 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(net)
     _add_faults_flag(net)
+
+    frontier = sub.add_parser(
+        "frontier",
+        help="sweep the tunable defenses into a leakage/cost frontier",
+        description=(
+            "Run the defense-frontier grid: every scheme spec through "
+            "the encrypted workloads (COUNT inference rate, frequency-"
+            "KLD flatness, storage overhead) and every shaping policy "
+            "through the service simulator (dedup-signal recall, "
+            "bandwidth overhead). Cost columns come from the repro.obs "
+            "metrics the cells record. Deterministic at any --jobs."
+        ),
+    )
+    frontier.add_argument(
+        "--datasets", default="fsl", metavar="LIST",
+        help="comma-separated canonical datasets (default fsl)",
+    )
+    frontier.add_argument(
+        "--schemes",
+        default="mle,minhash,combined,obfuscate:1,obfuscate:2,"
+        "obfuscate:4,obfuscate:8",
+        metavar="LIST",
+        help=(
+            "comma-separated scheme specs for the storage axis; "
+            "parameterized 'obfuscate:T' specs supply the tunable sweep"
+        ),
+    )
+    frontier.add_argument(
+        "--attacks", default="basic,locality", metavar="LIST",
+        help="comma-separated attacks scored per scheme",
+    )
+    frontier.add_argument(
+        "--policies",
+        default="honest,rr:0.25,rr:0.5,rr:1,quantize:4096,quantize:16384",
+        metavar="LIST",
+        help="comma-separated shaping policy specs for the bandwidth axis",
+    )
+    frontier.add_argument(
+        "--service-schemes", default="mle", metavar="LIST",
+        help="schemes the bandwidth-axis service runs under (default mle)",
+    )
+    frontier.add_argument(
+        "--tenants", type=_positive_int, default=8,
+        help="bandwidth-axis population size (default 8)",
+    )
+    frontier.add_argument("--seed", type=int, default=7)
+    frontier.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="worker processes for the grid (report identical at any N)",
+    )
+    frontier.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "CI grid: 2 obfuscation knobs x 2 attacks plus one shaping "
+            "policy (overrides the axis lists)"
+        ),
+    )
+    frontier.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help=(
+            "write the JSON report to FILE "
+            "(default BENCH_defense_frontier.json; '-' skips the write)"
+        ),
+    )
+    frontier.add_argument(
+        "--compare",
+        metavar="FILE",
+        help=(
+            "diff rows against a baseline frontier report (env envelope "
+            "ignored); exit 1 on drift"
+        ),
+    )
 
     storage = sub.add_parser(
         "storage", help="run the DDFS metadata-access experiment"
@@ -824,6 +948,35 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scheme_spec(args: argparse.Namespace) -> str:
+    """The scheme spec string an ``--scheme``/``--obfuscate-t`` pair names.
+
+    ``--obfuscate-t`` only parameterizes the obfuscation family; on any
+    other scheme it is a silent no-op guarded by a stderr warning, like
+    the other inapplicable-flag warnings in this module.
+    """
+    obfuscate_t = getattr(args, "obfuscate_t", None)
+    if args.scheme == "obfuscate" and obfuscate_t is not None:
+        return f"obfuscate:{obfuscate_t}"
+    if obfuscate_t is not None:
+        print(
+            "warning: --obfuscate-t has no effect without "
+            "--scheme obfuscate",
+            file=sys.stderr,
+        )
+    return args.scheme
+
+
+def _shaping_spec(args: argparse.Namespace) -> str:
+    """Validate and canonicalize the ``--shaping`` policy spec."""
+    from repro.service.shaping import parse_policy
+
+    try:
+        return parse_policy(args.shaping).spec()
+    except ConfigurationError as error:
+        raise SystemExit(str(error)) from None
+
+
 def _cmd_attack(args: argparse.Namespace) -> int:
     if (args.dataset is None) == (args.columnar is None):
         raise SystemExit(
@@ -858,8 +1011,9 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         )
     if args.nodes > 1:
         return _run_partial_view_attack(args)
-    scheme = DefenseScheme(args.scheme)
-    evaluator = AttackEvaluator(encrypted_series(args.dataset, scheme))
+    evaluator = AttackEvaluator(
+        encrypted_series(args.dataset, _scheme_spec(args))
+    )
     if args.attack == "basic":
         attack = BasicAttack()
     elif args.workdir and args.attack == "locality":
@@ -947,8 +1101,8 @@ def _run_partial_view_attack(args: argparse.Namespace) -> int:
     from repro.scenarios.cells import build_attack
     from repro.scenarios.spec import _resolve_index
 
-    scheme = DefenseScheme(args.scheme)
-    encrypted = encrypted_series(args.dataset, scheme)
+    spec = _scheme_spec(args)
+    encrypted = encrypted_series(args.dataset, spec)
     length = len(encrypted)
 
     def resolve(index: int) -> int:
@@ -965,7 +1119,7 @@ def _run_partial_view_attack(args: argparse.Namespace) -> int:
         nodes=args.nodes,
         routing=args.routing,
         compromised_node=args.compromised_node,
-        scheme=scheme.value,
+        scheme=spec,
         leakage_rate=args.leakage_rate,
         seed=args.seed,
     )
@@ -1017,12 +1171,14 @@ def _validate_sweep_axes(datasets, schemes, attacks) -> None:
             raise SystemExit(
                 f"unknown dataset {dataset!r}; choose from {sorted(_DATASETS)}"
             )
-    valid_schemes = {scheme.value for scheme in DefenseScheme}
+    from repro.defenses.obfuscate import parse_scheme
+
     for scheme in schemes:
-        if scheme not in valid_schemes:
-            raise SystemExit(
-                f"unknown scheme {scheme!r}; choose from {sorted(valid_schemes)}"
-            )
+        try:
+            # Accepts plain names and parameterized specs ("obfuscate:4").
+            parse_scheme(scheme)
+        except ConfigurationError as error:
+            raise SystemExit(str(error)) from None
     from repro.scenarios.cells import KNOWN_ATTACKS
 
     for attack_name in attacks:
@@ -1118,6 +1274,121 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+#: The committed frontier baseline the CI drift gate compares against.
+FRONTIER_OUTPUT = "BENCH_defense_frontier.json"
+
+#: The CI smoke grid: two obfuscation knobs x two attacks, one shaping
+#: policy against its honest anchor.
+_FRONTIER_SMOKE = {
+    "datasets": ("fsl",),
+    "schemes": ("obfuscate:2", "obfuscate:4"),
+    "attacks": ("basic", "locality"),
+    "policies": ("honest", "rr:0.5"),
+}
+
+
+def _cmd_frontier(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.analysis.frontier import compare_reports, frontier_report
+    from repro.analysis.reporting import FigureResult
+    from repro.defenses.obfuscate import parse_scheme
+    from repro.scenarios.cells import KNOWN_ATTACKS
+    from repro.service.shaping import parse_policy
+
+    if args.smoke:
+        datasets = _FRONTIER_SMOKE["datasets"]
+        schemes = _FRONTIER_SMOKE["schemes"]
+        attacks = _FRONTIER_SMOKE["attacks"]
+        policies = _FRONTIER_SMOKE["policies"]
+        service_schemes = ("mle",)
+    else:
+        datasets = _split(args.datasets, str)
+        schemes = _split(args.schemes, str)
+        attacks = _split(args.attacks, str)
+        policies = _split(args.policies, str)
+        service_schemes = _split(args.service_schemes, str)
+    _validate_sweep_axes(datasets, schemes, attacks)
+    try:
+        for scheme in service_schemes:
+            parse_scheme(scheme)
+        for policy in policies:
+            parse_policy(policy)
+    except ConfigurationError as error:
+        raise SystemExit(str(error)) from None
+    for attack_name in attacks:
+        if attack_name not in KNOWN_ATTACKS:
+            raise SystemExit(f"unknown attack {attack_name!r}")
+
+    report = frontier_report(
+        datasets=datasets,
+        schemes=schemes,
+        attacks=attacks,
+        policies=policies,
+        service_schemes=service_schemes,
+        tenants=args.tenants,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+
+    storage_result = FigureResult(
+        figure="Frontier",
+        title="storage axis: COUNT leakage vs. dedup loss",
+        columns=[
+            "dataset", "scheme", "attack", "inference_rate", "kld_bits",
+            "storage_overhead", "stored_bytes",
+        ],
+    )
+    storage_result.rows = [
+        [row[column] for column in storage_result.columns]
+        for row in report["storage"]
+    ]
+    print(render_table(storage_result))
+    print()
+    bandwidth_result = FigureResult(
+        figure="Frontier",
+        title="bandwidth axis: dedup-signal recall vs. padded transfer",
+        columns=[
+            "scheme", "policy", "dedup_signal_recall", "bandwidth_overhead",
+            "mean_inference_rate", "transferred_bytes",
+        ],
+    )
+    bandwidth_result.rows = [
+        [row[column] for column in bandwidth_result.columns]
+        for row in report["bandwidth"]
+    ]
+    print(render_table(bandwidth_result))
+    for section in ("storage", "bandwidth"):
+        for entry in report["monotonicity"][section]:
+            verdict = "ok" if entry["non_increasing"] else "VIOLATED"
+            label = ", ".join(
+                f"{key}={value}"
+                for key, value in entry.items()
+                if isinstance(value, str)
+            )
+            print(
+                f"monotone non-increasing [{label}]: {verdict}",
+                file=sys.stderr,
+            )
+
+    output = args.output if args.output is not None else FRONTIER_OUTPUT
+    if output != "-":
+        with open(output, "w", encoding="utf-8") as handle:
+            json_module.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote -> {output}", file=sys.stderr)
+    if args.compare:
+        with open(args.compare, encoding="utf-8") as handle:
+            baseline = json_module.load(handle)
+        drifts = compare_reports(report, baseline)
+        if drifts:
+            for drift in drifts:
+                print(f"drift: {drift}", file=sys.stderr)
+            return 1
+        print(f"no drift vs {args.compare}", file=sys.stderr)
+    return 0
+
+
 def _cmd_storage(args: argparse.Namespace) -> int:
     if args.cache == "small":
         result = figure_drivers.fig13_metadata_small_cache()
@@ -1184,17 +1455,19 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     quota_bytes = (
         int(args.quota_mib * MiB) if args.quota_mib is not None else None
     )
+    scheme = _scheme_spec(args)
     config = ServiceConfig(
         tenants=args.tenants,
         rounds=rounds,
         duplication_factor=args.duplication_factor,
         popularity_exponent=args.popularity_exponent,
-        scheme=args.scheme,
+        scheme=scheme,
         backend=backend,
         backend_path=backend_path,
         quota_bytes=quota_bytes,
         nodes=args.nodes,
         routing=args.routing,
+        shaping=_shaping_spec(args),
         attack=args.attack,
         auxiliary_tenant=args.auxiliary_tenant,
         attack_targets=args.attack_targets,
@@ -1209,9 +1482,12 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         if args.nodes > 1
         else ""
     )
+    shaped = (
+        f"shaping: {config.shaping}  " if config.shaping != "honest" else ""
+    )
     print(
-        f"tenants: {args.tenants}  rounds: {rounds}  scheme: {args.scheme}  "
-        f"{tier}backend: {backend}  seed: {args.seed}"
+        f"tenants: {args.tenants}  rounds: {rounds}  scheme: {scheme}  "
+        f"{tier}{shaped}backend: {backend}  seed: {args.seed}"
     )
     print(
         f"requests: {traffic['requests']} "
@@ -1289,17 +1565,19 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
             "--identity needs admission disabled (--rate-limit 0): a "
             "throttled request would diverge from the simulator"
         )
+    scheme = _scheme_spec(args)
     config = ServiceConfig(
         tenants=args.tenants,
         rounds=rounds,
         duplication_factor=args.duplication_factor,
         popularity_exponent=args.popularity_exponent,
-        scheme=args.scheme,
+        scheme=scheme,
         quota_bytes=(
             int(args.quota_mib * MiB) if args.quota_mib is not None else None
         ),
         nodes=args.nodes,
         routing=args.routing,
+        shaping=_shaping_spec(args),
         seed=args.seed,
     )
     frontend = build_frontend(
@@ -1320,9 +1598,14 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
                 if address[0] == "tcp"
                 else address[1]
             )
+            shaped = (
+                f"shaping: {config.shaping}  "
+                if config.shaping != "honest"
+                else ""
+            )
             print(
                 f"tenants: {args.tenants}  rounds: {rounds}  "
-                f"scheme: {args.scheme}  {tier}seed: {args.seed}  "
+                f"scheme: {scheme}  {tier}{shaped}seed: {args.seed}  "
                 f"listening: {address[0]}://{where}"
             )
             # Under a fault plan the clients must survive what it
@@ -1472,6 +1755,7 @@ _HANDLERS = {
     "sweep": _cmd_sweep,
     "serve-sim": _cmd_serve_sim,
     "serve-net": _cmd_serve_net,
+    "frontier": _cmd_frontier,
     "storage": _cmd_storage,
     "bench": _cmd_bench,
     "report": _cmd_report,

@@ -5,11 +5,21 @@
 * :mod:`repro.defenses.minhash` — MinHash encryption (Algorithm 4), content
   level.
 * :mod:`repro.defenses.scramble` — scrambling (Algorithm 5).
+* :mod:`repro.defenses.obfuscate` — tunable frequency-obfuscated encryption
+  (the journal extension's relaxed MLE with a leakage/storage knob).
 * :mod:`repro.defenses.pipeline` — fingerprint-level defense pipelines used
-  in the trace-driven evaluation (§7.1): MLE, MinHash, Scramble, Combined.
+  in the trace-driven evaluation (§7.1): MLE, MinHash, Scramble, Combined,
+  Obfuscate.
 """
 
 from repro.defenses.minhash import MinHashEncryptor, MinHashSegmentResult
+from repro.defenses.obfuscate import (
+    DEFAULT_VARIANTS,
+    FrequencyObfuscator,
+    frequency_kld,
+    parse_scheme,
+    scheme_spec,
+)
 from repro.defenses.pipeline import (
     DefensePipeline,
     DefenseScheme,
@@ -34,6 +44,11 @@ from repro.defenses.segmentation import (
 __all__ = [
     "MinHashEncryptor",
     "MinHashSegmentResult",
+    "DEFAULT_VARIANTS",
+    "FrequencyObfuscator",
+    "frequency_kld",
+    "parse_scheme",
+    "scheme_spec",
     "DefensePipeline",
     "DefenseScheme",
     "EncryptedBackup",

@@ -15,6 +15,11 @@ paper does:
   each segment (Algorithm 5) — an ablation isolating order perturbation.
 * **Combined**: scrambling inside each segment followed by MinHash
   encryption — the paper's recommended defense.
+* **Obfuscate**: tunable frequency-obfuscated encryption (the journal
+  extension's relaxed MLE): each plaintext chunk maps to one of ``t``
+  ciphertext variants chosen by a keyed balance function, flattening the
+  adversary's COUNT distribution as ``t`` grows while the dedup ratio
+  degrades gracefully (see :mod:`repro.defenses.obfuscate`).
 
 Ciphertext sizes are plaintext sizes padded to 16-byte cipher blocks, which
 is what the advanced attack observes.
@@ -33,6 +38,11 @@ from repro.common.errors import ConfigurationError
 from repro.common.rng import rng_from
 from repro.crypto.cipher import BLOCK_SIZE
 from repro.datasets.model import Backup, BackupSeries
+from repro.defenses.obfuscate import (
+    DEFAULT_VARIANTS,
+    FrequencyObfuscator,
+    parse_scheme,
+)
 from repro.defenses.scramble import DEQUE, scramble_indices
 from repro.defenses.segmentation import SegmentationSpec, segment_stream
 
@@ -44,6 +54,7 @@ class DefenseScheme(str, Enum):
     MINHASH = "minhash"
     SCRAMBLE = "scramble"
     COMBINED = "combined"
+    OBFUSCATE = "obfuscate"
 
 
 @dataclass
@@ -104,21 +115,36 @@ def padded_size(plaintext_size: int, block_size: int = BLOCK_SIZE) -> int:
 
 
 class DefensePipeline:
-    """Encrypts plaintext backup streams under a chosen defense scheme."""
+    """Encrypts plaintext backup streams under a chosen defense scheme.
+
+    ``scheme`` accepts a :class:`DefenseScheme`, a plain scheme name, or
+    a parameterized obfuscation spec (``"obfuscate:4"``); a spec's knob
+    overrides ``obfuscate_variants``.
+    """
 
     def __init__(
         self,
-        scheme: DefenseScheme = DefenseScheme.MLE,
+        scheme: DefenseScheme | str = DefenseScheme.MLE,
         segmentation: SegmentationSpec | None = None,
         seed: int = 0,
         scramble_mode: str = DEQUE,
         fingerprint_bytes: int | None = None,
+        obfuscate_variants: int = DEFAULT_VARIANTS,
     ):
-        self.scheme = DefenseScheme(scheme)
+        self.scheme, spec_variants = parse_scheme(scheme)
         self.segmentation = segmentation or SegmentationSpec()
         self.seed = seed
         self.scramble_mode = scramble_mode
         self.fingerprint_bytes = fingerprint_bytes
+        if self.scheme is DefenseScheme.OBFUSCATE:
+            if isinstance(scheme, str) and ":" in scheme:
+                obfuscate_variants = spec_variants
+            self.obfuscate_variants = obfuscate_variants
+        else:
+            self.obfuscate_variants = 1
+        self._obfuscator = FrequencyObfuscator(
+            variants=self.obfuscate_variants, seed=seed
+        )
 
     # -- fingerprint-level encryption ---------------------------------------
 
@@ -139,10 +165,32 @@ class DefensePipeline:
         # hash with SHA-256, truncate to the dataset's fingerprint width.
         return hashlib.sha256(minimum_fp + plaintext_fp).digest()[:length]
 
+    @staticmethod
+    def _record_truth(
+        truth: dict[bytes, bytes], cipher_fp: bytes, plaintext_fp: bytes
+    ) -> None:
+        """Record one ground-truth pair, rejecting ciphertext collisions.
+
+        Every encryption path funnels through this one check, so a
+        truncated fingerprint width that maps two distinct plaintext
+        chunks to the same ciphertext fingerprint fails identically
+        whatever the scheme (or scheme order) — the restore round-trip
+        guarantee requires ``truth`` to stay a function.
+        """
+        existing = truth.get(cipher_fp)
+        if existing is not None and existing != plaintext_fp:
+            raise ConfigurationError(
+                "ciphertext fingerprint collision; increase "
+                "fingerprint_bytes"
+            )
+        truth[cipher_fp] = plaintext_fp
+
     def encrypt_backup(self, backup: Backup, backup_index: int = 0) -> EncryptedBackup:
         """Encrypt one plaintext backup stream."""
         if self.scheme is DefenseScheme.MLE:
             return self._encrypt_plain_mle(backup)
+        if self.scheme is DefenseScheme.OBFUSCATE:
+            return self._encrypt_obfuscated(backup)
         return self._encrypt_segmented(backup, backup_index)
 
     def encrypt_series(self, series: BackupSeries) -> EncryptedSeries:
@@ -166,14 +214,35 @@ class DefensePipeline:
                 cipher_fp = self._mle_fingerprint(
                     plaintext_fp, self._output_length(plaintext_fp)
                 )
-                existing = truth.get(cipher_fp)
-                if existing is not None and existing != plaintext_fp:
-                    raise ConfigurationError(
-                        "ciphertext fingerprint collision; increase "
-                        "fingerprint_bytes"
-                    )
+                self._record_truth(truth, cipher_fp, plaintext_fp)
                 cache[plaintext_fp] = cipher_fp
-                truth[cipher_fp] = plaintext_fp
+            ciphertext.append(cipher_fp, padded_size(size))
+        return EncryptedBackup(
+            label=backup.label, ciphertext=ciphertext, truth=truth
+        )
+
+    def _encrypt_obfuscated(self, backup: Backup) -> EncryptedBackup:
+        """Relaxed MLE: round-robin each chunk's occurrences over its
+        ``t`` keyed variants (see :mod:`repro.defenses.obfuscate`).  The
+        occurrence counter resets per backup, so encryption stays a pure
+        function of the plaintext stream — identical uploads produce
+        identical ciphertexts and cross-user dedup survives per variant.
+        """
+        ciphertext = Backup(label=backup.label)
+        truth: dict[bytes, bytes] = {}
+        occurrences: dict[bytes, int] = {}
+        variant_cache: dict[tuple[bytes, int], bytes] = {}
+        for plaintext_fp, size in zip(backup.fingerprints, backup.sizes):
+            occurrence = occurrences.get(plaintext_fp, 0)
+            occurrences[plaintext_fp] = occurrence + 1
+            variant = self._obfuscator.assign(plaintext_fp, occurrence)
+            cipher_fp = variant_cache.get((plaintext_fp, variant))
+            if cipher_fp is None:
+                cipher_fp = self._obfuscator.variant_fingerprint(
+                    plaintext_fp, variant, self._output_length(plaintext_fp)
+                )
+                self._record_truth(truth, cipher_fp, plaintext_fp)
+                variant_cache[(plaintext_fp, variant)] = cipher_fp
             ciphertext.append(cipher_fp, padded_size(size))
         return EncryptedBackup(
             label=backup.label, ciphertext=ciphertext, truth=truth
@@ -208,13 +277,7 @@ class DefensePipeline:
                     )
                 else:
                     cipher_fp = self._mle_fingerprint(plaintext_fp, length)
-                existing = truth.get(cipher_fp)
-                if existing is not None and existing != plaintext_fp:
-                    raise ConfigurationError(
-                        "ciphertext fingerprint collision; increase "
-                        "fingerprint_bytes"
-                    )
-                truth[cipher_fp] = plaintext_fp
+                self._record_truth(truth, cipher_fp, plaintext_fp)
                 cipher_fps[index] = cipher_fp
                 if logical is not None:
                     logical.append(cipher_fp, padded_size(backup.sizes[index]))

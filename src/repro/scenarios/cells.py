@@ -67,10 +67,11 @@ def build_attack(name: str, u: int, v: int, w: int):
 
 
 def _encrypted(dataset: str, scheme: str):
+    # Scheme specs pass through verbatim (the pipeline parses plain
+    # names and parameterized "obfuscate:t" specs alike).
     from repro.analysis.workloads import encrypted_series
-    from repro.defenses.pipeline import DefenseScheme
 
-    return encrypted_series(dataset, DefenseScheme(scheme))
+    return encrypted_series(dataset, scheme)
 
 
 def _run_attack(params: dict) -> FieldRows:
@@ -190,6 +191,7 @@ _LAZY_KIND_MODULES = {
     "serve_net": "repro.service.cells",
     "cluster": "repro.cluster.cells",
     "columnar_attack": "repro.attacks.sharded",
+    "defense_frontier": "repro.analysis.frontier",
 }
 
 

@@ -115,10 +115,18 @@ class SideChannelMeter:
         Returns:
             One JSON-serializable row per served upload — tenant, round,
             label, logical/transferred bytes and the dedup fraction (the
-            bandwidth side channel's time series).
+            bandwidth side channel's time series).  When the observed
+            service shaped any response (:mod:`repro.service.shaping`),
+            every row additionally carries ``shaped_extra_bytes``;
+            honest traces keep the pre-shaping row shape byte-for-byte.
         """
-        return [
-            {
+        records = self.upload_records()
+        shaped = any(
+            record.shaped_extra_bytes for _, record in records
+        )
+        rows = []
+        for round_index, record in records:
+            row = {
                 "tenant": record.tenant,
                 "round": round_index,
                 "label": record.label,
@@ -126,8 +134,10 @@ class SideChannelMeter:
                 "transferred_bytes": record.transferred_bytes,
                 "dedup_fraction": round(record.dedup_fraction, 4),
             }
-            for round_index, record in self.upload_records()
-        ]
+            if shaped:
+                row["shaped_extra_bytes"] = record.shaped_extra_bytes
+            rows.append(row)
+        return rows
 
     # -- the store-view side channel ------------------------------------------
 

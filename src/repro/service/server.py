@@ -60,6 +60,7 @@ from repro.defenses.pipeline import (
 from repro.defenses.segmentation import SegmentationSpec
 from repro.storage.ddfs import DDFSEngine
 from repro.storage.metrics import publish_engine_metrics
+from repro.service.shaping import ShapingPolicy, parse_policy, shape_response
 from repro.service.traffic import RESTORE, UPLOAD
 
 
@@ -74,6 +75,12 @@ class RequestObservables:
     response-latency proxy: index/update/loading bytes the request moved.
     ``request_index`` is the service-order sequence number (the traffic
     round is a client-side notion; the meter tracks it per request).
+
+    Under a response-shaping policy (:mod:`repro.service.shaping`),
+    ``transferred_bytes`` is the *shaped* wire observable and
+    ``shaped_extra_bytes`` counts the duplicate payload the policy
+    requested anyway (0 under the honest policy — the field is inert on
+    unshaped services).
     """
 
     kind: str
@@ -87,6 +94,7 @@ class RequestObservables:
     unique_chunks: int
     unique_bytes: int
     stored_chunks: int
+    shaped_extra_bytes: int = 0
 
     @property
     def deduped_bytes(self) -> int:
@@ -211,13 +219,17 @@ class DedupService:
             :class:`~repro.cluster.cluster.DedupCluster` of N engines.
         routing: cluster placement policy, ``"ring"`` (consistent hash)
             or ``"modulo"`` (ignored when ``nodes == 1``).
+        shaping: dedup-response shaping policy — a
+            :class:`~repro.service.shaping.ShapingPolicy` or a spec
+            string (``"honest"``, ``"rr:0.25"``, ``"quantize:4096"``).
+            The policy's decision hash is keyed with ``seed``.
         cache_budget_bytes / bloom_capacity / container_size /
         entry_bytes: engine knobs, per node (service-scale defaults).
     """
 
     def __init__(
         self,
-        scheme: DefenseScheme = DefenseScheme.MLE,
+        scheme: DefenseScheme | str = DefenseScheme.MLE,
         index_backend=None,
         index_path=None,
         default_quota_bytes: int | None = None,
@@ -225,6 +237,7 @@ class DedupService:
         seed: int = 0,
         nodes: int = 1,
         routing: str = "ring",
+        shaping: ShapingPolicy | str = "honest",
         cache_budget_bytes: int = 256 * KiB,
         bloom_capacity: int = 1_000_000,
         container_size: int = 1 * MiB,
@@ -232,12 +245,13 @@ class DedupService:
     ):
         if nodes < 1:
             raise ConfigurationError("nodes must be >= 1")
-        self.scheme = DefenseScheme(scheme)
         self.pipeline = DefensePipeline(
-            self.scheme,
+            scheme,
             segmentation=segmentation or SegmentationSpec.scaled(),
             seed=seed,
         )
+        self.scheme = self.pipeline.scheme
+        self.shaping = parse_policy(shaping, seed=seed)
         if nodes == 1:
             self.engine = DDFSEngine(
                 cache_budget_bytes=cache_budget_bytes,
@@ -371,6 +385,21 @@ class DedupService:
         self._tier.ingest(needed_fingerprints, needed_sizes)
         stored_chunks = len(needed_fingerprints)
 
+        # Response shaping: the policy may request duplicate chunks on
+        # top of the needed-set.  The extra payload crosses the wire
+        # (perturbing the bandwidth observable) but is discarded — never
+        # ingested — so storage state stays byte-identical to an honest
+        # run.  Inactive policies skip the seam entirely.
+        shaped_extra_bytes = 0
+        if self.shaping.is_active():
+            extra = shape_response(
+                self.shaping, tenant, label, unique, needed
+            )
+            for fingerprint, size in unique.items():
+                if fingerprint in extra:
+                    shaped_extra_bytes += size
+            transferred_bytes += shaped_extra_bytes
+
         metadata_bytes = self._tier.metadata_bytes - metadata_before
         state.recipes[label] = stream
         state.logical_bytes += logical_bytes
@@ -390,6 +419,7 @@ class DedupService:
             unique_chunks=len(unique),
             unique_bytes=sum(unique.values()),
             stored_chunks=stored_chunks,
+            shaped_extra_bytes=shaped_extra_bytes,
         )
         return UploadResult(observables=observables, encrypted=encrypted)
 

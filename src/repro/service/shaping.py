@@ -1,0 +1,230 @@
+"""Dedup-response shaping: perturbing the bandwidth observable at the
+protocol boundary (RRCS-style randomized responses, arXiv 1703.05126).
+
+The upload side channel exists because an honest dedup response tells the
+client exactly which chunks the store already holds — transferred bytes
+then reveal cross-user overlap (see :mod:`repro.service.meter`).  Shaping
+policies perturb that response *without touching storage*: a shaped
+response only ever **adds** duplicate chunks to the transfer set (the
+client re-uploads data the server discards), so dedup decisions, stored
+bytes and the ciphertext stream are byte-identical to the honest run —
+only the wire observable moves.
+
+Three policies:
+
+* ``honest`` — the identity policy (the pre-shaping protocol, default).
+* ``randomized-response`` (``rr:p``) — every truly-duplicate chunk is
+  independently requested anyway with probability ``p``.  ``p = 0`` is
+  honest; ``p = 1`` transfers the full unique stream (no dedup signal).
+* ``quantized-bandwidth`` (``quantize:B``) — the transfer size is padded
+  up to the next multiple of ``B`` bytes by requesting duplicates in
+  stream order, so the adversary observes bucket indices, not bytes.  A
+  fully-deduplicated upload pads to one bucket (an honest 0-byte
+  transfer would leak full duplication exactly).
+
+Decisions derive from a keyed hash of ``(seed, tenant, label, chunk)`` —
+**upload identity, not serving order** — so the in-process simulator and
+the socket frontend shape identically whatever order requests arrive in,
+and the identity differential holds under shaping.  The per-chunk draw
+doubles as a common-random-numbers coupling: one uniform per chunk,
+flipped iff ``u < p``, so the shaped transfer set is monotone in ``p``
+sample-for-sample (the frontier's monotonicity claim is exact, not just
+in expectation).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+HONEST = "honest"
+RANDOMIZED_RESPONSE = "randomized-response"
+QUANTIZED_BANDWIDTH = "quantized-bandwidth"
+
+#: Accepted spec spellings (long and short) per policy mode.
+_MODE_ALIASES = {
+    "honest": HONEST,
+    "rr": RANDOMIZED_RESPONSE,
+    "randomized-response": RANDOMIZED_RESPONSE,
+    "quantize": QUANTIZED_BANDWIDTH,
+    "quantized-bandwidth": QUANTIZED_BANDWIDTH,
+}
+
+
+@dataclass(frozen=True)
+class ShapingPolicy:
+    """One response-shaping policy, hashable and spec-round-trippable.
+
+    Attributes:
+        mode: :data:`HONEST`, :data:`RANDOMIZED_RESPONSE` or
+            :data:`QUANTIZED_BANDWIDTH`.
+        flip_probability: per-duplicate transfer probability (randomized
+            response only).
+        bucket_bytes: transfer-size quantum (quantized bandwidth only).
+        seed: keys the per-chunk decision hash.
+    """
+
+    mode: str = HONEST
+    flip_probability: float = 0.0
+    bucket_bytes: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in (
+            HONEST,
+            RANDOMIZED_RESPONSE,
+            QUANTIZED_BANDWIDTH,
+        ):
+            raise ConfigurationError(
+                f"unknown shaping mode {self.mode!r}; choose from "
+                f"{sorted(set(_MODE_ALIASES.values()))}"
+            )
+        if not 0.0 <= self.flip_probability <= 1.0:
+            raise ConfigurationError(
+                "shaping flip probability must be in [0, 1]"
+            )
+        if self.mode is QUANTIZED_BANDWIDTH and self.bucket_bytes < 1:
+            raise ConfigurationError(
+                "quantized-bandwidth shaping needs bucket_bytes >= 1"
+            )
+
+    def is_active(self) -> bool:
+        """Whether this policy can ever change a response (an inactive
+        policy keeps the upload path byte-identical to pre-shaping)."""
+        if self.mode == RANDOMIZED_RESPONSE:
+            return self.flip_probability > 0.0
+        return self.mode == QUANTIZED_BANDWIDTH
+
+    def spec(self) -> str:
+        """The canonical CLI/report spelling of this policy."""
+        if self.mode == RANDOMIZED_RESPONSE:
+            return f"rr:{self.flip_probability:g}"
+        if self.mode == QUANTIZED_BANDWIDTH:
+            return f"quantize:{self.bucket_bytes}"
+        return HONEST
+
+
+def parse_policy(spec, seed: int = 0) -> ShapingPolicy:
+    """Resolve a shaping spec to a :class:`ShapingPolicy`.
+
+    Args:
+        spec: an existing policy (seed re-keyed), or a spec string:
+            ``"honest"``, ``"rr:0.25"`` / ``"randomized-response:0.25"``,
+            ``"quantize:4096"`` / ``"quantized-bandwidth:4096"``.
+        seed: keys the per-chunk decision hash (the service seed).
+
+    Raises:
+        ConfigurationError: unknown mode or a bad knob value.
+    """
+    if isinstance(spec, ShapingPolicy):
+        return ShapingPolicy(
+            mode=spec.mode,
+            flip_probability=spec.flip_probability,
+            bucket_bytes=spec.bucket_bytes,
+            seed=seed,
+        )
+    name, _, knob = str(spec).partition(":")
+    mode = _MODE_ALIASES.get(name)
+    if mode is None:
+        raise ConfigurationError(
+            f"unknown shaping policy {name!r}; choose from "
+            f"{sorted(_MODE_ALIASES)}"
+        )
+    if mode == HONEST:
+        if knob:
+            raise ConfigurationError("the honest policy takes no parameter")
+        return ShapingPolicy(seed=seed)
+    if not knob:
+        raise ConfigurationError(
+            f"shaping policy {name!r} needs a parameter "
+            "(rr:p or quantize:bytes)"
+        )
+    if mode == RANDOMIZED_RESPONSE:
+        try:
+            probability = float(knob)
+        except ValueError:
+            raise ConfigurationError(
+                f"bad flip probability {knob!r}; expected a float"
+            ) from None
+        return ShapingPolicy(
+            mode=mode, flip_probability=probability, seed=seed
+        )
+    try:
+        bucket = int(knob)
+    except ValueError:
+        raise ConfigurationError(
+            f"bad bucket size {knob!r}; expected an integer byte count"
+        ) from None
+    return ShapingPolicy(mode=mode, bucket_bytes=bucket, seed=seed)
+
+
+def _chunk_uniform(
+    seed: int, tenant: int, label: str, fingerprint: bytes
+) -> float:
+    """One uniform in [0, 1) keyed by upload identity and chunk.
+
+    Hash-derived rather than ``rng_from`` so the draw is a pure function
+    of the (seed, tenant, label, chunk) tuple — independent of serving
+    order and of how many chunks were drawn before it.
+    """
+    key = (
+        f"shaping|{seed}|{tenant}|{label}|".encode("utf-8") + fingerprint
+    )
+    digest = hashlib.sha256(key).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+def shape_response(
+    policy: ShapingPolicy,
+    tenant: int,
+    label: str,
+    unique: dict[bytes, int],
+    needed: set[bytes],
+) -> set[bytes]:
+    """The duplicates a shaped response requests *in addition to* the
+    honest needed-set.
+
+    Args:
+        policy: the active shaping policy.
+        tenant / label: the upload's identity (keys the decision hash).
+        unique: the upload's unique fingerprints → chunk size, in
+            first-occurrence stream order (the server's dedup-response
+            input).
+        needed: the honest needed-set (truly new chunks).
+
+    Returns:
+        Extra fingerprints to transfer — always a subset of the
+        duplicates, so shaping never suppresses a needed chunk (storage
+        correctness is untouched).
+    """
+    if not policy.is_active():
+        return set()
+    duplicates = [fp for fp in unique if fp not in needed]
+    if policy.mode == RANDOMIZED_RESPONSE:
+        probability = policy.flip_probability
+        return {
+            fp
+            for fp in duplicates
+            if _chunk_uniform(policy.seed, tenant, label, fp) < probability
+        }
+    # Quantized bandwidth: pad the honest transfer up to the next bucket
+    # boundary with duplicates in stream order.  An exact-boundary
+    # transfer pads nothing; a fully-deduplicated upload pads to one
+    # bucket; an empty upload stays empty (nothing to transfer at all).
+    bucket = policy.bucket_bytes
+    transferred = sum(
+        size for fp, size in unique.items() if fp in needed
+    )
+    if not unique:
+        return set()
+    target = -(-max(transferred, 1) // bucket) * bucket
+    extra: set[bytes] = set()
+    shaped = transferred
+    for fingerprint in duplicates:
+        if shaped >= target:
+            break
+        extra.add(fingerprint)
+        shaped += unique[fingerprint]
+    return extra

@@ -27,7 +27,6 @@ from dataclasses import dataclass, replace
 
 from repro import obs
 from repro.common.errors import QuotaExceededError
-from repro.defenses.pipeline import DefenseScheme
 from repro.scenarios.spec import Cell, Tags
 from repro.service.meter import SideChannelMeter
 from repro.service.server import DedupService
@@ -68,6 +67,10 @@ class ServiceConfig:
     # DedupCluster of N engines behind the chosen routing policy.
     nodes: int = 1
     routing: str = "ring"
+    # Dedup-response shaping policy spec ("honest", "rr:p",
+    # "quantize:bytes"); "honest" is the pre-shaping protocol and is
+    # elided from report config echoes, keeping them byte-identical.
+    shaping: str = "honest"
     attack: str = "advanced"
     u: int = 1
     v: int = 15
@@ -204,13 +207,14 @@ def build_service(config: ServiceConfig) -> DedupService:
     divergence between the two can only come from the serving order.
     """
     return DedupService(
-        scheme=DefenseScheme(config.scheme),
+        scheme=config.scheme,
         index_backend=config.backend,
         index_path=config.backend_path,
         default_quota_bytes=config.quota_bytes,
         seed=config.seed,
         nodes=config.nodes,
         routing=config.routing,
+        shaping=config.shaping,
     )
 
 
@@ -522,6 +526,11 @@ def trace_report(
         # service: the tier shape only appears once it is non-trivial.
         del config_echo["nodes"]
         del config_echo["routing"]
+    if config.shaping == "honest":
+        # Same elision discipline for response shaping: the honest
+        # policy is the pre-shaping protocol, so its key only appears
+        # once a run actually shapes.
+        del config_echo["shaping"]
     report = {
         "config": config_echo,
         "traffic": {

@@ -1,0 +1,248 @@
+"""Dedup-response shaping: policy parsing, the pure shaping function,
+and the side-channel meter's view of a shaped service.
+
+The load-bearing invariants, each tested at the level where it lives:
+
+* shaping only ever *adds* duplicates to the transfer set — storage,
+  dedup decisions and the store-view side channel (overlap matrix) are
+  byte-identical to the honest run;
+* the per-chunk decision hash couples the ``rr:p`` sweep (monotone
+  sample-for-sample, not just in expectation);
+* honest traces keep every pre-shaping report byte-for-byte (no
+  ``shaped_extra_bytes`` column, no ``shaping`` config echo).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.service.shaping import (
+    HONEST,
+    QUANTIZED_BANDWIDTH,
+    RANDOMIZED_RESPONSE,
+    ShapingPolicy,
+    parse_policy,
+    shape_response,
+)
+from repro.service.simulate import (
+    ServiceConfig,
+    _simulate,
+    evaluate_pair,
+    trace_report,
+)
+
+BASE = ServiceConfig(tenants=5, rounds=2, files_per_tenant=6, seed=11)
+
+
+def _uploads(trace):
+    return [
+        record
+        for record in trace.meter.observables
+        if record.kind == "upload"
+    ]
+
+
+def _shaped(policy: str):
+    return _simulate(dataclasses.replace(BASE, shaping=policy))
+
+
+class TestParsePolicy:
+    def test_honest_default(self):
+        policy = parse_policy("honest")
+        assert policy.mode == HONEST
+        assert not policy.is_active()
+        assert policy.spec() == "honest"
+
+    @pytest.mark.parametrize("spec", ["rr:0.25", "randomized-response:0.25"])
+    def test_rr_aliases(self, spec):
+        policy = parse_policy(spec, seed=3)
+        assert policy.mode == RANDOMIZED_RESPONSE
+        assert policy.flip_probability == 0.25
+        assert policy.seed == 3
+        assert policy.spec() == "rr:0.25"
+
+    @pytest.mark.parametrize(
+        "spec", ["quantize:4096", "quantized-bandwidth:4096"]
+    )
+    def test_quantize_aliases(self, spec):
+        policy = parse_policy(spec)
+        assert policy.mode == QUANTIZED_BANDWIDTH
+        assert policy.bucket_bytes == 4096
+        assert policy.spec() == "quantize:4096"
+
+    def test_rr_zero_is_inactive(self):
+        assert not parse_policy("rr:0").is_active()
+        assert parse_policy("rr:0.01").is_active()
+        assert parse_policy("quantize:1").is_active()
+
+    def test_existing_policy_is_rekeyed(self):
+        policy = parse_policy("rr:0.5", seed=1)
+        rekeyed = parse_policy(policy, seed=9)
+        assert rekeyed.flip_probability == 0.5
+        assert rekeyed.seed == 9
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "nope",
+            "rr",
+            "rr:x",
+            "rr:1.5",
+            "rr:-0.1",
+            "quantize",
+            "quantize:0",
+            "quantize:x",
+            "honest:1",
+        ],
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ConfigurationError):
+            parse_policy(spec)
+
+    def test_bad_mode_rejected_by_dataclass(self):
+        with pytest.raises(ConfigurationError):
+            ShapingPolicy(mode="weird")
+
+
+class TestShapeResponse:
+    UNIQUE = {f"fp{i}".encode(): 1000 + i for i in range(8)}
+    NEEDED = {b"fp0", b"fp3"}
+
+    def test_honest_and_rr_zero_add_nothing(self):
+        for spec in ("honest", "rr:0"):
+            policy = parse_policy(spec, seed=1)
+            assert (
+                shape_response(policy, 0, "u", self.UNIQUE, self.NEEDED)
+                == set()
+            )
+
+    def test_rr_one_transfers_every_duplicate(self):
+        policy = parse_policy("rr:1", seed=1)
+        extra = shape_response(policy, 0, "u", self.UNIQUE, self.NEEDED)
+        assert extra == set(self.UNIQUE) - self.NEEDED
+
+    def test_extra_is_always_duplicates_only(self):
+        for spec in ("rr:0.5", "quantize:3000"):
+            policy = parse_policy(spec, seed=4)
+            extra = shape_response(policy, 2, "u", self.UNIQUE, self.NEEDED)
+            assert extra <= set(self.UNIQUE) - self.NEEDED
+
+    def test_rr_sweep_is_monotone_samplewise(self):
+        # Common-random-numbers coupling: the flip set at a smaller p is
+        # a subset of the flip set at any larger p, chunk for chunk.
+        sets = [
+            shape_response(
+                parse_policy(f"rr:{p}", seed=7), 1, "u",
+                self.UNIQUE, self.NEEDED,
+            )
+            for p in (0.1, 0.3, 0.6, 0.9, 1.0)
+        ]
+        for smaller, larger in zip(sets, sets[1:]):
+            assert smaller <= larger
+
+    def test_rr_is_order_independent(self):
+        policy = parse_policy("rr:0.5", seed=7)
+        reversed_unique = dict(reversed(list(self.UNIQUE.items())))
+        assert shape_response(
+            policy, 1, "u", self.UNIQUE, self.NEEDED
+        ) == shape_response(policy, 1, "u", reversed_unique, self.NEEDED)
+
+    def test_quantize_exact_boundary_pads_nothing(self):
+        # Honest transfer = fp0 (1000) + fp3 (1003) = 2003 bytes.
+        unique = {b"fp0": 1000, b"fp3": 1024, b"dup": 500}
+        policy = parse_policy("quantize:2024", seed=0)
+        assert shape_response(policy, 0, "u", unique, {b"fp0", b"fp3"}) == (
+            set()
+        )
+
+    def test_quantize_pads_to_next_bucket(self):
+        unique = {b"a": 100, b"b": 100, b"c": 100}
+        policy = parse_policy("quantize:250", seed=0)
+        extra = shape_response(policy, 0, "u", unique, {b"a"})
+        # 100 honest bytes pad toward the 250 target in stream order.
+        assert extra == {b"b", b"c"}
+
+    def test_fully_deduplicated_upload_pads_one_bucket(self):
+        # An honest 0-byte transfer would leak full duplication exactly.
+        unique = {b"a": 100, b"b": 100}
+        policy = parse_policy("quantize:150", seed=0)
+        extra = shape_response(policy, 0, "u", unique, set())
+        assert extra == {b"a", b"b"}
+
+    def test_empty_upload_stays_empty(self):
+        policy = parse_policy("quantize:4096", seed=0)
+        assert shape_response(policy, 0, "u", {}, set()) == set()
+
+
+class TestShapedService:
+    def test_storage_identical_under_every_policy(self):
+        honest = _shaped("honest")
+        for spec in ("rr:0.5", "rr:1", "quantize:4096"):
+            shaped = _shaped(spec)
+            assert shaped.service.stored_bytes == honest.service.stored_bytes
+            assert shaped.service.unique_chunks_stored() == (
+                honest.service.unique_chunks_stored()
+            )
+
+    def test_overlap_matrix_identical_under_shaping(self):
+        # The store-view side channel reads dedup decisions, which
+        # shaping never touches.
+        honest = _shaped("honest")
+        shaped = _shaped("rr:0.5")
+        assert shaped.meter.overlap_matrix() == honest.meter.overlap_matrix()
+
+    def test_inference_rates_identical_under_shaping(self):
+        honest = _shaped("honest")
+        shaped = _shaped("rr:1")
+        assert evaluate_pair(shaped, -1, 0) == evaluate_pair(honest, -1, 0)
+
+    def test_transfer_monotone_in_flip_probability(self):
+        previous = None
+        for p in (0.0, 0.25, 0.5, 1.0):
+            uploads = _uploads(_shaped(f"rr:{p:g}"))
+            if previous is not None:
+                assert all(
+                    later.transferred_bytes >= earlier.transferred_bytes
+                    for earlier, later in zip(previous, uploads)
+                )
+            previous = uploads
+
+    def test_rr_one_transfers_unique_stream(self):
+        for record in _uploads(_shaped("rr:1")):
+            assert record.transferred_bytes == record.unique_bytes
+
+    def test_shaped_bytes_reconcile(self):
+        honest = _uploads(_shaped("honest"))
+        shaped = _uploads(_shaped("rr:0.5"))
+        for before, after in zip(honest, shaped):
+            assert after.transferred_bytes == (
+                before.transferred_bytes + after.shaped_extra_bytes
+            )
+
+    def test_quantized_transfers_land_on_bucket_boundaries(self):
+        bucket = 4096
+        for record in _uploads(_shaped(f"quantize:{bucket}")):
+            # Boundary alignment holds whenever enough duplicates exist
+            # to finish the padding; it can only undershoot, never skip
+            # past a boundary.
+            assert record.transferred_bytes <= (
+                -(-max(record.transferred_bytes, 1) // bucket) * bucket
+            )
+            assert record.transferred_bytes >= (
+                record.transferred_bytes - record.shaped_extra_bytes
+            )
+
+    def test_bandwidth_rows_gain_column_only_when_shaped(self):
+        honest_rows = _shaped("honest").meter.bandwidth_signal()
+        assert all(
+            "shaped_extra_bytes" not in row for row in honest_rows
+        )
+        shaped_rows = _shaped("rr:1").meter.bandwidth_signal()
+        assert all("shaped_extra_bytes" in row for row in shaped_rows)
+
+    def test_config_echo_elides_honest_shaping(self):
+        honest = trace_report(_shaped("honest"), [])
+        assert "shaping" not in honest["config"]
+        shaped = trace_report(_shaped("rr:0.5"), [])
+        assert shaped["config"]["shaping"] == "rr:0.5"
